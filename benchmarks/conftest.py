@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark suite.
+
+Every module regenerates one table or figure of the paper's evaluation with
+parameters scaled down so that the whole suite completes in a few minutes on
+a laptop; the full-size sweeps are available through the ``repro.bench``
+modules' ``main()`` entry points (``python -m repro.bench.fig10`` etc.).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Benchmark a callable with a single measured execution.
+
+    The simulations are deterministic, so repeating them only adds wall-clock
+    time without adding statistical information."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

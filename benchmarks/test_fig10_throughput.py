@@ -1,0 +1,54 @@
+"""E-F10a-d: Figure 10 — batching factor vs throughput, all four panels,
+plus the headline comparisons derived from them (≥17x vs Libpaxos, ~58%
+fault-tolerance overhead, peak ~8.6 Gb/s at n=8, aggregated throughput
+growing with n)."""
+
+from repro.bench import fig10
+
+
+BATCHES = (256, 1024, 4096, 16384)
+
+
+def test_fig10_panels_and_derived_claims(once):
+    rows = once(fig10.generate_fig10, (8, 16, 32), BATCHES,
+                ("allgather", "allconcur", "leader"), rounds=4, sim_limit=64)
+    summary = fig10.summarize(rows)
+
+    # Panel ordering: unreliable agreement > AllConcur > leader-based.
+    def peak(system, n):
+        return max(r["agreement_throughput_Bps"] for r in rows
+                   if r["system"] == system and r["n"] == n)
+
+    for n in (8, 16, 32):
+        assert peak("allgather", n) > peak("allconcur", n) > peak("leader", n)
+
+    # >= 17x versus the Libpaxos-calibrated leader baseline (paper: >= 17x).
+    assert summary["min_speedup_vs_leader"] >= 10.0
+
+    # fault-tolerance overhead versus unreliable agreement (paper: ~58%).
+    assert 0.35 <= summary["avg_overhead_vs_unreliable"] <= 0.80
+
+    # peak agreement throughput at n = 8 in the right ballpark
+    # (paper: 8.6 Gb/s = 1.075 GB/s; the shape matters, not the exact value).
+    peak8 = summary["peak_throughput_n_smallest_Bps"]
+    assert 0.3e9 < peak8 < 3e9
+
+    # throughput (per unit of data agreed) decreases with n ...
+    assert peak("allconcur", 32) < peak("allconcur", 8)
+    # ... but the aggregated throughput increases with n (Figure 10d).
+    def agg(n):
+        return max(r["aggregated_throughput_Bps"] for r in rows
+                   if r["system"] == "allconcur" and r["n"] == n)
+
+    assert agg(32) > agg(8)
+
+
+def test_fig10_large_scale_model_path(once):
+    rows = once(fig10.generate_fig10, (512, 1024), (8192,), ("allconcur",),
+                rounds=3, sim_limit=64)
+    assert all(r["source"] == "model" for r in rows)
+    agg = {r["n"]: r["aggregated_throughput_Bps"] for r in rows}
+    # Figure 10d: aggregated throughput keeps growing to the largest sizes
+    assert agg[1024] >= agg[512] * 0.8
+    # order of magnitude: hundreds of Gb/s (paper peaks around 750 Gb/s)
+    assert agg[1024] * 8 > 100e9

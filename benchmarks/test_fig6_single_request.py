@@ -1,0 +1,39 @@
+"""E-F6: Figure 6 — single (64-byte) request agreement latency vs n.
+
+Reproduces both panels (IBV and TCP) for the sizes that fit a quick run and
+checks the shapes the paper reports: latency grows with n, TCP is roughly
+3-10x slower than IBV, and the measured value stays within a small factor of
+the LogP work/depth models that the paper overlays on the measurements.
+"""
+
+import pytest
+
+from repro.bench import fig6
+from repro.sim import IBV_PARAMS, TCP_PARAMS
+
+SIZES = (6, 8, 11, 16, 22, 32)
+
+
+@pytest.mark.parametrize("params", [IBV_PARAMS, TCP_PARAMS],
+                         ids=["IBV", "TCP"])
+def test_single_request_latency_curve(benchmark, params):
+    rows = benchmark.pedantic(
+        lambda: [fig6.single_request_run(n, params) for n in SIZES],
+        rounds=1, iterations=1)
+    latencies = [r["median_latency_s"] for r in rows]
+    # latency is increasing in n (within a tolerance for the small sizes)
+    assert latencies[-1] > latencies[0]
+    # the model curves bracket the measurement within a factor of ~3
+    for row in rows:
+        model = max(row["model_work_s"], row["model_depth_s"])
+        assert row["median_latency_s"] <= 3.0 * model
+        assert row["median_latency_s"] >= 0.2 * model
+
+
+def test_paper_magnitudes_n8(once):
+    tcp, ibv = once(lambda: (fig6.single_request_run(8, TCP_PARAMS),
+                             fig6.single_request_run(8, IBV_PARAMS)))
+    # paper (Fig. 6): ~30-40 us over TCP, ~10 us over IBV for n = 8
+    assert 15e-6 < tcp["median_latency_s"] < 120e-6
+    assert ibv["median_latency_s"] < 30e-6
+    assert tcp["median_latency_s"] > 2 * ibv["median_latency_s"]

@@ -1,0 +1,39 @@
+"""E-F7: Figure 7 — agreement throughput during membership changes.
+
+Runs the scaled configuration (see ``repro.bench.fig7``): one failure and
+one rejoin under a heartbeat failure detector, with a constant request load.
+The shape checks mirror the paper's observations: an unavailability window
+after the failure on the order of the detection timeout, a throughput spike
+from the accumulated requests right after it, and agreement preserved
+throughout.
+"""
+
+from repro.bench import fig7
+
+
+def test_membership_change_timeline(once):
+    result = once(fig7.run_fig7)
+    cfg = result["config"]
+
+    assert result["agreement_ok"]
+    timeline = dict(result["timeline"])
+    assert timeline, "timeline must not be empty"
+
+    # unavailability after the failure is dominated by the FD timeout
+    gap = result["unavailability_estimate"]
+    assert gap >= cfg.heartbeat_timeout * 0.5
+    assert gap <= cfg.heartbeat_timeout * 4
+
+    # steady-state throughput roughly matches the offered load before the
+    # failure and stays positive afterwards (n-1 members keep agreeing)
+    steady = result["steady"]
+    offered = cfg.rate_per_server * cfg.n
+    assert steady["before_first_failure"] > 0.3 * offered
+    assert steady["after_first_failure"] > 0.0
+
+    # the throughput spike right after the unavailability window exceeds the
+    # steady state (accumulated requests drain in a burst)
+    fail_time = cfg.events[0].time
+    post = [thr for t, thr in result["timeline"]
+            if fail_time < t < fail_time + 4 * cfg.heartbeat_timeout]
+    assert post and max(post) > steady["before_first_failure"]

@@ -1,0 +1,37 @@
+"""E-F8: Figure 8 — agreement latency under a constant per-server request
+rate (travel-reservation scenario, 64-byte requests)."""
+
+import math
+
+import pytest
+
+from repro.bench import fig8
+from repro.sim import IBV_PARAMS, TCP_PARAMS
+
+
+def test_latency_vs_rate_ibv(once):
+    rates = (1e2, 1e4, 1e6)
+    rows = once(lambda: [fig8.latency_for_rate(8, r, params=IBV_PARAMS,
+                                               rounds=6) for r in rates])
+    lats = [r["median_latency_s"] for r in rows]
+    # flat region: latency stays within the same order of magnitude while the
+    # offered load is far below the agreement throughput
+    assert lats[0] < 100e-6
+    assert lats[1] < 100e-6
+    assert all(math.isfinite(v) for v in lats)
+    # n=64 at 32k req/s/server: the paper reports < 0.75 ms
+    r64 = fig8.latency_for_rate(64, 32_000, params=IBV_PARAMS, rounds=5)
+    assert r64["median_latency_s"] < 0.75e-3
+
+
+def test_latency_vs_rate_tcp_slower(once):
+    ibv = fig8.latency_for_rate(16, 1e4, params=IBV_PARAMS, rounds=5)
+    tcp = fig8.latency_for_rate(16, 1e4, params=TCP_PARAMS, rounds=5)
+    # paper: AllConcur-TCP has roughly 3x higher latency than IBV
+    assert tcp["median_latency_s"] > 2 * ibv["median_latency_s"]
+
+
+def test_overload_is_reported_as_unstable(once):
+    row = once(fig8.latency_for_rate, 8, 1e9, params=IBV_PARAMS)
+    assert row["source"] == "model-unstable"
+    assert math.isinf(row["median_latency_s"])

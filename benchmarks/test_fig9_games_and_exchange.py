@@ -1,0 +1,32 @@
+"""E-F9a / E-F9b: Figure 9 — multiplayer games and distributed exchanges."""
+
+from repro.bench import fig9
+
+
+def test_fig9a_game_latency(once):
+    sizes = (8, 32, 64, 256, 512, 1024)
+    rows = once(fig9.generate_fig9a, sizes, (200.0, 400.0),
+                sim_limit=64, rounds=5)
+    by_apm = {200.0: [], 400.0: []}
+    for row in rows:
+        by_apm[row["apm"]].append(row)
+        # headline claim: agreement latency stays under the 50 ms frame
+        # budget all the way to 1024 players ("epic battles")
+        assert row["median_latency_s"] < fig9.FRAME_BUDGET_S, row
+    # latency grows with the number of players
+    for series in by_apm.values():
+        assert series[-1]["median_latency_s"] > series[0]["median_latency_s"]
+    # small n points are real packet-level simulations
+    assert any(r["source"] == "sim" for r in rows)
+    assert any(r["source"] == "model" for r in rows)
+
+
+def test_fig9b_exchange_latency(once):
+    rows = once(fig9.generate_fig9b, (8, 64, 512), (1e5, 1e6),
+                sim_limit=64, rounds=5)
+    # the paper: 8 servers handle high rates with double-digit-microsecond
+    # latencies; 512 servers handle 1M req/s within tens of milliseconds
+    small = [r for r in rows if r["n"] == 8]
+    big = [r for r in rows if r["n"] == 512 and r["system_rate"] == 1e6]
+    assert all(r["median_latency_s"] < 1e-3 for r in small)
+    assert all(r["median_latency_s"] < 50e-3 for r in big)

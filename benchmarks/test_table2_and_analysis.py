@@ -1,0 +1,79 @@
+"""E-T2 / E-S32 / E-S422 / E-S45: Table 2 (space), §3.2 (FD accuracy),
+§4.2.2 (depth probability) and §4.5 (work trade-off vs leader-based)."""
+
+import pytest
+
+from repro.analysis import (
+    ExponentialDelay,
+    accuracy_probability,
+    allconcur_total_messages,
+    allconcur_work_per_server,
+    leader_based_total_messages,
+    leader_work,
+    prob_depth_within_fault_diameter_rounds,
+    space_complexity,
+)
+from repro.core import AllConcurConfig, ClusterOptions, SimCluster
+from repro.graphs import gs_digraph
+from repro.graphs.reliability import YEARS
+from repro.sim import IBV_PARAMS
+
+
+def test_table2_tracking_storage_measured_vs_bound(once):
+    """Measured tracking-digraph storage stays within the O(f²·d) bound."""
+    def measure():
+        graph = gs_digraph(32, 4)
+        cluster = SimCluster(
+            graph, config=AllConcurConfig(graph=graph, auto_advance=False),
+            options=ClusterOptions(params=IBV_PARAMS, detection_delay=20e-6))
+        for victim in (1, 2, 3):
+            cluster.fail_server(victim)
+        cluster.start_all()
+        peak = 0
+        while cluster.sim.step():
+            peak = max(peak, max(
+                cluster.server(p).tracker.storage_size()
+                for p in cluster.alive_members))
+        return peak, cluster
+
+    peak, cluster = once(measure)
+    assert cluster.verify_agreement()
+    bound = space_complexity(n=32, d=4, f=3)
+    # constant factor of 6 on the asymptotic f²·d term (vertices + edges)
+    assert peak <= 6 * bound.tracking_digraphs
+
+
+def test_s32_failure_detector_accuracy_bound(once):
+    rows = once(lambda: [
+        (n, accuracy_probability(ExponentialDelay(mean=100e-6), n,
+                                 d, 10e-3, 100e-3))
+        for n, d in ((8, 3), (64, 5), (1024, 11))])
+    for _n, p in rows:
+        assert p > 1 - 1e-9
+    # accuracy degrades (weakly) with more servers watching more links
+    assert rows[0][1] >= rows[-1][1]
+
+
+def test_s422_depth_probability_paper_example(once):
+    p = once(prob_depth_within_fault_diameter_rounds, 256, 7, 1.8e-6,
+             1_000_000, 2 * YEARS)
+    # paper: "larger than 99.99%"
+    assert p > 0.9999
+
+
+def test_s45_work_and_message_tradeoff(once):
+    """§4.5: AllConcur does O(n·d) balanced work per server but injects n²·d
+    messages; the leader-based deployment injects fewer messages but the
+    leader's work is O(n²)."""
+    def compute():
+        return [(n, d, allconcur_work_per_server(n, d), leader_work(n),
+                 allconcur_total_messages(n, d),
+                 leader_based_total_messages(n, group_size=5))
+                for n, d in ((8, 3), (64, 5), (512, 8))]
+
+    rows = once(compute)
+    for n, d, ac_work, lead_work, ac_msgs, lead_msgs in rows:
+        assert ac_work < lead_work          # balanced work wins
+        assert ac_msgs > lead_msgs          # at the cost of more messages
+    # and the gap in leader work grows quadratically with n
+    assert rows[-1][3] / rows[0][3] > 1000

@@ -1,0 +1,41 @@
+"""E-T3 / E-F5: Table 3 (GS(n,d) parameters) and Figure 5 (reliability).
+
+Checks that the regenerated rows match the published ones: same degrees,
+same diameters, quasiminimal everywhere; and that the Figure 5 series keep
+their shape (GS tracks the 6-nines target, the binomial graph first
+over-provisions and eventually falls below the target).
+"""
+
+from repro.bench import fig5, table3
+
+
+def test_table3_small_sizes(once):
+    rows = once(table3.generate_table3, (6, 8, 11, 16, 22, 32, 45, 64, 90))
+    for row in rows:
+        assert row["degree"] == row["paper_degree"], row
+        assert row["diameter"] == row["paper_diameter"], row
+        assert row["quasiminimal"]
+        assert row["achieved_nines"] >= 6.0
+
+
+def test_table3_large_sizes(once):
+    rows = once(table3.generate_table3, (128, 256, 512, 1024))
+    for row in rows:
+        assert row["diameter"] == row["paper_diameter"], row
+        # n = 128 is the borderline case: the exact binomial tail is 1.27e-6,
+        # marginally above the 1e-6 threshold, so we select degree 6 where
+        # the paper lists 5 (documented in EXPERIMENTS.md)
+        if row["n"] != 128:
+            assert row["degree"] == row["paper_degree"], row
+
+
+def test_fig5_reliability_series(once):
+    sizes = tuple(2 ** k for k in range(3, 16))
+    rows = once(fig5.generate_fig5, sizes)
+    assert all(row["gs_nines"] >= 6.0 for row in rows)
+    # binomial graphs: too much reliability at small n ...
+    assert rows[0]["binomial_nines"] > 10.0
+    # ... and not enough at large n (the crossover the paper plots)
+    assert rows[-1]["binomial_nines"] < 6.0
+    crossover = [r["n"] for r in rows if r["binomial_nines"] < 6.0]
+    assert crossover and crossover[0] >= 2 ** 12

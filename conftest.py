@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed yet
+(e.g. running ``pytest`` straight after cloning in an offline environment
+where ``pip install -e .`` cannot build an editable wheel).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Distributed exchange scenario (§1.1, Figure 9b) — fairness by design.
+
+An exchange must treat all clients equally; with a central matching engine
+this forces expensive standardized co-locations.  AllConcur lets the
+exchange run on geographically distributed servers: every order is
+atomically broadcast, every server sees the same totally ordered stream, so
+any server can run the matching engine deterministically.
+
+The example simulates a small distributed exchange: ``n`` servers share a
+global stream of 40-byte orders, the totally ordered stream drives a toy
+limit-order book, and — because every server applies the same deterministic
+order — all books end up identical.
+
+Run::
+
+    python examples/distributed_exchange.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import AllConcurConfig, ClusterOptions, Request, SimCluster
+from repro.graphs import gs_digraph
+from repro.sim import IBV_PARAMS
+
+
+@dataclass
+class OrderBook:
+    """A deliberately tiny deterministic matching engine."""
+
+    bids: list[tuple[int, int]] = field(default_factory=list)   # (price, qty)
+    asks: list[tuple[int, int]] = field(default_factory=list)
+    trades: list[tuple[int, int]] = field(default_factory=list)
+
+    def apply(self, side: str, price: int, qty: int) -> None:
+        if side == "buy":
+            while qty and self.asks and self.asks[0][0] <= price:
+                ask_price, ask_qty = self.asks[0]
+                traded = min(qty, ask_qty)
+                self.trades.append((ask_price, traded))
+                qty -= traded
+                if traded == ask_qty:
+                    self.asks.pop(0)
+                else:
+                    self.asks[0] = (ask_price, ask_qty - traded)
+            if qty:
+                self.bids.append((price, qty))
+                self.bids.sort(key=lambda pq: -pq[0])
+        else:
+            while qty and self.bids and self.bids[0][0] >= price:
+                bid_price, bid_qty = self.bids[0]
+                traded = min(qty, bid_qty)
+                self.trades.append((bid_price, traded))
+                qty -= traded
+                if traded == bid_qty:
+                    self.bids.pop(0)
+                else:
+                    self.bids[0] = (bid_price, bid_qty - traded)
+            if qty:
+                self.asks.append((price, qty))
+                self.asks.sort(key=lambda pq: pq[0])
+
+    def fingerprint(self) -> tuple:
+        return (tuple(self.bids), tuple(self.asks), tuple(self.trades))
+
+
+def main(n: int = 8, rounds: int = 3) -> None:
+    print(f"=== distributed exchange across {n} servers (GS overlay, IBV) ===")
+    graph = gs_digraph(n, 3)
+    cluster = SimCluster(
+        graph,
+        config=AllConcurConfig(graph=graph, auto_advance=False),
+        options=ClusterOptions(params=IBV_PARAMS),
+    )
+
+    # Clients submit orders at whichever server is closest to them.
+    orders = [
+        (0, ("buy", 101, 5)), (3, ("sell", 100, 3)), (5, ("sell", 102, 4)),
+        (1, ("buy", 103, 2)), (7, ("sell", 99, 6)), (2, ("buy", 98, 1)),
+        (4, ("buy", 102, 3)), (6, ("sell", 101, 2)), (0, ("sell", 97, 2)),
+        (5, ("buy", 100, 4)),
+    ]
+    seq = {pid: 0 for pid in cluster.members}
+    for i, (pid, order) in enumerate(orders):
+        if i % len(orders) < len(orders):
+            cluster.server(pid).submit(Request(
+                origin=pid, seq=seq[pid], nbytes=40, data=order))
+            seq[pid] += 1
+
+    for r in range(rounds):
+        cluster.start_all()
+        cluster.run_until_round(r)
+    assert cluster.verify_agreement()
+
+    # Every server replays the agreed stream through its own matching engine.
+    books = {}
+    for pid in cluster.members:
+        book = OrderBook()
+        for outcome in cluster.server(pid).history:
+            for _origin, batch in outcome.messages:
+                for req in batch.requests:
+                    side, price, qty = req.data
+                    book.apply(side, price, qty)
+        books[pid] = book
+
+    fingerprints = {pid: book.fingerprint() for pid, book in books.items()}
+    identical = len(set(fingerprints.values())) == 1
+    print(f"all {n} order books identical after replay: {identical}")
+    book0 = books[cluster.members[0]]
+    print(f"trades executed: {book0.trades}")
+    print(f"resting bids: {book0.bids}")
+    print(f"resting asks: {book0.asks}")
+    med = cluster.trace.agreement_latency(0)
+    print(f"median agreement latency of round 0: {med * 1e6:.1f} us "
+          f"(paper: < 90 us for 8 servers at 100M orders/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so that `python setup.py develop` works in offline
+environments where pip cannot build PEP 660 editable wheels (no `wheel`
+package available). Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a full Python reproduction of *AllConcur: Leaderless Concurrent
+Atomic Broadcast* (Poke, Hoefler, Glass — HPDC 2017).
+
+Subpackages
+-----------
+``repro.core``
+    The AllConcur algorithm (Algorithm 1): sans-IO protocol core, tracking
+    digraphs / early termination, round iteration, surviving-partition mode,
+    plus bindings to the simulator.
+``repro.graphs``
+    Overlay digraphs: GS(n, d), binomial, de Bruijn; degree / diameter /
+    connectivity / fault-diameter machinery and the reliability model.
+``repro.sim``
+    Deterministic discrete-event simulator with a LogP network model,
+    fail-stop failure injection and heartbeat failure detectors.
+``repro.baselines``
+    Leader-based atomic broadcast (Libpaxos-style deployment) and unreliable
+    all-to-all agreement (MPI_Allgather-style), for the paper's comparisons.
+``repro.analysis``
+    Closed-form LogP work/depth models, failure-detector accuracy, depth
+    distribution and complexity formulas (§4).
+``repro.workloads``
+    Request generators for the paper's three application scenarios.
+``repro.bench``
+    Experiment harness regenerating every table and figure of §5.
+``repro.runtime``
+    A real asyncio/TCP deployment of the same protocol core.
+
+The subpackages are imported lazily on attribute access to keep
+``import repro`` cheap.
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "1.0.0"
+
+_SUBPACKAGES = (
+    "analysis",
+    "baselines",
+    "bench",
+    "core",
+    "graphs",
+    "sim",
+    "workloads",
+    "runtime",
+)
+
+__all__ = list(_SUBPACKAGES) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBPACKAGES:
+        module = import_module(f"{__name__}.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

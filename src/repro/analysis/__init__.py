@@ -1,0 +1,67 @@
+"""Closed-form performance analysis of AllConcur (§4 of the paper)."""
+
+from .accuracy import (
+    DelayDistribution,
+    ExponentialDelay,
+    NormalDelay,
+    ParetoDelay,
+    accuracy_probability,
+    false_suspicion_probability,
+    system_reliability,
+)
+from .complexity import (
+    SpaceComplexity,
+    allconcur_messages_per_server,
+    allconcur_total_messages,
+    allconcur_work_per_server,
+    leader_based_total_messages,
+    leader_work,
+    non_leader_work,
+    space_complexity,
+)
+from .depth import (
+    DepthModel,
+    expected_depth_bounds,
+    prob_depth_within_fault_diameter,
+    prob_depth_within_fault_diameter_rounds,
+)
+from .logp import (
+    AllConcurModel,
+    agreement_throughput_estimate,
+    aggregated_throughput_estimate,
+    depth_time,
+    round_time_estimate,
+    send_overhead_with_contention,
+    single_request_latency,
+    work_bound,
+)
+
+__all__ = [
+    "AllConcurModel",
+    "work_bound",
+    "send_overhead_with_contention",
+    "depth_time",
+    "single_request_latency",
+    "round_time_estimate",
+    "agreement_throughput_estimate",
+    "aggregated_throughput_estimate",
+    "DelayDistribution",
+    "ExponentialDelay",
+    "NormalDelay",
+    "ParetoDelay",
+    "false_suspicion_probability",
+    "accuracy_probability",
+    "system_reliability",
+    "DepthModel",
+    "expected_depth_bounds",
+    "prob_depth_within_fault_diameter",
+    "prob_depth_within_fault_diameter_rounds",
+    "allconcur_messages_per_server",
+    "allconcur_work_per_server",
+    "allconcur_total_messages",
+    "leader_based_total_messages",
+    "leader_work",
+    "non_leader_work",
+    "SpaceComplexity",
+    "space_complexity",
+]

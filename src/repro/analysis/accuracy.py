@@ -1,0 +1,128 @@
+"""Probabilistic accuracy of the heartbeat failure detector (§3.2).
+
+AllConcur assumes a perfect failure detector; accuracy ("no server is
+suspected before it fails") cannot be guaranteed in an asynchronous system
+but can be *probabilistically* guaranteed when network delays follow a known
+distribution ``T``.
+
+With heartbeat period ``Δhb`` and timeout ``Δto``, server ``p_i`` falsely
+suspects its predecessor ``p_j`` only if **none** of the
+``floor(Δto / Δhb)`` heartbeats sent during the timeout window arrives in
+time; the probability that the ``k``-th heartbeat misses the window is at
+most ``Pr[T > Δto − k·Δhb]``.  There are ``n`` servers, each watching
+``d(G)`` predecessors, so
+
+    Pr[accuracy] >= (1 − Π_{k=1..floor(Δto/Δhb)} Pr[T > Δto − k·Δhb])^(n·d)
+
+This module evaluates that bound for pluggable delay distributions and also
+derives the overall AllConcur reliability (accuracy × fewer-than-k-failures,
+§3.2 last paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..graphs.reliability import reliability as failure_reliability
+
+__all__ = [
+    "DelayDistribution",
+    "ExponentialDelay",
+    "NormalDelay",
+    "ParetoDelay",
+    "false_suspicion_probability",
+    "accuracy_probability",
+    "system_reliability",
+]
+
+
+class DelayDistribution(Protocol):
+    """A network-delay distribution ``T``; provides the tail probability."""
+
+    def tail(self, t: float) -> float:
+        """``Pr[T > t]``."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ExponentialDelay:
+    """Exponentially distributed delays with the given mean (seconds)."""
+
+    mean: float
+
+    def tail(self, t: float) -> float:
+        if t <= 0:
+            return 1.0
+        return math.exp(-t / self.mean)
+
+
+@dataclass(frozen=True)
+class NormalDelay:
+    """Normally distributed delays (mean, std), truncated at zero."""
+
+    mean: float
+    std: float
+
+    def tail(self, t: float) -> float:
+        if t <= 0:
+            return 1.0
+        z = (t - self.mean) / (self.std * math.sqrt(2.0))
+        return 0.5 * math.erfc(z)
+
+
+@dataclass(frozen=True)
+class ParetoDelay:
+    """Heavy-tailed (Pareto) delays: ``Pr[T > t] = (scale/t)^shape``."""
+
+    scale: float
+    shape: float = 2.0
+
+    def tail(self, t: float) -> float:
+        if t <= self.scale:
+            return 1.0
+        return (self.scale / t) ** self.shape
+
+
+def false_suspicion_probability(delay: DelayDistribution,
+                                heartbeat_period: float,
+                                timeout: float) -> float:
+    """Probability that one server falsely suspects one given predecessor:
+    all heartbeats in the timeout window are late,
+    ``Π_{k=1..K} Pr[T > Δto − k·Δhb]`` with ``K = floor(Δto/Δhb)``."""
+    if heartbeat_period <= 0 or timeout <= 0:
+        raise ValueError("heartbeat period and timeout must be positive")
+    k_max = int(timeout // heartbeat_period)
+    if k_max == 0:
+        return 1.0
+    prob = 1.0
+    for k in range(1, k_max + 1):
+        prob *= delay.tail(timeout - k * heartbeat_period)
+        if prob == 0.0:
+            break
+    return prob
+
+
+def accuracy_probability(delay: DelayDistribution, n: int, degree: int,
+                         heartbeat_period: float, timeout: float) -> float:
+    """Lower bound on the probability that the heartbeat FD behaves like a
+    perfect FD over the whole deployment (§3.2)."""
+    if n < 1 or degree < 0:
+        raise ValueError("need n >= 1 and degree >= 0")
+    p_single = false_suspicion_probability(delay, heartbeat_period, timeout)
+    # (1 - p)^(n*d) computed stably in log space.
+    exponent = n * degree
+    if p_single >= 1.0:
+        return 0.0
+    return math.exp(exponent * math.log1p(-p_single))
+
+
+def system_reliability(delay: DelayDistribution, n: int, degree: int,
+                       connectivity: int, heartbeat_period: float,
+                       timeout: float, p_f: float) -> float:
+    """Overall AllConcur reliability: the probability of no false suspicion
+    *and* fewer than ``k(G)`` failures (§3.2, last paragraph)."""
+    acc = accuracy_probability(delay, n, degree, heartbeat_period, timeout)
+    surv = failure_reliability(n, connectivity, p_f)
+    return acc * surv

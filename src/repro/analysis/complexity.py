@@ -1,0 +1,101 @@
+"""Message- and space-complexity formulas (§4.1, §4.3/Table 2, §4.5).
+
+These closed forms are checked empirically against the simulator in
+``tests/analysis/test_complexity.py`` and in the §4.5 comparison benchmark:
+
+* work per AllConcur server — at most ``n·d + f·d²`` received messages;
+* total messages in the network — ``n²·d`` for AllConcur versus ``n(n-1)``
+  for a leader-based deployment (plus replication);
+* per-server space (Table 2): ``O(n·d)`` for the digraph, ``O(n)`` for the
+  message set, ``O(f·d)`` for the failure notifications and the FIFO queue,
+  ``O(f²·d)`` for the tracking digraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "allconcur_messages_per_server",
+    "allconcur_total_messages",
+    "leader_based_total_messages",
+    "leader_work",
+    "non_leader_work",
+    "allconcur_work_per_server",
+    "SpaceComplexity",
+    "space_complexity",
+]
+
+
+def allconcur_messages_per_server(n: int, d: int, f: int = 0) -> int:
+    """Upper bound on messages received by one server in one round:
+    ``n·d`` broadcast copies plus up to ``d²`` notifications per failure."""
+    if min(n, d) < 0 or f < 0:
+        raise ValueError("arguments must be non-negative")
+    return n * d + f * d * d
+
+
+def allconcur_work_per_server(n: int, d: int, f: int = 0) -> int:
+    """Messages received + sent per server per round (the ``O(nd)`` work of
+    §4.1); by regularity the send count equals the receive count."""
+    return 2 * allconcur_messages_per_server(n, d, f)
+
+
+def allconcur_total_messages(n: int, d: int) -> int:
+    """Total messages a failure-free round injects into the network:
+    every one of the ``n`` messages is sent ``d`` times by each of the ``n``
+    servers along the overlay — ``n²·d`` (§4.5)."""
+    return n * n * d
+
+
+def leader_based_total_messages(n: int, group_size: int = 0) -> int:
+    """Messages of a leader-based round: every server sends its update to
+    the leader (``n``) and the leader sends every update to every server
+    (``n·(n-1)``), ignoring replication inside the group; with a replication
+    group, add ``2·n·(group_size - 1)`` for accept/ack per update (§4.5)."""
+    base = n + n * (n - 1)
+    if group_size > 1:
+        base += 2 * n * (group_size - 1)
+    return base
+
+
+def leader_work(n: int) -> int:
+    """Messages handled by the leader per round: receives ``n`` and sends
+    ``n·(n-1)`` — the ``O(n²)`` bottleneck of §4.5."""
+    return n + n * (n - 1)
+
+
+def non_leader_work(n: int) -> int:
+    """Messages handled by a non-leader server per round: sends one update
+    and receives ``n - 1``."""
+    return n
+
+
+@dataclass(frozen=True)
+class SpaceComplexity:
+    """Asymptotic space usage per server (Table 2), instantiated with the
+    deployment parameters so that tests can compare against measured sizes."""
+
+    digraph: int          # O(n · d)
+    messages: int         # O(n)
+    failure_notifications: int  # O(f · d)
+    tracking_digraphs: int      # O(f² · d)
+    fifo_queue: int             # O(f · d)
+
+    @property
+    def total(self) -> int:
+        return (self.digraph + self.messages + self.failure_notifications
+                + self.tracking_digraphs + self.fifo_queue)
+
+
+def space_complexity(n: int, d: int, f: int) -> SpaceComplexity:
+    """Instantiate Table 2's bounds (up to constant factors)."""
+    if min(n, d, f) < 0:
+        raise ValueError("arguments must be non-negative")
+    return SpaceComplexity(
+        digraph=n * d,
+        messages=n,
+        failure_notifications=f * d,
+        tracking_digraphs=f * f * d,
+        fifo_queue=f * d,
+    )

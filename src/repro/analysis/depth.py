@@ -1,0 +1,97 @@
+"""Probabilistic analysis of AllConcur's depth (§4.2.2).
+
+The *depth* ``D`` of a round is the length of the longest path any message
+(or the failure notifications chasing it) travels before every non-faulty
+server can terminate — the asynchronous analogue of the number of rounds of
+a synchronous algorithm.  It ranges from the diameter ``D(G)`` (no failures)
+to ``f + D_f(G, f)`` in the worst case.
+
+The paper's back-of-the-envelope estimate: if the sender of a message manages
+to send it to all of its ``d`` successors — which takes about ``d·o`` — then
+the depth cannot exceed the fault diameter.  With an exponential lifetime
+model the probability that a given server survives its send burst is
+``exp(-d·o / MTTF)``, so
+
+    Pr[D ≤ 𝒟 ≤ D_f]  =  exp(-n·d·o / MTTF)
+
+for one round with all ``n`` senders initially non-faulty (§4.2.2 gives
+``> 99.99 %`` for one **million** rounds at n = 256, d = 7, o = 1.8 µs,
+MTTF ≈ 2 years).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..graphs.reliability import DEFAULT_MTTF
+
+__all__ = [
+    "prob_depth_within_fault_diameter",
+    "prob_depth_within_fault_diameter_rounds",
+    "expected_depth_bounds",
+    "DepthModel",
+]
+
+
+def prob_depth_within_fault_diameter(n: int, d: int, o: float,
+                                     mttf: float = DEFAULT_MTTF) -> float:
+    """``Pr[D ≤ 𝒟 ≤ D_f]`` for a single round: every sender survives long
+    enough to push its message to all ``d`` successors."""
+    if n < 1 or d < 0:
+        raise ValueError("need n >= 1 and d >= 0")
+    if o < 0 or mttf <= 0:
+        raise ValueError("need o >= 0 and mttf > 0")
+    return math.exp(-n * d * o / mttf)
+
+
+def prob_depth_within_fault_diameter_rounds(n: int, d: int, o: float,
+                                            rounds: int,
+                                            mttf: float = DEFAULT_MTTF
+                                            ) -> float:
+    """Probability that *rounds* consecutive rounds all keep ``𝒟 ≤ D_f``."""
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    single = prob_depth_within_fault_diameter(n, d, o, mttf)
+    # exp(-x)^rounds computed in closed form to avoid rounding drift
+    return math.exp(-rounds * n * d * o / mttf)
+
+
+@dataclass(frozen=True)
+class DepthModel:
+    """Bounds and probabilities for AllConcur's depth in one deployment."""
+
+    diameter: int
+    fault_diameter: int
+    f: int
+
+    @property
+    def best_case(self) -> int:
+        """Depth when no server fails: the diameter."""
+        return self.diameter
+
+    @property
+    def typical_bound(self) -> int:
+        """The bound that holds with overwhelming probability (§4.2.2)."""
+        return self.fault_diameter
+
+    @property
+    def worst_case(self) -> int:
+        """Synchronous lower-bound-style worst case: ``f + D_f`` (§2.2.1)."""
+        return self.f + self.fault_diameter
+
+    def expected_steps(self, p_round_with_failure: float) -> float:
+        """Crude expectation: diameter in failure-free rounds, fault
+        diameter otherwise."""
+        p = min(max(p_round_with_failure, 0.0), 1.0)
+        return (1 - p) * self.diameter + p * self.fault_diameter
+
+
+def expected_depth_bounds(diameter: int, fault_diameter: int,
+                          f: int) -> DepthModel:
+    """Convenience constructor validating the inputs."""
+    if not 0 <= diameter <= fault_diameter:
+        raise ValueError("need 0 <= diameter <= fault_diameter")
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    return DepthModel(diameter=diameter, fault_diameter=fault_diameter, f=f)

@@ -1,0 +1,206 @@
+"""LogP performance models of AllConcur (§4.1, §4.2 and Figure 6).
+
+The paper analyses AllConcur with the LogP model (latency ``L``, overhead
+``o``, gap ``g``, ``P = n`` processes, assuming ``o > g``):
+
+* **work per server** (§4.1): without failures every server receives and
+  sends ``(n-1)·d`` messages; the lower bound on termination due to work is
+  ``2(n-1)·d·o``;
+* **communication time** (§4.2.1): a message is R-broadcast in ``D`` steps;
+  accounting for the contention of sending to ``d`` successors, the send
+  overhead becomes ``o_s = o + (d-1)/2·o``, so the depth-limited time is
+  ``T_D = (L + o_s + o)·D``.  The return of the empty messages costs the
+  same (in-rate matches out-rate on average), so the single-request
+  agreement latency is ``2·T_D`` when depth dominates, or the work bound
+  when work dominates.
+
+These closed forms are used (a) as the model curves overlaid on Figure 6 and
+(b) as the scalable performance estimator for the very large configurations
+(n = 512, 1024) of Figures 9 and 10, where packet-level simulation in Python
+would be prohibitively slow.  For throughput estimates the LogGP per-byte
+gap ``G`` extends the per-message cost to ``o + bytes·G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.network import IBV_PARAMS, LogPParams, TCP_PARAMS
+
+__all__ = [
+    "work_bound",
+    "send_overhead_with_contention",
+    "depth_time",
+    "single_request_latency",
+    "round_time_estimate",
+    "agreement_throughput_estimate",
+    "aggregated_throughput_estimate",
+    "AllConcurModel",
+]
+
+
+def work_bound(n: int, d: int, o: float) -> float:
+    """Lower bound on round time due to per-server work: ``2(n-1)·d·o``.
+
+    Every server must receive at least ``n-1`` messages and forward them to
+    ``d`` successors, paying the overhead ``o`` per message event (§4.1).
+    """
+    if n < 1 or d < 0:
+        raise ValueError("need n >= 1 and d >= 0")
+    return 2.0 * (n - 1) * d * o
+
+
+def send_overhead_with_contention(o: float, d: int) -> float:
+    """``o_s = o + (d-1)/2 · o`` — expected sender overhead including the
+    waiting time while a burst of ``d`` messages is serialised (§4.2.1)."""
+    if d < 1:
+        return o
+    return o + (d - 1) / 2.0 * o
+
+
+def depth_time(params: LogPParams, d: int, depth: int) -> float:
+    """``T_D = (L + o_s + o) · depth`` — time for a message to travel
+    ``depth`` hops through the overlay (§4.2.1)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    os_ = send_overhead_with_contention(params.o, d)
+    return (params.L + os_ + params.o) * depth
+
+
+def single_request_latency(params: LogPParams, n: int, d: int,
+                           diameter: int) -> dict[str, float]:
+    """Model estimates for the single-request benchmark of Figure 6.
+
+    Returns the two model curves the paper plots:
+
+    * ``"work"`` — the work-dominated bound ``2(n-1)·d·o``;
+    * ``"depth"`` — the depth-dominated bound ``2·T_D(m)`` (the request
+      travels ``D`` hops, then the empty messages travel back ``D`` hops at
+      the same per-hop cost);
+
+    plus ``"combined"``, the maximum of the two (a message cannot be
+    delivered before either bound allows it).
+    """
+    work = work_bound(n, d, params.o)
+    depth = 2.0 * depth_time(params, d, diameter)
+    return {"work": work, "depth": depth, "combined": max(work, depth)}
+
+
+def round_time_estimate(params: LogPParams, n: int, d: int, diameter: int,
+                        message_nbytes: int = 0, *,
+                        congestion_threshold: int = 1 << 15,
+                        congestion_penalty: float = 0.35) -> float:
+    """Estimated duration of one AllConcur round with *message_nbytes*-byte
+    messages per server.
+
+    The estimate is ``max(work, depth)`` with the per-message cost extended
+    by the LogGP per-byte gap, plus a congestion penalty for messages larger
+    than *congestion_threshold* bytes, which reproduces the throughput
+    drop-off after the optimal batching factor observed in Figure 10 (the
+    paper attributes it to TCP congestion control).
+    """
+    per_msg = params.o + message_nbytes * params.G
+    if message_nbytes > congestion_threshold:
+        over = message_nbytes / congestion_threshold - 1.0
+        per_msg *= 1.0 + congestion_penalty * over
+    work = 2.0 * (n - 1) * d * per_msg
+    os_ = per_msg + (d - 1) / 2.0 * per_msg
+    depth = 2.0 * (params.L + os_ + per_msg) * diameter
+    return max(work, depth)
+
+
+def agreement_throughput_estimate(params: LogPParams, n: int, d: int,
+                                  diameter: int, message_nbytes: int,
+                                  **kwargs) -> float:
+    """Agreement throughput (bytes agreed per second) for a steady state in
+    which every server A-broadcasts a *message_nbytes*-byte message per
+    round: ``n · message_nbytes / round_time``."""
+    rt = round_time_estimate(params, n, d, diameter, message_nbytes, **kwargs)
+    if rt <= 0:
+        return 0.0
+    return n * message_nbytes / rt
+
+
+def aggregated_throughput_estimate(params: LogPParams, n: int, d: int,
+                                   diameter: int, message_nbytes: int,
+                                   **kwargs) -> float:
+    """Aggregated throughput = agreement throughput × n (Figure 10d)."""
+    return n * agreement_throughput_estimate(params, n, d, diameter,
+                                             message_nbytes, **kwargs)
+
+
+@dataclass(frozen=True)
+class AllConcurModel:
+    """Convenience wrapper bundling a deployment's model parameters."""
+
+    n: int
+    degree: int
+    diameter: int
+    params: LogPParams = TCP_PARAMS
+
+    @classmethod
+    def for_overlay(cls, graph, params: LogPParams = TCP_PARAMS
+                    ) -> "AllConcurModel":
+        """Build the model from an overlay digraph (degree and diameter are
+        measured on the graph)."""
+        from ..graphs.metrics import diameter as measure_diameter
+
+        return cls(n=graph.n, degree=graph.degree,
+                   diameter=measure_diameter(graph), params=params)
+
+    def work(self) -> float:
+        return work_bound(self.n, self.degree, self.params.o)
+
+    def depth(self) -> float:
+        return 2.0 * depth_time(self.params, self.degree, self.diameter)
+
+    def single_request_latency(self) -> dict[str, float]:
+        return single_request_latency(self.params, self.n, self.degree,
+                                      self.diameter)
+
+    def round_time(self, message_nbytes: int = 0, **kwargs) -> float:
+        return round_time_estimate(self.params, self.n, self.degree,
+                                   self.diameter, message_nbytes, **kwargs)
+
+    def agreement_throughput(self, message_nbytes: int, **kwargs) -> float:
+        return agreement_throughput_estimate(
+            self.params, self.n, self.degree, self.diameter, message_nbytes,
+            **kwargs)
+
+    def aggregated_throughput(self, message_nbytes: int, **kwargs) -> float:
+        return aggregated_throughput_estimate(
+            self.params, self.n, self.degree, self.diameter, message_nbytes,
+            **kwargs)
+
+    def agreement_latency_for_rate(self, per_server_rate: float,
+                                   request_nbytes: int) -> float:
+        """Steady-state agreement latency when each server generates
+        *per_server_rate* requests/s of *request_nbytes* bytes (Figure 8).
+
+        In steady state the batch carried by each round contains the
+        requests accumulated during the previous round, so the round time
+        satisfies ``T = round_time(rate · T · request_nbytes)``; we solve the
+        fixed point by iteration (it converges quickly because round_time is
+        affine in the batch size below the congestion threshold).
+
+        If the offered load exceeds the agreement throughput the fixed point
+        diverges — the instability described in §5 — and ``math.inf`` is
+        returned.
+        """
+        import math
+
+        latency = self.round_time(0)
+        # Divergence guard: no realistic deployment of the paper has rounds
+        # longer than a minute; past that the queue grows without bound.
+        horizon = 60.0
+        for _ in range(200):
+            batch_bytes = int(per_server_rate * latency * request_nbytes)
+            new_latency = self.round_time(batch_bytes)
+            if not math.isfinite(new_latency) or new_latency > horizon:
+                return math.inf
+            if abs(new_latency - latency) <= 1e-12 + 1e-9 * latency:
+                latency = new_latency
+                break
+            latency = new_latency
+        return latency

@@ -1,0 +1,26 @@
+"""Baselines the paper compares AllConcur against (§5).
+
+* :class:`LeaderBasedCluster` — the leader-based (Libpaxos-style) deployment
+  of Figure 1a: n servers, a replication group of five, O(n²) leader work.
+* :class:`AllgatherCluster` — unreliable agreement (MPI_Allgather-style):
+  all-to-all dissemination with no fault tolerance.
+"""
+
+from .allgather import AllgatherCluster, AllgatherMessage
+from .leader import (
+    AcceptAck,
+    AcceptRequest,
+    ClientUpdate,
+    Decision,
+    LeaderBasedCluster,
+)
+
+__all__ = [
+    "AllgatherCluster",
+    "AllgatherMessage",
+    "LeaderBasedCluster",
+    "ClientUpdate",
+    "AcceptRequest",
+    "AcceptAck",
+    "Decision",
+]

@@ -1,0 +1,150 @@
+"""Unreliable agreement baseline (MPI_Allgather-style), §5 / Figure 10a.
+
+The paper measures the cost of AllConcur's fault tolerance by comparing it
+against *unreliable agreement*: disseminating every server's message to every
+other server with ``MPI_Allgather``, with no failure detector and no
+redundancy.  The average overhead of AllConcur is reported as 58 %.
+
+Two dissemination schedules are provided, running on the same LogP network
+as the AllConcur simulation:
+
+* ``"direct"`` — every server sends its message directly to the other
+  ``n - 1`` servers (what a naive allgather over sockets does);
+* ``"ring"`` — the classic ring allgather: ``n - 1`` steps, in each step a
+  server forwards the block it received in the previous step to its right
+  neighbour (what MPI implementations use for large messages; fewer
+  per-message overheads are paid for small ``n`` but the same total bytes).
+
+Both deliver the full message set at every server; neither tolerates a single
+failure — a crashed server simply causes the others to hang, which is
+exactly the behaviour the paper contrasts AllConcur against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.batching import Batch
+from ..sim.engine import Simulator
+from ..sim.network import LogPParams, Network, TCP_PARAMS
+from ..sim.trace import DeliveryRecord, RoundTrace
+
+__all__ = ["AllgatherCluster", "AllgatherMessage"]
+
+
+@dataclass(frozen=True)
+class AllgatherMessage:
+    """One block exchanged by the allgather: the batch of *origin*."""
+
+    round: int
+    origin: int
+    payload: Batch
+
+    @property
+    def nbytes(self) -> int:
+        return 16 + self.payload.nbytes  # small fixed header
+
+
+class _AllgatherNode:
+    """One participant of the unreliable agreement."""
+
+    def __init__(self, pid: int, cluster: "AllgatherCluster") -> None:
+        self.id = pid
+        self.cluster = cluster
+        self.round = 0
+        self.known: dict[int, Batch] = {}
+        self.delivered_rounds = 0
+        self._buffered: dict[int, list[AllgatherMessage]] = {}
+        cluster.network.attach(pid, self._on_message)
+
+    # ------------------------------------------------------------------ #
+    def start_round(self, payload: Batch) -> None:
+        self.known[self.id] = payload
+        self.cluster.trace.note_round_start(self.round, self.cluster.sim.now)
+        msg = AllgatherMessage(self.round, self.id, payload)
+        if self.cluster.schedule == "direct":
+            targets = [p for p in self.cluster.members if p != self.id]
+        else:  # ring: send own block to the right neighbour only
+            targets = [self.cluster.right_of(self.id)]
+        self.cluster.network.multicast(self.id, targets, msg,
+                                       nbytes=msg.nbytes)
+        self._check_done()
+
+    def _on_message(self, src: int, dst: int, msg: AllgatherMessage) -> None:
+        if msg.round != self.round:
+            self._buffered.setdefault(msg.round, []).append(msg)
+            return
+        if msg.origin in self.known:
+            return
+        self.known[msg.origin] = msg.payload
+        if self.cluster.schedule == "ring":
+            # forward the block one step further around the ring
+            nxt = self.cluster.right_of(self.id)
+            if nxt != msg.origin:
+                self.cluster.network.send(self.id, nxt, msg, nbytes=msg.nbytes)
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if len(self.known) < len(self.cluster.members):
+            return
+        ordered = sorted(self.known.items())
+        self.cluster.trace.record_delivery(DeliveryRecord(
+            round=self.round,
+            server=self.id,
+            time=self.cluster.sim.now,
+            requests=sum(b.count for _o, b in ordered),
+            nbytes=sum(b.nbytes for _o, b in ordered),
+            senders=len(ordered),
+        ))
+        self.delivered_rounds += 1
+        self.round += 1
+        self.known = {}
+        if self.cluster.auto_advance:
+            self.start_round(self.cluster.next_payload(self.id))
+        # replay buffered blocks that arrived early
+        for msg in self._buffered.pop(self.round, []):
+            self._on_message(msg.origin, self.id, msg)
+
+
+class AllgatherCluster:
+    """A simulated deployment of the unreliable-agreement baseline."""
+
+    def __init__(self, n: int, *, params: LogPParams = TCP_PARAMS,
+                 schedule: str = "direct", auto_advance: bool = True,
+                 payload_fn=None, seed: int = 1) -> None:
+        if n < 2:
+            raise ValueError("need at least two servers")
+        if schedule not in ("direct", "ring"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self.n = n
+        self.schedule = schedule
+        self.auto_advance = auto_advance
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, params)
+        self.trace = RoundTrace()
+        self._payload_fn = payload_fn or (lambda pid: Batch.empty())
+        self.members = tuple(range(n))
+        self.nodes = {pid: _AllgatherNode(pid, self) for pid in self.members}
+
+    # ------------------------------------------------------------------ #
+    def right_of(self, pid: int) -> int:
+        return (pid + 1) % self.n
+
+    def next_payload(self, pid: int) -> Batch:
+        return self._payload_fn(pid)
+
+    def start_all(self) -> None:
+        for pid in self.members:
+            self.nodes[pid].start_round(self._payload_fn(pid))
+
+    def run_until_round(self, round_no: int, *,
+                        max_events: int = 50_000_000) -> float:
+        def done() -> bool:
+            return all(node.delivered_rounds > round_no
+                       for node in self.nodes.values())
+
+        return self.sim.run(max_events=max_events, stop_when=done)
+
+    def min_delivered_rounds(self) -> int:
+        return min(node.delivered_rounds for node in self.nodes.values())

@@ -1,0 +1,260 @@
+"""Leader-based atomic broadcast baseline (Figure 1a, §4.5, Figure 10c).
+
+The paper compares AllConcur against the standard leader-based deployment:
+``n`` servers send their updates to the leader of a small replication group
+(Libpaxos with a group of five in the evaluation); the leader (1) collects
+the updates, (2) replicates them within the group for fault tolerance
+(a Paxos accept/ack exchange with a majority of acceptors), and (3)
+disseminates every update to all ``n`` servers.
+
+The baseline below implements exactly that deployment on the same simulated
+LogP network used for AllConcur, so the comparison isolates the protocol
+structure (central coordinator, O(n²) leader work, n leader connections)
+from implementation details.
+
+Two calibration knobs model the cost of running each submitted value through
+the proposer pipeline of a real Paxos implementation (Libpaxos3 is
+single-threaded and copies every value through libevent buffers):
+``value_overhead`` (fixed per-value CPU cost, default 40 µs) and
+``value_bandwidth`` (proposer pipeline bandwidth, default 60 MB/s — the
+ceiling visible in Figure 10c, where Libpaxos peaks below 0.5 Gb/s
+regardless of n).  Setting both to zero yields an *idealised* leader whose
+only penalty is the O(n²) structural work; the §4.5 comparison benchmark
+reports both settings.
+
+Process ids: servers are ``0 .. n-1``; the replication group occupies
+``n .. n+group_size-1`` with the leader at id ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.batching import Batch
+from ..sim.engine import Simulator
+from ..sim.network import LogPParams, Network, TCP_PARAMS
+from ..sim.trace import DeliveryRecord, RoundTrace
+
+__all__ = ["LeaderBasedCluster", "ClientUpdate", "AcceptRequest", "AcceptAck",
+           "Decision"]
+
+
+@dataclass(frozen=True)
+class ClientUpdate:
+    """A server's update sent to the leader."""
+
+    round: int
+    origin: int
+    payload: Batch
+
+    @property
+    def nbytes(self) -> int:
+        return 16 + self.payload.nbytes
+
+
+@dataclass(frozen=True)
+class AcceptRequest:
+    """Leader -> acceptor: replicate the round's batch of updates."""
+
+    round: int
+    nbytes_total: int
+
+    @property
+    def nbytes(self) -> int:
+        return 16 + self.nbytes_total
+
+
+@dataclass(frozen=True)
+class AcceptAck:
+    """Acceptor -> leader acknowledgement."""
+
+    round: int
+    acceptor: int
+
+    @property
+    def nbytes(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Leader -> server: the ordered updates of the round."""
+
+    round: int
+    updates: tuple[tuple[int, Batch], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return 16 + sum(b.nbytes for _o, b in self.updates)
+
+
+class LeaderBasedCluster:
+    """A simulated leader-based (Paxos-group) agreement deployment."""
+
+    #: default per-value proposer CPU overhead (calibrated to Libpaxos3)
+    DEFAULT_VALUE_OVERHEAD = 40e-6
+    #: default proposer pipeline bandwidth in bytes/s (calibrated to the
+    #: sub-0.5 Gb/s ceiling of Figure 10c)
+    DEFAULT_VALUE_BANDWIDTH = 60e6
+
+    def __init__(self, n: int, *, group_size: int = 5,
+                 params: LogPParams = TCP_PARAMS,
+                 auto_advance: bool = True,
+                 payload_fn: Optional[Callable[[int], Batch]] = None,
+                 value_overhead: float = DEFAULT_VALUE_OVERHEAD,
+                 value_bandwidth: float = DEFAULT_VALUE_BANDWIDTH,
+                 seed: int = 1) -> None:
+        if n < 2:
+            raise ValueError("need at least two servers")
+        if group_size < 1:
+            raise ValueError("group size must be at least 1")
+        if value_overhead < 0 or value_bandwidth < 0:
+            raise ValueError("calibration knobs must be non-negative")
+        self.n = n
+        self.group_size = group_size
+        self.value_overhead = value_overhead
+        self.value_bandwidth = value_bandwidth
+        self.auto_advance = auto_advance
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, params)
+        self.trace = RoundTrace()
+        self._payload_fn = payload_fn or (lambda pid: Batch.empty())
+
+        self.servers = tuple(range(n))
+        self.leader = n
+        self.acceptors = tuple(range(n + 1, n + group_size))
+
+        #: per-server current round and delivery count
+        self.server_round = {pid: 0 for pid in self.servers}
+        self.delivered_rounds = {pid: 0 for pid in self.servers}
+
+        # leader state
+        self._collected: dict[int, dict[int, Batch]] = {}
+        self._acks: dict[int, set[int]] = {}
+        self._replicating: set[int] = set()
+        self._decided: set[int] = set()
+
+        for pid in self.servers:
+            self.network.attach(pid, self._server_on_message)
+        self.network.attach(self.leader, self._leader_on_message)
+        for pid in self.acceptors:
+            self.network.attach(pid, self._acceptor_on_message)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def majority(self) -> int:
+        """Majority of the replication group (counting the leader)."""
+        return self.group_size // 2 + 1
+
+    def min_delivered_rounds(self) -> int:
+        return min(self.delivered_rounds.values())
+
+    # ------------------------------------------------------------------ #
+    # Server (client) side
+    # ------------------------------------------------------------------ #
+    def start_all(self) -> None:
+        """Every server sends its update for its current round to the leader."""
+        for pid in self.servers:
+            self._server_send_update(pid)
+
+    def _server_send_update(self, pid: int) -> None:
+        rnd = self.server_round[pid]
+        payload = self._payload_fn(pid)
+        self.trace.note_round_start(rnd, self.sim.now)
+        msg = ClientUpdate(round=rnd, origin=pid, payload=payload)
+        self.network.send(pid, self.leader, msg, nbytes=msg.nbytes)
+
+    def _server_on_message(self, src: int, dst: int, msg) -> None:
+        if not isinstance(msg, Decision):
+            return
+        rnd = msg.round
+        if rnd != self.server_round[dst]:
+            return
+        self.trace.record_delivery(DeliveryRecord(
+            round=rnd,
+            server=dst,
+            time=self.sim.now,
+            requests=sum(b.count for _o, b in msg.updates),
+            nbytes=sum(b.nbytes for _o, b in msg.updates),
+            senders=len(msg.updates),
+        ))
+        self.delivered_rounds[dst] += 1
+        self.server_round[dst] = rnd + 1
+        if self.auto_advance:
+            self._server_send_update(dst)
+
+    # ------------------------------------------------------------------ #
+    # Leader side
+    # ------------------------------------------------------------------ #
+    def _leader_on_message(self, src: int, dst: int, msg) -> None:
+        if isinstance(msg, ClientUpdate):
+            coll = self._collected.setdefault(msg.round, {})
+            coll[msg.origin] = msg.payload
+            self._maybe_replicate(msg.round)
+        elif isinstance(msg, AcceptAck):
+            acks = self._acks.setdefault(msg.round, set())
+            acks.add(msg.acceptor)
+            self._maybe_decide(msg.round)
+
+    def _pipeline_delay(self, coll: dict[int, Batch]) -> float:
+        """Time the proposer needs to push the round's n values through its
+        pipeline (per-value overhead + copy bandwidth)."""
+        per_value = sum(self.value_overhead + (b.nbytes / self.value_bandwidth
+                                               if self.value_bandwidth else 0.0)
+                        for b in coll.values())
+        return per_value
+
+    def _maybe_replicate(self, rnd: int) -> None:
+        coll = self._collected.get(rnd, {})
+        if len(coll) < self.n or rnd in self._replicating:
+            return
+        self._replicating.add(rnd)
+        delay = self._pipeline_delay(coll)
+        if delay > 0:
+            self.sim.schedule(delay, self._replicate, rnd)
+        else:
+            self._replicate(rnd)
+
+    def _replicate(self, rnd: int) -> None:
+        coll = self._collected.get(rnd, {})
+        total = sum(b.nbytes for b in coll.values())
+        if not self.acceptors or self.majority <= 1:
+            self._maybe_decide(rnd, force=True)
+            return
+        req = AcceptRequest(round=rnd, nbytes_total=total)
+        self.network.multicast(self.leader, self.acceptors, req,
+                               nbytes=req.nbytes)
+
+    def _maybe_decide(self, rnd: int, *, force: bool = False) -> None:
+        if rnd in self._decided:
+            return
+        acks = self._acks.get(rnd, set())
+        # the leader itself counts towards the majority
+        if not force and len(acks) + 1 < self.majority:
+            return
+        if rnd not in self._replicating:
+            return
+        self._decided.add(rnd)
+        coll = self._collected.pop(rnd)
+        decision = Decision(round=rnd, updates=tuple(sorted(coll.items())))
+        # O(n) sends of an O(n)-sized decision: the leader's O(n²) work.
+        self.network.multicast(self.leader, self.servers, decision,
+                               nbytes=decision.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Acceptor side
+    # ------------------------------------------------------------------ #
+    def _acceptor_on_message(self, src: int, dst: int, msg) -> None:
+        if isinstance(msg, AcceptRequest):
+            ack = AcceptAck(round=msg.round, acceptor=dst)
+            self.network.send(dst, self.leader, ack, nbytes=ack.nbytes)
+
+    # ------------------------------------------------------------------ #
+    def run_until_round(self, round_no: int, *,
+                        max_events: int = 50_000_000) -> float:
+        def done() -> bool:
+            return all(self.delivered_rounds[p] > round_no
+                       for p in self.servers)
+
+        return self.sim.run(max_events=max_events, stop_when=done)

@@ -1,0 +1,87 @@
+"""Figure 6: single-request agreement latency vs system size.
+
+The benchmark: the servers agree on one single 64-byte request — one server
+A-broadcasts a real message, every other server A-broadcasts an empty one.
+The paper plots the median measured latency for the IBV and TCP transports
+together with the LogP *work* and *depth* model curves of §4.
+
+Here both transports are packet-level simulations with the paper's LogP
+parameters; the model curves are computed from the same closed forms the
+paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.logp import single_request_latency
+from ..core.batching import Batch
+from ..core.cluster import ClusterOptions, SimCluster
+from ..core.config import AllConcurConfig
+from ..graphs.metrics import diameter as graph_diameter
+from ..sim.network import IBV_PARAMS, LogPParams, TCP_PARAMS
+from ..sim.trace import median_and_ci
+from .harness import overlay_for
+from .reporting import format_seconds, print_table
+
+__all__ = ["DEFAULT_SIZES", "single_request_run", "generate_fig6", "main"]
+
+#: System sizes of Figure 6 (the IB-hsw cluster had 96 nodes).
+DEFAULT_SIZES: tuple[int, ...] = (6, 8, 11, 16, 22, 32, 45, 64, 90)
+
+
+def single_request_run(n: int, params: LogPParams, *,
+                       request_nbytes: int = 64, seed: int = 1) -> dict:
+    """Simulate one single-request agreement round over the Table-3 overlay."""
+    g = overlay_for(n)
+    cluster = SimCluster(
+        g, config=AllConcurConfig(graph=g, auto_advance=False),
+        options=ClusterOptions(params=params, seed=seed))
+    payloads = {0: Batch.synthetic(1, request_nbytes)}
+    cluster.start_all(payloads=payloads)
+    cluster.run_until_round(0)
+    if not cluster.verify_agreement():  # pragma: no cover - safety net
+        raise AssertionError("agreement violated")
+    latencies = cluster.trace.round_latencies(0)
+    med, lo, hi = median_and_ci(latencies)
+    model = single_request_latency(params, n, g.degree, graph_diameter(g))
+    return {
+        "n": n,
+        "transport": params.name,
+        "median_latency_s": med,
+        "ci_low_s": lo,
+        "ci_high_s": hi,
+        "model_work_s": model["work"],
+        "model_depth_s": model["depth"],
+        "events": cluster.sim.events_processed,
+    }
+
+
+def generate_fig6(sizes: Sequence[int] = DEFAULT_SIZES) -> list[dict]:
+    """Both transports (IBV and TCP) for every size, as in Figures 6a/6b."""
+    rows = []
+    for params in (IBV_PARAMS, TCP_PARAMS):
+        for n in sizes:
+            rows.append(single_request_run(n, params))
+    return rows
+
+
+def main(sizes: Sequence[int] = DEFAULT_SIZES) -> list[dict]:
+    rows = generate_fig6(sizes)
+    pretty = [
+        {
+            "transport": r["transport"],
+            "n": r["n"],
+            "median latency": format_seconds(r["median_latency_s"]),
+            "model (work)": format_seconds(r["model_work_s"]),
+            "model (depth)": format_seconds(r["model_depth_s"]),
+        }
+        for r in rows
+    ]
+    print_table(pretty, title="Figure 6 — single (64-byte) request agreement "
+                              "latency (simulated IB-hsw)")
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

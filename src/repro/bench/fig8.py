@@ -1,0 +1,116 @@
+"""Figure 8: agreement latency under a constant per-server request rate
+(the travel-reservation scenario).
+
+Each server generates 64-byte requests at rate ``r``; requests are buffered
+and batched per round.  The latency stays flat while the offered load is
+below the agreement throughput and then blows up (the instability the paper
+describes).  The paper sweeps r from 10 to 100 M requests/s/server for
+n ∈ {8, 16, 32, 64} on both transports.
+
+Small/medium points are packet-level simulations; the highest rates are also
+cross-checked against the steady-state LogP fixed point
+(:meth:`repro.analysis.logp.AllConcurModel.agreement_latency_for_rate`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.logp import AllConcurModel
+from ..graphs.metrics import diameter as graph_diameter
+from ..sim.network import IBV_PARAMS, LogPParams, TCP_PARAMS
+from ..workloads.generators import ConstantRateWorkload
+from .harness import overlay_for, run_allconcur
+from .reporting import format_rate, format_seconds, print_table
+
+__all__ = ["DEFAULT_SIZES", "DEFAULT_RATES", "latency_for_rate",
+           "generate_fig8", "main"]
+
+DEFAULT_SIZES: tuple[int, ...] = (8, 16, 32, 64)
+DEFAULT_RATES: tuple[float, ...] = (10.0, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8)
+
+#: request size of the travel-reservation scenario
+REQUEST_BYTES = 64
+
+
+def latency_for_rate(n: int, rate: float, *, params: LogPParams = IBV_PARAMS,
+                     rounds: int = 8, simulate: bool = True,
+                     seed: int = 1) -> dict:
+    """Median agreement latency for one (n, rate) point."""
+    g = overlay_for(n)
+    model = AllConcurModel(n=n, degree=g.degree,
+                           diameter=graph_diameter(g), params=params)
+    model_latency = model.agreement_latency_for_rate(rate, REQUEST_BYTES)
+    row = {
+        "n": n,
+        "transport": params.name,
+        "rate_per_server": rate,
+        "model_latency_s": model_latency,
+    }
+    import math
+
+    if not math.isfinite(model_latency):
+        # Offered load exceeds the agreement throughput: the system is
+        # unstable (§5) — report the divergence instead of simulating an
+        # unbounded queue build-up.
+        row.update({
+            "median_latency_s": math.inf,
+            "request_rate_agreed": 0.0,
+            "source": "model-unstable",
+        })
+        return row
+    if simulate:
+        # horizon: enough virtual time for `rounds` rounds at the predicted
+        # latency (with slack), so the workload keeps injecting throughout
+        horizon = max(model_latency * (rounds + 4), 1e-3)
+        workload = ConstantRateWorkload(
+            rate, REQUEST_BYTES,
+            injection_period=max(model_latency / 4, 5e-6))
+        result = run_allconcur(n, params=params, rounds=rounds,
+                               workload=workload, duration=horizon,
+                               seed=seed, graph=g)
+        row.update({
+            "median_latency_s": result.median_latency,
+            "request_rate_agreed": result.request_rate,
+            "source": "sim",
+        })
+    else:
+        row.update({
+            "median_latency_s": model_latency,
+            "request_rate_agreed": rate * n,
+            "source": "model",
+        })
+    return row
+
+
+def generate_fig8(sizes: Sequence[int] = DEFAULT_SIZES,
+                  rates: Sequence[float] = DEFAULT_RATES,
+                  *, transports: Sequence[LogPParams] = (IBV_PARAMS,
+                                                         TCP_PARAMS),
+                  simulate: bool = True, rounds: int = 8) -> list[dict]:
+    rows = []
+    for params in transports:
+        for n in sizes:
+            for rate in rates:
+                rows.append(latency_for_rate(n, rate, params=params,
+                                             rounds=rounds,
+                                             simulate=simulate))
+    return rows
+
+
+def main(simulate: bool = True) -> list[dict]:
+    rows = generate_fig8(simulate=simulate)
+    pretty = [{
+        "transport": r["transport"],
+        "n": r["n"],
+        "rate/server": format_rate(r["rate_per_server"]),
+        "median latency": format_seconds(r["median_latency_s"]),
+        "model latency": format_seconds(r["model_latency_s"]),
+    } for r in rows]
+    print_table(pretty, title="Figure 8 — constant (64-byte) request rate "
+                              "per server")
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

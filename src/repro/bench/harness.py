@@ -1,0 +1,208 @@
+"""Common experiment harness used by every figure/table module.
+
+The harness provides:
+
+* :func:`overlay_for` — the Table-3 overlay (GS(n, d) with the degree chosen
+  for the 6-nines reliability target) for a given ``n``;
+* :func:`run_allconcur` — run a packet-level simulation of a number of
+  AllConcur rounds and return the measured metrics;
+* :func:`run_leader_based` and :func:`run_allgather` — the same for the two
+  baselines;
+* :func:`allconcur_estimate` — the calibrated LogP-model estimate, used for
+  the very large configurations (n = 512 / 1024) where packet-level
+  simulation in Python is impractical (documented substitution, DESIGN.md).
+
+All results are returned as plain dictionaries so the figure modules can
+both print them (``repro.bench.reporting``) and feed them to
+pytest-benchmark assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.logp import AllConcurModel
+from ..baselines.allgather import AllgatherCluster
+from ..baselines.leader import LeaderBasedCluster
+from ..core.batching import Batch
+from ..core.cluster import ClusterOptions, SimCluster
+from ..core.config import AllConcurConfig
+from ..graphs.digraph import Digraph
+from ..graphs.gs import gs_digraph
+from ..graphs.metrics import diameter as graph_diameter
+from ..graphs.reliability import ReliabilityModel
+from ..graphs.selection import degree_for_reliability
+from ..sim.network import IBV_PARAMS, LogPParams, TCP_PARAMS
+from ..sim.trace import median_and_ci
+
+__all__ = [
+    "PAPER_TABLE3_SIZES",
+    "overlay_for",
+    "RunResult",
+    "run_allconcur",
+    "run_leader_based",
+    "run_allgather",
+    "allconcur_estimate",
+    "SIM_SIZE_LIMIT",
+]
+
+#: System sizes evaluated by the paper (Table 3 / Figures 6, 8-10).
+PAPER_TABLE3_SIZES = (6, 8, 11, 16, 22, 32, 45, 64, 90, 128, 256, 512, 1024)
+
+#: Largest n simulated packet-level by default; beyond it the harness uses
+#: the calibrated LogP model (see DESIGN.md, substitutions).
+SIM_SIZE_LIMIT = 128
+
+_overlay_cache: dict[tuple[int, Optional[int]], Digraph] = {}
+
+
+def overlay_for(n: int, *, degree: Optional[int] = None,
+                model: Optional[ReliabilityModel] = None) -> Digraph:
+    """The GS(n, d) overlay used throughout the evaluation, with ``d``
+    chosen for the 6-nines reliability target (Table 3) unless overridden."""
+    key = (n, degree)
+    if key not in _overlay_cache:
+        d = degree if degree is not None \
+            else degree_for_reliability(n, model or ReliabilityModel())
+        _overlay_cache[key] = gs_digraph(n, d)
+    return _overlay_cache[key]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Measured metrics of one simulated run."""
+
+    n: int
+    rounds: int
+    #: median per-server agreement latency (s) with 95% CI
+    median_latency: float
+    latency_ci: tuple[float, float]
+    #: bytes agreed per second
+    agreement_throughput: float
+    #: requests agreed per second
+    request_rate: float
+    #: wall-clock of the virtual run (s)
+    sim_time: float
+    #: number of simulator events (cost diagnostic)
+    events: int
+    source: str = "sim"
+
+    @property
+    def aggregated_throughput(self) -> float:
+        return self.agreement_throughput * self.n
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.n,
+            "rounds": self.rounds,
+            "median_latency_s": self.median_latency,
+            "throughput_Bps": self.agreement_throughput,
+            "request_rate": self.request_rate,
+            "source": self.source,
+        }
+
+
+def _result_from_trace(cluster_n: int, trace, sim, *, rounds: int,
+                       skip_rounds: int, source: str = "sim") -> RunResult:
+    lats = trace.all_latencies(skip_rounds=skip_rounds)
+    med, lo, hi = median_and_ci(lats) if lats else (0.0, 0.0, 0.0)
+    return RunResult(
+        n=cluster_n,
+        rounds=rounds,
+        median_latency=med,
+        latency_ci=(lo, hi),
+        agreement_throughput=trace.agreement_throughput(
+            skip_rounds=skip_rounds),
+        request_rate=trace.request_rate(skip_rounds=skip_rounds),
+        sim_time=sim.now,
+        events=sim.events_processed,
+        source=source,
+    )
+
+
+def run_allconcur(n: int, *, params: LogPParams = TCP_PARAMS,
+                  rounds: int = 5, batch_requests: int = 0,
+                  request_nbytes: int = 8, degree: Optional[int] = None,
+                  skip_rounds: int = 1, seed: int = 1,
+                  workload=None, duration: Optional[float] = None,
+                  graph: Optional[Digraph] = None) -> RunResult:
+    """Run *rounds* rounds of AllConcur over the Table-3 overlay for ``n``.
+
+    ``batch_requests``/``request_nbytes`` produce a fixed batch per server
+    per round (Figure 10 style).  Alternatively pass a *workload* object with
+    an ``install(cluster, duration=...)`` method (Figures 8/9 style), in
+    which case *duration* bounds the injection horizon.
+    """
+    g = graph if graph is not None else overlay_for(n, degree=degree)
+    cluster = SimCluster(g, config=AllConcurConfig(graph=g),
+                         options=ClusterOptions(params=params, seed=seed))
+    if workload is not None:
+        horizon = duration if duration is not None else 1.0
+        workload.install(cluster, duration=horizon)
+    elif batch_requests > 0:
+        from ..workloads.generators import FixedBatchWorkload
+
+        FixedBatchWorkload(batch_requests, request_nbytes).install(
+            cluster, rounds=rounds)
+    cluster.start_all()
+    cluster.run_until_round(rounds - 1)
+    if not cluster.verify_agreement():  # pragma: no cover - safety net
+        raise AssertionError("agreement violated during benchmark run")
+    return _result_from_trace(len(cluster.members), cluster.trace,
+                              cluster.sim, rounds=rounds,
+                              skip_rounds=skip_rounds)
+
+
+def run_leader_based(n: int, *, params: LogPParams = TCP_PARAMS,
+                     rounds: int = 5, batch_requests: int = 0,
+                     request_nbytes: int = 8, group_size: int = 5,
+                     skip_rounds: int = 1, seed: int = 1) -> RunResult:
+    """Run the leader-based baseline (Libpaxos-style deployment)."""
+    batch = Batch.synthetic(batch_requests, request_nbytes) \
+        if batch_requests > 0 else Batch.empty()
+    cluster = LeaderBasedCluster(n, group_size=group_size, params=params,
+                                 payload_fn=lambda pid: batch, seed=seed)
+    cluster.start_all()
+    cluster.run_until_round(rounds - 1)
+    return _result_from_trace(n, cluster.trace, cluster.sim, rounds=rounds,
+                              skip_rounds=skip_rounds, source="sim-leader")
+
+
+def run_allgather(n: int, *, params: LogPParams = TCP_PARAMS,
+                  rounds: int = 5, batch_requests: int = 0,
+                  request_nbytes: int = 8, schedule: str = "direct",
+                  skip_rounds: int = 1, seed: int = 1) -> RunResult:
+    """Run the unreliable-agreement baseline (MPI_Allgather-style)."""
+    batch = Batch.synthetic(batch_requests, request_nbytes) \
+        if batch_requests > 0 else Batch.empty()
+    cluster = AllgatherCluster(n, params=params, schedule=schedule,
+                               payload_fn=lambda pid: batch, seed=seed)
+    cluster.start_all()
+    cluster.run_until_round(rounds - 1)
+    return _result_from_trace(n, cluster.trace, cluster.sim, rounds=rounds,
+                              skip_rounds=skip_rounds, source="sim-allgather")
+
+
+def allconcur_estimate(n: int, *, params: LogPParams = TCP_PARAMS,
+                       batch_requests: int = 0, request_nbytes: int = 8,
+                       degree: Optional[int] = None) -> RunResult:
+    """Calibrated LogP-model estimate of a steady-state AllConcur round —
+    used where packet-level simulation is impractical (n > SIM_SIZE_LIMIT)."""
+    g = overlay_for(n, degree=degree)
+    model = AllConcurModel(n=n, degree=g.degree,
+                           diameter=graph_diameter(g), params=params)
+    nbytes = batch_requests * request_nbytes
+    round_time = model.round_time(nbytes)
+    throughput = model.agreement_throughput(nbytes) if nbytes else 0.0
+    return RunResult(
+        n=n,
+        rounds=1,
+        median_latency=round_time,
+        latency_ci=(round_time, round_time),
+        agreement_throughput=throughput,
+        request_rate=(n * batch_requests / round_time) if round_time else 0.0,
+        sim_time=round_time,
+        events=0,
+        source="model",
+    )

@@ -1,0 +1,80 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every figure/table module produces a list of row dictionaries; these helpers
+render them as aligned text tables so that running e.g.
+``python -m repro.bench.fig10`` prints the same rows/series the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_value", "print_table", "format_seconds",
+           "format_rate", "format_gbps"]
+
+
+def format_value(value) -> str:
+    """Human-friendly formatting of a cell value."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration with the unit the paper uses (µs / ms / s)."""
+    import math
+
+    if not math.isfinite(seconds):
+        return "unstable"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_rate(per_second: float) -> str:
+    """Format a request rate (requests per second)."""
+    if per_second >= 1e6:
+        return f"{per_second / 1e6:.1f}M/s"
+    if per_second >= 1e3:
+        return f"{per_second / 1e3:.1f}K/s"
+    return f"{per_second:.1f}/s"
+
+
+def format_gbps(bytes_per_second: float) -> str:
+    """Format a throughput in Gbit/s (the unit of Figure 10)."""
+    return f"{bytes_per_second * 8 / 1e9:.3f}Gbps"
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                 *, title: str = "") -> str:
+    """Render rows (list of dicts) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [[format_value(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body))
+              for i in range(len(cols))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping],
+                columns: Sequence[str] | None = None, *,
+                title: str = "") -> None:
+    print(format_table(rows, columns, title=title))

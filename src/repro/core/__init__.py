@@ -1,0 +1,50 @@
+"""The AllConcur protocol core.
+
+The paper's primary contribution: a leaderless, round-based, concurrent
+atomic-broadcast algorithm with early termination driven by tracking
+digraphs.  The core is sans-IO (:class:`AllConcurServer` is a pure state
+machine); bindings to the discrete-event simulator (:class:`SimNode`,
+:class:`SimCluster`) and to the asyncio runtime live next to it.
+"""
+
+from .batching import Batch, Request, RequestQueue
+from .cluster import ClusterOptions, SimCluster
+from .config import AllConcurConfig, FDMode
+from .interfaces import Deliver, RoundAdvance, Send
+from .messages import (
+    HEADER_BYTES,
+    Backward,
+    Broadcast,
+    FailureNotice,
+    Forward,
+    Message,
+)
+from .partition import PartitionGuard
+from .server import AllConcurServer, RoundOutcome
+from .sim_node import SimNode
+from .tracking import MessageTracker, TrackingDigraph
+
+__all__ = [
+    "AllConcurServer",
+    "RoundOutcome",
+    "AllConcurConfig",
+    "FDMode",
+    "MessageTracker",
+    "TrackingDigraph",
+    "PartitionGuard",
+    "Batch",
+    "Request",
+    "RequestQueue",
+    "Broadcast",
+    "FailureNotice",
+    "Forward",
+    "Backward",
+    "Message",
+    "HEADER_BYTES",
+    "Send",
+    "Deliver",
+    "RoundAdvance",
+    "SimNode",
+    "SimCluster",
+    "ClusterOptions",
+]

@@ -1,0 +1,87 @@
+"""Configuration of an AllConcur deployment.
+
+Bundles the overlay digraph, the fault-tolerance budget ``f`` and the
+protocol-mode switches.  The paper's bootstrap (§3) fixes exactly this
+information through a centralised service before the system starts; here it
+is a plain dataclass handed to every server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..graphs.digraph import Digraph
+
+__all__ = ["AllConcurConfig", "FDMode"]
+
+
+class FDMode:
+    """Failure-detector assumption under which the protocol runs (§3.3)."""
+
+    #: Perfect failure detector P: deliver as soon as tracking completes.
+    PERFECT = "perfect"
+    #: Eventually perfect detector ◇P: before delivering, run the
+    #: surviving-partition (FWD/BWD majority) mechanism of §3.3.2.
+    EVENTUAL = "eventual"
+
+
+@dataclass(frozen=True)
+class AllConcurConfig:
+    """Static configuration shared by all servers of a deployment.
+
+    Parameters
+    ----------
+    graph:
+        The overlay digraph ``G``; vertex ``i`` is server ``i``.
+    f:
+        Maximum number of failures to tolerate.  Defaults to ``d(G) - 1``,
+        which equals ``k(G) - 1`` for the optimally connected overlays the
+        paper uses (GS and binomial digraphs).
+    fd_mode:
+        :class:`FDMode` value — ``"perfect"`` (default, as in the paper's
+        evaluation) or ``"eventual"``.
+    auto_advance:
+        If True (default) a server starts round ``R+1`` (A-broadcasting its
+        next batch) immediately after A-delivering round ``R`` — the
+        steady-state behaviour of the throughput benchmarks.  Set to False
+        for single-round experiments and unit tests.
+    members:
+        Initial membership; defaults to all vertices of ``graph``.
+    """
+
+    graph: Digraph
+    f: Optional[int] = None
+    fd_mode: str = FDMode.PERFECT
+    auto_advance: bool = True
+    members: Optional[tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.fd_mode not in (FDMode.PERFECT, FDMode.EVENTUAL):
+            raise ValueError(f"unknown fd_mode {self.fd_mode!r}")
+        if self.f is not None and self.f < 0:
+            raise ValueError("f must be non-negative")
+        if self.members is not None:
+            bad = [m for m in self.members if not 0 <= m < self.graph.n]
+            if bad:
+                raise ValueError(f"members out of range: {bad}")
+
+    @property
+    def n(self) -> int:
+        """Number of participating servers."""
+        return len(self.initial_members)
+
+    @property
+    def initial_members(self) -> tuple[int, ...]:
+        return self.members if self.members is not None \
+            else tuple(self.graph.vertices())
+
+    @property
+    def resilience(self) -> int:
+        """The fault-tolerance budget ``f``."""
+        return self.f if self.f is not None else max(self.graph.degree - 1, 0)
+
+    @property
+    def majority(self) -> int:
+        """Minimum size of the surviving partition in ◇P mode (> n/2)."""
+        return self.n // 2 + 1

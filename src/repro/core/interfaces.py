@@ -1,0 +1,75 @@
+"""Effects emitted by the sans-IO AllConcur core.
+
+The protocol core (:class:`repro.core.server.AllConcurServer`) is a pure
+state machine: it never touches a clock or a socket.  Every input
+(``abroadcast``, ``handle_message``, ``notify_failure``) returns a list of
+*effects* that the embedding — the discrete-event simulation node, the
+asyncio runtime node, or a unit test — interprets.
+
+This separation lets the exact same protocol code be exercised by the
+correctness tests, by the packet-level simulator behind the figures and by
+the real TCP runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .batching import Batch
+from .messages import Message
+
+__all__ = ["Send", "Deliver", "RoundAdvance", "Effect"]
+
+
+@dataclass(frozen=True)
+class Send:
+    """Send *message* to each server in *targets* (successors in ``G`` for
+    normal dissemination, predecessors for BWD messages)."""
+
+    message: Message
+    targets: tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Per-copy wire size of the message."""
+        return self.message.nbytes
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """A-deliver the agreed message set of a round.
+
+    ``messages`` is the deterministically ordered sequence of
+    ``(origin, batch)`` pairs (sorted by origin id, the paper's
+    deterministic order).  ``removed`` lists the servers whose messages were
+    not delivered; per §3 they are tagged as failed and excluded from the
+    next round's membership.
+    """
+
+    round: int
+    messages: tuple[tuple[int, Batch], ...]
+    removed: tuple[int, ...] = ()
+
+    @property
+    def request_count(self) -> int:
+        return sum(batch.count for _origin, batch in self.messages)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(batch.nbytes for _origin, batch in self.messages)
+
+    @property
+    def senders(self) -> int:
+        return len(self.messages)
+
+
+@dataclass(frozen=True)
+class RoundAdvance:
+    """The server moved on to a new round (diagnostic effect)."""
+
+    round: int
+    members: tuple[int, ...]
+
+
+Effect = object  # Union[Send, Deliver, RoundAdvance] — kept loose for ease of extension

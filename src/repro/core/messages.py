@@ -1,0 +1,113 @@
+"""Message types of the AllConcur protocol (§3).
+
+AllConcur is message-based.  Algorithm 1 distinguishes two message types:
+
+* ``<BCAST, m_j>`` — a message A-broadcast by server ``p_j``; uniquely
+  identified by the pair ``(round, origin)``.
+* ``<FAIL, p_j, p_k ∈ p_j+(G)>`` — a failure notification R-broadcast by
+  ``p_k``, indicating ``p_k``'s suspicion that its predecessor ``p_j``
+  failed; uniquely identified by ``(round, failed, reporter)``.
+
+The ◇P extension (§3.3.2) adds two more R-broadcast message types used by
+the surviving-partition mechanism:
+
+* ``<FWD, p_i>`` — forward message, disseminated over ``G``;
+* ``<BWD, p_i>`` — backward message, disseminated over the transpose of
+  ``G``.
+
+All messages carry the round number ``R`` in which they were first sent so
+that multiple rounds can coexist (§3, "Iterating AllConcur").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .batching import Batch
+
+__all__ = [
+    "Broadcast",
+    "FailureNotice",
+    "Forward",
+    "Backward",
+    "Message",
+    "HEADER_BYTES",
+]
+
+#: Wire-format overhead accounted per protocol message (identifiers, round
+#: number, type tag).  Only used for byte accounting in the simulator.
+HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """``<BCAST, m_origin>``: the atomic-broadcast payload of one server."""
+
+    round: int
+    origin: int
+    payload: Batch
+
+    @property
+    def uid(self) -> tuple[int, int]:
+        """Unique message identifier ``(R, p_j)``."""
+        return (self.round, self.origin)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes on the wire (header + payload)."""
+        return HEADER_BYTES + self.payload.nbytes
+
+
+@dataclass(frozen=True)
+class FailureNotice:
+    """``<FAIL, p_failed, p_reporter>``: reporter suspects failed's failure."""
+
+    round: int
+    failed: int
+    reporter: int
+
+    @property
+    def uid(self) -> tuple[int, int, int]:
+        """Unique identifier ``(R, p_j, p_k)``."""
+        return (self.round, self.failed, self.reporter)
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The ``(p_j, p_k)`` tuple stored in the failure set ``F_i``."""
+        return (self.failed, self.reporter)
+
+    @property
+    def nbytes(self) -> int:
+        return HEADER_BYTES
+
+    def __post_init__(self) -> None:
+        if self.failed == self.reporter:
+            raise ValueError("a server cannot report its own failure")
+
+
+@dataclass(frozen=True)
+class Forward:
+    """``<FWD, origin>``: origin has decided its message set (◇P mode)."""
+
+    round: int
+    origin: int
+
+    @property
+    def nbytes(self) -> int:
+        return HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class Backward:
+    """``<BWD, origin>``: like FWD but disseminated over the transpose of G."""
+
+    round: int
+    origin: int
+
+    @property
+    def nbytes(self) -> int:
+        return HEADER_BYTES
+
+
+Message = Union[Broadcast, FailureNotice, Forward, Backward]

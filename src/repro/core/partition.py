@@ -1,0 +1,73 @@
+"""Surviving-partition mechanism for the ◇P failure detector (§3.3.2).
+
+With an eventually perfect failure detector, failure notifications may be
+false, so two servers can both "terminate" their tracking while holding
+different message sets — but only if they ended up in different strongly
+connected components of the effective communication graph.  To preserve set
+agreement, only one component — the *surviving partition*, which must contain
+a majority of the servers — is allowed to A-deliver.
+
+The mechanism (based on Kosaraju's strongly-connected-components idea): once
+a server decides its message set, it R-broadcasts a ``<FWD>`` message over
+``G`` and a ``<BWD>`` message over the transpose of ``G``.  Receiving
+``<FWD, p_j>`` implies ``M_j ⊆ M_i`` (there was a path ``p_j → p_i`` after
+``p_j`` decided); receiving ``<BWD, p_j>`` implies ``M_i ⊆ M_j``.  A server
+A-delivers once it has both kinds from at least a majority of servers
+(including itself): then a majority provably shares the same set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PartitionGuard"]
+
+
+@dataclass
+class PartitionGuard:
+    """Tracks FWD/BWD receipts for one round of one server."""
+
+    owner: int
+    majority: int
+    forward_from: set[int] = field(default_factory=set)
+    backward_from: set[int] = field(default_factory=set)
+    decided: bool = False
+
+    def __post_init__(self) -> None:
+        if self.majority < 1:
+            raise ValueError("majority must be at least 1")
+
+    def mark_decided(self) -> None:
+        """The owner decided its message set; it counts towards both sets."""
+        self.decided = True
+        self.forward_from.add(self.owner)
+        self.backward_from.add(self.owner)
+
+    def record_forward(self, origin: int) -> bool:
+        """Record a ``<FWD, origin>``.  Returns True if it was new."""
+        if origin in self.forward_from:
+            return False
+        self.forward_from.add(origin)
+        return True
+
+    def record_backward(self, origin: int) -> bool:
+        """Record a ``<BWD, origin>``.  Returns True if it was new."""
+        if origin in self.backward_from:
+            return False
+        self.backward_from.add(origin)
+        return True
+
+    @property
+    def forward_count(self) -> int:
+        return len(self.forward_from)
+
+    @property
+    def backward_count(self) -> int:
+        return len(self.backward_from)
+
+    def can_deliver(self) -> bool:
+        """True once the owner decided and a majority is confirmed in both
+        directions — the owner is then provably in the surviving partition."""
+        return (self.decided
+                and len(self.forward_from) >= self.majority
+                and len(self.backward_from) >= self.majority)

@@ -1,0 +1,371 @@
+"""The AllConcur protocol core — Algorithm 1 plus round iteration (§3).
+
+:class:`AllConcurServer` is a *sans-IO* state machine: inputs are application
+requests, received protocol messages and local failure-detector suspicions;
+outputs are :mod:`~repro.core.interfaces` effects (``Send``, ``Deliver``,
+``RoundAdvance``).  Time, transport and failure detection live outside (see
+:mod:`repro.core.sim_node` for the discrete-event binding and
+:mod:`repro.runtime.node` for the asyncio/TCP binding).
+
+Protocol summary (one round ``R``, executed by server ``p_i``):
+
+1. ``p_i`` A-broadcasts one (possibly empty) message — its batch of pending
+   requests — by sending ``<BCAST, m_i>`` to its successors in ``G``.
+2. Whenever ``p_i`` receives a ``<BCAST, m_j>`` it has not seen, it stores it,
+   forwards it to its successors, stops tracking ``m_j`` and — if it has not
+   yet A-broadcast its own message for ``R`` — does so now.
+3. Whenever ``p_i`` receives a failure notification ``<FAIL, p_j, p_k>`` (or
+   its own FD suspects a predecessor), it forwards the notification and
+   updates its tracking digraphs (early termination, §2.3).
+4. Once every tracking digraph is empty, ``p_i`` A-delivers all received
+   messages in a deterministic order (sorted by origin id).  Servers whose
+   messages were not delivered are tagged as failed and excluded from the
+   next round; pending failure notifications about still-member servers are
+   re-broadcast at the start of the next round.
+
+With ``fd_mode == "eventual"`` delivery is additionally gated by the
+surviving-partition mechanism (:mod:`repro.core.partition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .batching import Batch, Request, RequestQueue
+from .config import AllConcurConfig, FDMode
+from .interfaces import Deliver, RoundAdvance, Send
+from .messages import Backward, Broadcast, FailureNotice, Forward, Message
+from .partition import PartitionGuard
+from .tracking import MessageTracker
+
+__all__ = ["AllConcurServer", "RoundOutcome"]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Record of a completed round (kept in the server's delivery log)."""
+
+    round: int
+    messages: tuple[tuple[int, Batch], ...]
+    removed: tuple[int, ...]
+
+    @property
+    def origins(self) -> tuple[int, ...]:
+        return tuple(o for o, _b in self.messages)
+
+
+class AllConcurServer:
+    """One AllConcur server (``p_i``)."""
+
+    def __init__(self, server_id: int, config: AllConcurConfig) -> None:
+        members = config.initial_members
+        if server_id not in members:
+            raise ValueError(f"server {server_id} is not a member")
+        self.id = server_id
+        self.config = config
+        self.graph = config.graph
+
+        #: current round number
+        self.round = 0
+        #: membership of the current round
+        self.members: tuple[int, ...] = tuple(sorted(members))
+        #: application requests awaiting the next batch
+        self.queue = RequestQueue()
+        #: log of completed rounds
+        self.history: list[RoundOutcome] = []
+        #: predecessors this server decided to ignore (suspected failed)
+        self.ignored_predecessors: set[int] = set()
+        #: failure pairs carried across rounds for re-broadcast (line 12)
+        self._carryover_failures: set[tuple[int, int]] = set()
+        #: buffered messages for future rounds
+        self._future: dict[int, list[tuple[int, Message]]] = {}
+        #: whether the server has crashed (the embedding stops driving it)
+        self.failed = False
+
+        self._init_round_state()
+
+    # ------------------------------------------------------------------ #
+    # Round state
+    # ------------------------------------------------------------------ #
+    def _init_round_state(self) -> None:
+        self._known: dict[int, Batch] = {}
+        self._has_broadcast = False
+        self._delivered = False
+        self._disseminated_failures: set[tuple[int, int]] = set()
+        self._forwarded_fwd: set[int] = set()
+        self._forwarded_bwd: set[int] = set()
+        self.tracker = MessageTracker(
+            self.id, self.members, self._graph_successors)
+        self.partition = PartitionGuard(
+            owner=self.id,
+            majority=len(self.members) // 2 + 1,
+        )
+
+    def _graph_successors(self, p: int) -> tuple[int, ...]:
+        return self.graph.successors(p)
+
+    # ------------------------------------------------------------------ #
+    # Public read-only state
+    # ------------------------------------------------------------------ #
+    @property
+    def successors(self) -> tuple[int, ...]:
+        """This server's successors among the current members."""
+        alive = set(self.members)
+        return tuple(s for s in self.graph.successors(self.id) if s in alive)
+
+    @property
+    def predecessors(self) -> tuple[int, ...]:
+        """This server's predecessors among the current members."""
+        alive = set(self.members)
+        return tuple(p for p in self.graph.predecessors(self.id) if p in alive)
+
+    @property
+    def has_broadcast(self) -> bool:
+        """True if the server already A-broadcast its message this round."""
+        return self._has_broadcast
+
+    @property
+    def known_messages(self) -> dict[int, Batch]:
+        """The set ``M_i`` of known messages for the current round."""
+        return dict(self._known)
+
+    @property
+    def delivered_rounds(self) -> int:
+        return len(self.history)
+
+    @property
+    def failure_pairs(self) -> frozenset[tuple[int, int]]:
+        """The failure-notification set ``F_i`` of the current round."""
+        return frozenset(self.tracker.failure_pairs)
+
+    # ------------------------------------------------------------------ #
+    # Application inputs
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> None:
+        """Queue an application request for the next A-broadcast message."""
+        self.queue.submit(request)
+
+    def submit_synthetic(self, count: int, request_nbytes: int) -> None:
+        """Queue synthetic requests (benchmark fast-path)."""
+        self.queue.submit_synthetic(count, request_nbytes)
+
+    def start_round(self, *, payload: Optional[Batch] = None) -> list:
+        """A-broadcast this round's message (line 1 of Algorithm 1).
+
+        If *payload* is omitted, pending requests are drained into a batch
+        (which may be empty).  Idempotent: calling it again within the same
+        round is a no-op.
+        """
+        if self.failed or self._has_broadcast:
+            return []
+        effects: list = []
+        self._abroadcast(payload if payload is not None else self.queue.drain(),
+                         effects)
+        self._check_termination(effects)
+        return effects
+
+    # ------------------------------------------------------------------ #
+    # Failure detector input
+    # ------------------------------------------------------------------ #
+    def notify_failure(self, suspect: int) -> list:
+        """Local FD suspects predecessor *suspect* (``<FAIL, suspect, p_i>``
+        with ``k = i`` — a notification from the local failure detector)."""
+        if self.failed:
+            return []
+        if suspect == self.id:
+            raise ValueError("a server cannot suspect itself")
+        if suspect not in set(self.graph.predecessors(self.id)):
+            raise ValueError(
+                f"server {self.id} does not monitor {suspect}; the FD only "
+                f"watches predecessors in G")
+        effects: list = []
+        if suspect in set(self.members):
+            self.ignored_predecessors.add(suspect)
+            notice = FailureNotice(round=self.round, failed=suspect,
+                                   reporter=self.id)
+            self._process_failure(notice, effects)
+            self._check_termination(effects)
+        return effects
+
+    # ------------------------------------------------------------------ #
+    # Network input
+    # ------------------------------------------------------------------ #
+    def handle_message(self, src: int, message: Message) -> list:
+        """Process a protocol message received from transport peer *src*."""
+        if self.failed:
+            return []
+        effects: list = []
+        self._dispatch(src, message, effects)
+        return effects
+
+    def _dispatch(self, src: int, message: Message, effects: list) -> None:
+        rnd = getattr(message, "round")
+        if rnd > self.round:
+            self._future.setdefault(rnd, []).append((src, message))
+            return
+        if isinstance(message, Broadcast):
+            # Stale broadcasts from completed rounds carry no new information.
+            if rnd < self.round:
+                return
+            # §3.3.2: once a predecessor is suspected, ignore everything from
+            # it except failure notifications (required for ◇P correctness).
+            if src in self.ignored_predecessors:
+                return
+            self._process_broadcast(message, effects)
+        elif isinstance(message, FailureNotice):
+            # Failure notifications from earlier rounds are still meaningful:
+            # the failure persists; fold it into the current round (this is
+            # the automatic counterpart of the re-broadcast of line 12).
+            notice = message if rnd == self.round else \
+                FailureNotice(round=self.round, failed=message.failed,
+                              reporter=message.reporter)
+            if notice.failed not in set(self.members):
+                return  # already tagged as failed in a previous round
+            self._process_failure(notice, effects)
+        elif isinstance(message, Forward):
+            if rnd < self.round or src in self.ignored_predecessors:
+                return
+            self._process_forward(message, effects)
+        elif isinstance(message, Backward):
+            if rnd < self.round or src in self.ignored_predecessors:
+                return
+            self._process_backward(message, effects)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown message type {type(message)!r}")
+        self._check_termination(effects)
+
+    # ------------------------------------------------------------------ #
+    # BCAST handling (lines 14-20)
+    # ------------------------------------------------------------------ #
+    def _abroadcast(self, payload: Batch, effects: list) -> None:
+        self._has_broadcast = True
+        message = Broadcast(round=self.round, origin=self.id, payload=payload)
+        self._known[self.id] = payload
+        if self.successors:
+            effects.append(Send(message=message, targets=self.successors))
+
+    def _process_broadcast(self, message: Broadcast, effects: list) -> None:
+        # A-broadcast own message, at the latest as a reaction to receiving
+        # someone else's (line 15).
+        if not self._has_broadcast and not self._delivered:
+            self._abroadcast(self.queue.drain(), effects)
+        origin = message.origin
+        if origin in self._known or origin not in set(self.members):
+            return
+        self._known[origin] = message.payload
+        # Forward every not-yet-sent message to the successors (line 17-18).
+        if self.successors:
+            effects.append(Send(message=message, targets=self.successors))
+        self.tracker.message_received(origin)
+
+    # ------------------------------------------------------------------ #
+    # FAIL handling (lines 21-40)
+    # ------------------------------------------------------------------ #
+    def _process_failure(self, notice: FailureNotice, effects: list) -> None:
+        pair = notice.pair
+        # Disseminate each distinct notification once per round (line 22).
+        if pair not in self._disseminated_failures:
+            self._disseminated_failures.add(pair)
+            if self.successors:
+                effects.append(Send(message=notice, targets=self.successors))
+        self._carryover_failures.add(pair)
+        self.tracker.add_failure(notice.failed, notice.reporter)
+
+    # ------------------------------------------------------------------ #
+    # FWD / BWD handling (§3.3.2)
+    # ------------------------------------------------------------------ #
+    def _process_forward(self, message: Forward, effects: list) -> None:
+        if self.config.fd_mode != FDMode.EVENTUAL:
+            return
+        if message.origin in self._forwarded_fwd:
+            return
+        self._forwarded_fwd.add(message.origin)
+        self.partition.record_forward(message.origin)
+        if self.successors:
+            effects.append(Send(message=message, targets=self.successors))
+
+    def _process_backward(self, message: Backward, effects: list) -> None:
+        if self.config.fd_mode != FDMode.EVENTUAL:
+            return
+        if message.origin in self._forwarded_bwd:
+            return
+        self._forwarded_bwd.add(message.origin)
+        self.partition.record_backward(message.origin)
+        # BWD messages travel over the transpose of G: send to predecessors.
+        if self.predecessors:
+            effects.append(Send(message=message, targets=self.predecessors))
+
+    # ------------------------------------------------------------------ #
+    # Termination, delivery and round transition (lines 5-13)
+    # ------------------------------------------------------------------ #
+    def _check_termination(self, effects: list) -> None:
+        if self._delivered or not self._has_broadcast:
+            return
+        if not self.tracker.all_done():
+            return
+        if self.config.fd_mode == FDMode.EVENTUAL:
+            if not self.partition.decided:
+                # Decided the set: announce FWD over G and BWD over G^T.
+                self.partition.mark_decided()
+                fwd = Forward(round=self.round, origin=self.id)
+                bwd = Backward(round=self.round, origin=self.id)
+                self._forwarded_fwd.add(self.id)
+                self._forwarded_bwd.add(self.id)
+                if self.successors:
+                    effects.append(Send(message=fwd, targets=self.successors))
+                if self.predecessors:
+                    effects.append(Send(message=bwd, targets=self.predecessors))
+            if not self.partition.can_deliver():
+                return
+        self._deliver(effects)
+
+    def _deliver(self, effects: list) -> None:
+        self._delivered = True
+        ordered = tuple(sorted(self._known.items(), key=lambda kv: kv[0]))
+        removed = tuple(p for p in self.members if p not in self._known)
+        outcome = RoundOutcome(round=self.round, messages=ordered,
+                               removed=removed)
+        self.history.append(outcome)
+        effects.append(Deliver(round=self.round, messages=ordered,
+                               removed=removed))
+        self._advance_round(removed, effects)
+
+    def _advance_round(self, removed: tuple[int, ...], effects: list) -> None:
+        new_members = tuple(p for p in self.members if p not in removed)
+        self.round += 1
+        self.members = new_members
+        # Failure notifications about servers that are still members must be
+        # re-broadcast in the new round (line 12-13); notifications about
+        # removed servers are dropped.
+        carryover = {(p, ps) for (p, ps) in self._carryover_failures
+                     if p in set(new_members)}
+        self._carryover_failures = set(carryover)
+        self.ignored_predecessors &= set(new_members)
+        self._init_round_state()
+        effects.append(RoundAdvance(round=self.round, members=new_members))
+
+        # Re-apply and re-broadcast the carried-over failure notifications.
+        for (p, ps) in sorted(carryover):
+            notice = FailureNotice(round=self.round, failed=p, reporter=ps)
+            self._process_failure(notice, effects)
+
+        if self.config.auto_advance:
+            self._abroadcast(self.queue.drain(), effects)
+
+        # Replay any buffered messages that were ahead of us.
+        buffered = self._future.pop(self.round, [])
+        for src, message in buffered:
+            self._dispatch(src, message, effects)
+
+        self._check_termination(effects)
+
+    # ------------------------------------------------------------------ #
+    def crash(self) -> None:
+        """Mark this server as crashed; it stops reacting to every input."""
+        self.failed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AllConcurServer id={self.id} round={self.round} "
+                f"members={len(self.members)} known={len(self._known)} "
+                f"pending_tracking={self.tracker.pending_targets()}>")

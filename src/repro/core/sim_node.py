@@ -1,0 +1,129 @@
+"""Binding of the sans-IO AllConcur core to the discrete-event simulator.
+
+A :class:`SimNode` owns one :class:`~repro.core.server.AllConcurServer` and
+translates its effects into simulator actions: ``Send`` effects become
+network transmissions (paying the LogP costs and honouring injected
+failures), ``Deliver`` effects become trace records.
+
+The node is also where *partial sends* happen: if a failure injector armed a
+send budget for this server (``fail_after_sends``), the node stops sending as
+soon as the budget runs out and crashes the server — reproducing the §2.3
+scenario in which ``p_0`` fails after sending its message to only one
+successor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.failures import FailureInjector
+from ..sim.network import Network
+from ..sim.trace import DeliveryRecord, RoundTrace
+from .batching import Batch, Request
+from .interfaces import Deliver, RoundAdvance, Send
+from .messages import Broadcast
+from .server import AllConcurServer
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """One simulated AllConcur server attached to the network."""
+
+    def __init__(self, server: AllConcurServer, sim: Simulator,
+                 network: Network, injector: FailureInjector,
+                 trace: Optional[RoundTrace] = None) -> None:
+        self.server = server
+        self.sim = sim
+        self.network = network
+        self.injector = injector
+        self.trace = trace
+        network.attach(server.id, self._on_network_message)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def id(self) -> int:
+        return self.server.id
+
+    @property
+    def alive(self) -> bool:
+        return not self.server.failed and not self.injector.is_failed(self.id)
+
+    # ------------------------------------------------------------------ #
+    # Inputs
+    # ------------------------------------------------------------------ #
+    def start_round(self, *, payload: Optional[Batch] = None) -> None:
+        """Drive the server to A-broadcast its message for the current round."""
+        if not self.alive:
+            return
+        self._execute(self.server.start_round(payload=payload))
+
+    def submit(self, request: Request) -> None:
+        if self.alive:
+            self.server.submit(request)
+
+    def submit_synthetic(self, count: int, request_nbytes: int) -> None:
+        if self.alive:
+            self.server.submit_synthetic(count, request_nbytes)
+
+    def on_suspect(self, observer: int, suspect: int) -> None:
+        """Failure-detector callback (only honoured if it targets this node)."""
+        if observer != self.id or not self.alive:
+            return
+        if suspect not in set(self.server.graph.predecessors(self.id)):
+            return
+        self._execute(self.server.notify_failure(suspect))
+
+    # ------------------------------------------------------------------ #
+    # Network receive path
+    # ------------------------------------------------------------------ #
+    def _on_network_message(self, src: int, dst: int, message) -> None:
+        assert dst == self.id
+        if not self.alive:
+            return
+        self._execute(self.server.handle_message(src, message))
+
+    # ------------------------------------------------------------------ #
+    # Effect interpretation
+    # ------------------------------------------------------------------ #
+    def _execute(self, effects: list) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._do_send(effect)
+                if not self.alive:
+                    # the send budget ran out mid-burst; drop everything else
+                    break
+            elif isinstance(effect, Deliver):
+                self._record_delivery(effect)
+            elif isinstance(effect, RoundAdvance):
+                continue
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown effect {effect!r}")
+
+    def _do_send(self, effect: Send) -> None:
+        message = effect.message
+        nbytes = effect.nbytes
+        if isinstance(message, Broadcast) and message.origin == self.id \
+                and self.trace is not None:
+            self.trace.note_round_start(message.round, self.sim.now)
+        for target in effect.targets:
+            if not self.injector.consume_send_budget(self.id):
+                # Fail-stop in the middle of the burst (§2.3 scenario).
+                self.injector.fail_now(self.id, reason="send budget exhausted")
+                self.network.mark_failed(self.id)
+                self.server.crash()
+                return
+            self.network.send(self.id, target, message, nbytes=nbytes)
+
+    def _record_delivery(self, effect: Deliver) -> None:
+        if self.trace is None:
+            return
+        self.trace.record_delivery(DeliveryRecord(
+            round=effect.round,
+            server=self.id,
+            time=self.sim.now,
+            requests=effect.request_count,
+            nbytes=effect.nbytes,
+            senders=effect.senders,
+        ))

@@ -1,0 +1,206 @@
+"""Tracking digraphs — AllConcur's early-termination mechanism (§2.3, §3).
+
+Each server ``p_i`` keeps, for every other server ``p_*``, a *tracking
+digraph* ``g_i[p_*]`` whose vertices are the servers that (according to
+``p_i``'s current knowledge) may be in possession of ``p_*``'s message
+``m_*`` and whose edges ``(p_j, p_k)`` record the suspicion that ``p_k``
+received ``m_*`` directly from ``p_j``.
+
+The life cycle of ``g_i[p_*]`` (Algorithm 1):
+
+* it starts as the single vertex ``{p_*}`` with no edges;
+* when ``p_i`` receives ``m_*`` it stops tracking: the digraph is emptied;
+* when ``p_i`` learns that a tracked server ``p_j`` failed (notification
+  R-broadcast by a successor ``p_k`` of ``p_j``), it expands the digraph
+  with ``p_j``'s other successors — they may have received ``m_*`` from
+  ``p_j`` before it failed — and, on subsequent notifications about
+  ``p_j``, removes the edge ``(p_j, p_k)`` because ``p_k`` evidently did
+  *not* receive ``m_*`` from ``p_j``;
+* after every update the digraph is pruned: vertices no longer reachable
+  from ``p_*`` cannot possibly hold ``m_*``, and if every remaining vertex
+  is known to have failed then no non-faulty server holds ``m_*`` and the
+  digraph is emptied ("no dissemination").
+
+``p_i`` can A-deliver once **all** tracking digraphs are empty — it then
+provably possesses every message that any non-faulty server possesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional
+
+__all__ = ["TrackingDigraph", "MessageTracker"]
+
+
+@dataclass
+class TrackingDigraph:
+    """The tracking digraph ``g_i[target]`` for a single message."""
+
+    target: int
+    vertices: set[int] = field(default_factory=set)
+    edges: set[tuple[int, int]] = field(default_factory=set)
+
+    @classmethod
+    def initial(cls, target: int) -> "TrackingDigraph":
+        return cls(target=target, vertices={target})
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vertices
+
+    def clear(self) -> None:
+        self.vertices.clear()
+        self.edges.clear()
+
+    def successors_of(self, v: int) -> set[int]:
+        """Successors of *v* inside the tracking digraph."""
+        return {b for (a, b) in self.edges if a == v}
+
+    def reachable_from_target(self) -> set[int]:
+        """Vertices reachable from the tracked message's origin."""
+        if self.target not in self.vertices:
+            return set()
+        seen = {self.target}
+        frontier = deque([self.target])
+        adj: dict[int, list[int]] = {}
+        for a, b in self.edges:
+            adj.setdefault(a, []).append(b)
+        while frontier:
+            v = frontier.popleft()
+            for w in adj.get(v, ()):
+                if w in self.vertices and w not in seen:
+                    seen.add(w)
+                    frontier.append(w)
+        return seen
+
+    def prune(self, failed_servers: set[int]) -> None:
+        """Apply lines 37-40 of Algorithm 1.
+
+        First drop every vertex that is unreachable from the target (it
+        cannot have received the message from anyone we still suspect holds
+        it); then, if every remaining vertex is known to have failed, the
+        message cannot be disseminated by anyone — stop tracking entirely.
+        """
+        if not self.vertices:
+            return
+        reachable = self.reachable_from_target()
+        if reachable != self.vertices:
+            self.vertices &= reachable
+            self.edges = {(a, b) for (a, b) in self.edges
+                          if a in self.vertices and b in self.vertices}
+        if self.vertices and all(v in failed_servers for v in self.vertices):
+            self.clear()
+
+
+class MessageTracker:
+    """All tracking digraphs of one server for one round, plus the failure
+    knowledge (``F_i``) that drives them.
+
+    Parameters
+    ----------
+    owner:
+        The server id ``p_i`` owning this tracker.
+    members:
+        The servers participating in the round (vertices of ``G`` that have
+        not been tagged as failed in earlier rounds).
+    successors_fn:
+        ``successors_fn(p)`` returns ``p``'s successors in the round's
+        overlay ``G`` (restricted to *members*).
+    """
+
+    def __init__(self, owner: int, members: Iterable[int],
+                 successors_fn: Callable[[int], tuple[int, ...]]) -> None:
+        self.owner = owner
+        self.members = set(members)
+        if owner not in self.members:
+            raise ValueError(f"owner {owner} must be a member")
+        self._succ = successors_fn
+        self.graphs: dict[int, TrackingDigraph] = {
+            p: TrackingDigraph.initial(p)
+            for p in self.members if p != owner
+        }
+        #: F_i — the set of received failure notifications (failed, reporter)
+        self.failure_pairs: set[tuple[int, int]] = set()
+        #: servers known (suspected) to have failed
+        self.failed_servers: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    def round_successors(self, p: int) -> tuple[int, ...]:
+        """Successors of *p* restricted to the round's membership."""
+        return tuple(s for s in self._succ(p) if s in self.members)
+
+    def is_tracking(self, target: int) -> bool:
+        g = self.graphs.get(target)
+        return g is not None and not g.is_empty
+
+    def all_done(self) -> bool:
+        """True when every tracking digraph is empty (termination test)."""
+        return all(g.is_empty for g in self.graphs.values())
+
+    def pending_targets(self) -> list[int]:
+        """Servers whose messages are still being tracked."""
+        return sorted(t for t, g in self.graphs.items() if not g.is_empty)
+
+    # ------------------------------------------------------------------ #
+    def message_received(self, origin: int) -> None:
+        """``p_i`` received ``m_origin``: stop tracking it (line 19)."""
+        g = self.graphs.get(origin)
+        if g is not None:
+            g.clear()
+
+    def add_failure(self, failed: int, reporter: int) -> bool:
+        """Process a failure notification ``<FAIL, failed, reporter>``.
+
+        Implements lines 22-40 of Algorithm 1 for every tracking digraph.
+        Returns True if the pair was new (first time seen by this tracker).
+        """
+        pair = (failed, reporter)
+        new_pair = pair not in self.failure_pairs
+        self.failure_pairs.add(pair)
+        self.failed_servers.add(failed)
+
+        for g in self.graphs.values():
+            if g.is_empty or failed not in g.vertices:
+                continue
+            if not g.successors_of(failed):
+                # First notification about `failed` relevant to this digraph:
+                # expand with its successors (they may hold the message),
+                # except the reporter, which certainly does not (it would
+                # have forwarded the message before the notification), and
+                # except successors that already notified us about `failed`
+                # (their notification carries the same guarantee).
+                queue: deque[tuple[int, int]] = deque(
+                    (failed, p) for p in self.round_successors(failed)
+                    if p != reporter and (failed, p) not in self.failure_pairs)
+                while queue:
+                    pp, p = queue.popleft()
+                    if p not in g.vertices:
+                        g.vertices.add(p)
+                        if p in self.failed_servers:
+                            # p itself already failed: it may have passed the
+                            # message on before failing — keep expanding,
+                            # skipping successors that already reported p.
+                            queue.extend(
+                                (p, ps) for ps in self.round_successors(p)
+                                if (p, ps) not in self.failure_pairs)
+                    g.edges.add((pp, p))
+            elif (failed, reporter) in g.edges:
+                # Subsequent notification: the reporter has *not* received
+                # the tracked message from `failed` — drop that edge.
+                g.edges.discard((failed, reporter))
+            g.prune(self.failed_servers)
+        return new_pair
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Mapping[int, tuple[frozenset[int],
+                                             frozenset[tuple[int, int]]]]:
+        """Immutable view of every tracking digraph (for tests/inspection)."""
+        return {t: (frozenset(g.vertices), frozenset(g.edges))
+                for t, g in self.graphs.items()}
+
+    def storage_size(self) -> int:
+        """Total number of stored vertices and edges across all tracking
+        digraphs — the quantity bounded by O(f²·d) in Table 2."""
+        return sum(len(g.vertices) + len(g.edges) for g in self.graphs.values())

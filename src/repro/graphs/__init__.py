@@ -1,0 +1,102 @@
+"""Overlay-network digraphs for AllConcur.
+
+This subpackage provides the digraph container, the graph families used by
+the paper (binomial graphs, generalized de Bruijn digraphs, ``GS(n, d)``
+digraphs), the metric machinery of Table 1 (degree, diameter,
+vertex-connectivity, fault diameter) and the reliability model used to choose
+the overlay degree (Figure 5, Table 3).
+"""
+
+from .binomial import binomial_degree, binomial_graph
+from .debruijn import MultiDigraph, debruijn_without_selfloops, generalized_de_bruijn
+from .digraph import Digraph
+from .fault_diameter import (
+    DisjointPathsResult,
+    FaultDiameterEstimate,
+    fault_diameter_bound,
+    min_sum_disjoint_paths,
+    trivial_fault_diameter_bound,
+)
+from .gs import gs_digraph, gs_parameters, line_digraph
+from .metrics import (
+    average_shortest_path,
+    diameter,
+    eccentricity,
+    fault_diameter_exact,
+    is_optimally_connected,
+    max_vertex_disjoint_paths,
+    moore_bound_diameter,
+    vertex_connectivity,
+    vertex_disjoint_paths,
+)
+from .reliability import (
+    ReliabilityModel,
+    failure_probability,
+    nines,
+    reliability,
+    reliability_nines,
+    required_connectivity,
+    unreliability,
+)
+from .selection import (
+    OverlayChoice,
+    Table3Row,
+    degree_for_reliability,
+    select_overlay,
+    table3_row,
+)
+from .standard import (
+    bidirectional_ring,
+    binary_hypercube,
+    complete_digraph,
+    random_regular_digraph,
+    ring_digraph,
+    star_digraph,
+)
+
+__all__ = [
+    "Digraph",
+    "MultiDigraph",
+    # families
+    "binomial_graph",
+    "binomial_degree",
+    "generalized_de_bruijn",
+    "debruijn_without_selfloops",
+    "gs_digraph",
+    "gs_parameters",
+    "line_digraph",
+    "complete_digraph",
+    "ring_digraph",
+    "bidirectional_ring",
+    "binary_hypercube",
+    "star_digraph",
+    "random_regular_digraph",
+    # metrics
+    "diameter",
+    "eccentricity",
+    "average_shortest_path",
+    "vertex_connectivity",
+    "max_vertex_disjoint_paths",
+    "vertex_disjoint_paths",
+    "is_optimally_connected",
+    "fault_diameter_exact",
+    "moore_bound_diameter",
+    "trivial_fault_diameter_bound",
+    "min_sum_disjoint_paths",
+    "DisjointPathsResult",
+    "fault_diameter_bound",
+    "FaultDiameterEstimate",
+    # reliability & selection
+    "ReliabilityModel",
+    "failure_probability",
+    "reliability",
+    "unreliability",
+    "nines",
+    "reliability_nines",
+    "required_connectivity",
+    "degree_for_reliability",
+    "select_overlay",
+    "OverlayChoice",
+    "table3_row",
+    "Table3Row",
+]

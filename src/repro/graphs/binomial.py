@@ -1,0 +1,58 @@
+"""Binomial graphs (Angskun, Bosilca, Dongarra) — §2.3 and §4.4 of the paper.
+
+In a binomial graph over ``n`` vertices, two servers ``p_i`` and ``p_j`` are
+connected if ``j = i ± 2^l (mod n)`` for ``0 <= l <= floor(log2 n)``.  The
+graph is optimally connected (vertex-connectivity equals the degree) and has
+both a small diameter and a small fault diameter; its drawback — the reason
+the paper introduces ``GS(n, d)`` — is that the degree (hence the
+connectivity, hence the amount of redundancy and work) is fixed by ``n`` and
+cannot be tuned to a reliability target.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .digraph import Digraph
+
+__all__ = ["binomial_graph", "binomial_degree"]
+
+
+def _offsets(n: int) -> list[int]:
+    """The set of ± 2^l offsets (mod n), deduplicated, excluding 0."""
+    if n < 2:
+        return []
+    max_l = int(math.floor(math.log2(n)))
+    offs: set[int] = set()
+    for l in range(max_l + 1):
+        offs.add((1 << l) % n)
+        offs.add((-(1 << l)) % n)
+    offs.discard(0)
+    return sorted(offs)
+
+
+def binomial_degree(n: int) -> int:
+    """Degree of the binomial graph on ``n`` vertices.
+
+    Equals ``2 * (floor(log2 n) + 1)`` minus the collisions that occur when
+    ``+2^l`` and ``-2^k`` coincide modulo ``n`` (e.g. ``n`` a power of two
+    collapses ``±n/2``).
+    """
+    return len(_offsets(n))
+
+
+def binomial_graph(n: int) -> Digraph:
+    """Build the binomial graph over ``n >= 2`` vertices.
+
+    The returned digraph is regular and symmetric (every edge exists in both
+    directions), matching the example of Figure 2a (n = 9) and the worked
+    fault-diameter example of §4.2.3 (n = 12, k = 6, D = 2).
+    """
+    if n < 2:
+        raise ValueError("binomial graph needs at least 2 vertices")
+    offs = _offsets(n)
+    edges = []
+    for i in range(n):
+        for o in offs:
+            edges.append((i, (i + o) % n))
+    return Digraph(n, edges, name=f"Binomial({n})")

@@ -1,0 +1,129 @@
+"""Generalized de Bruijn digraphs and the self-loop-free ``G*_B(m, d)``.
+
+These are the ingredients of the ``GS(n, d)`` construction (§4.4):
+
+1. ``GB(m, d)`` — the generalized de Bruijn digraph (Du & Hwang):
+   vertices ``0 .. m-1`` and edges ``(u, v)`` with
+   ``v = u*d + a (mod m)`` for ``a = 0 .. d-1``.
+2. ``G*_B(m, d)`` — ``GB(m, d)`` with all self-loops removed and replaced by
+   cycles: ``floor(d/m)`` Hamiltonian cycles over all vertices plus one cycle
+   over the vertices that had ``ceil(d/m)`` self-loops.  The result is a
+   ``d``-regular *multi*-digraph (parallel edges are possible and are kept:
+   each parallel edge becomes a distinct vertex of the line digraph).
+
+The multi-digraph is represented by :class:`MultiDigraph`, a minimal
+edge-list container; it only needs to support what the line-digraph
+construction in :mod:`repro.graphs.gs` requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .digraph import Digraph
+
+__all__ = ["generalized_de_bruijn", "MultiDigraph", "debruijn_without_selfloops"]
+
+
+def generalized_de_bruijn(m: int, d: int) -> Digraph:
+    """The generalized de Bruijn digraph ``GB(m, d)`` *without* its
+    self-loops (as a plain :class:`Digraph`, mostly useful for inspection
+    and tests; the GS construction uses :func:`debruijn_without_selfloops`).
+    """
+    if m < 2:
+        raise ValueError("m must be at least 2")
+    if d < 1:
+        raise ValueError("d must be at least 1")
+    edges = set()
+    for u in range(m):
+        for a in range(d):
+            v = (u * d + a) % m
+            if v != u:
+                edges.add((u, v))
+    return Digraph(m, edges, name=f"GB({m},{d})")
+
+
+@dataclass
+class MultiDigraph:
+    """A directed multigraph stored as an explicit edge list.
+
+    ``edges[k] = (u, v)`` — the k-th directed edge.  Self-loops are allowed
+    by the container but :func:`debruijn_without_selfloops` never produces
+    them.
+    """
+
+    n: int
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    name: str = "MultiDigraph"
+
+    def add_edge(self, u: int, v: int) -> None:
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u},{v}) out of range")
+        self.edges.append((u, v))
+
+    def out_degree(self, v: int) -> int:
+        return sum(1 for (u, _w) in self.edges if u == v)
+
+    def in_degree(self, v: int) -> int:
+        return sum(1 for (_u, w) in self.edges if w == v)
+
+    def is_regular(self, d: int) -> bool:
+        return all(self.out_degree(v) == d and self.in_degree(v) == d
+                   for v in range(self.n))
+
+    def has_self_loops(self) -> bool:
+        return any(u == v for u, v in self.edges)
+
+
+def _self_loop_count(u: int, m: int, d: int) -> int:
+    """Number of values ``a in [0, d)`` with ``u*d + a ≡ u (mod m)``."""
+    return sum(1 for a in range(d) if (u * d + a) % m == u)
+
+
+def debruijn_without_selfloops(m: int, d: int) -> MultiDigraph:
+    """Build ``G*_B(m, d)``: the generalized de Bruijn digraph with self-loops
+    replaced by cycles, yielding a ``d``-regular multi-digraph.
+
+    Following §4.4: every vertex of ``GB(m, d)`` has at least ``floor(d/m)``
+    self-loops; we replace them with ``floor(d/m)`` cycles over *all*
+    vertices plus one extra cycle over the vertices that had ``ceil(d/m)``
+    self-loops.  More generally (and robustly for every ``(m, d)`` with
+    ``m >= 2``), we add, for each level ``k = 1 .. max self-loop count``, a
+    cycle through the set ``S_k`` of vertices with at least ``k`` self-loops;
+    each such cycle restores exactly one unit of in- and out-degree to every
+    vertex of ``S_k``.  Whenever ``|S_k| == 1`` a cycle is impossible; this
+    never happens for the parameters used by GS digraphs (``m >= 2`` implies
+    at least vertices ``0`` and ``m-1`` share the maximum count, as noted in
+    the paper).
+    """
+    if m < 2:
+        raise ValueError("m must be at least 2 (n >= 2d)")
+    if d < 1:
+        raise ValueError("d must be at least 1")
+
+    g = MultiDigraph(m, name=f"G*B({m},{d})")
+    loops = [0] * m
+    for u in range(m):
+        for a in range(d):
+            v = (u * d + a) % m
+            if v == u:
+                loops[u] += 1
+            else:
+                g.add_edge(u, v)
+
+    max_loops = max(loops)
+    for k in range(1, max_loops + 1):
+        members = [v for v in range(m) if loops[v] >= k]
+        if not members:
+            continue
+        if len(members) == 1:
+            raise ValueError(
+                f"cannot replace a self-loop of the single vertex {members[0]}"
+                f" with a cycle (m={m}, d={d})")
+        for i, u in enumerate(members):
+            v = members[(i + 1) % len(members)]
+            g.add_edge(u, v)
+
+    assert g.is_regular(d), "G*_B construction must be d-regular"
+    assert not g.has_self_loops(), "G*_B construction must be self-loop free"
+    return g

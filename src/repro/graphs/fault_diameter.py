@@ -1,0 +1,246 @@
+"""Fault-diameter bounds (§4.2.3 of the paper).
+
+The fault diameter ``D_f(G, f)`` is the worst-case diameter after removing up
+to ``f < k(G)`` vertices.  Exact computation is exponential in ``f``
+(:func:`repro.graphs.metrics.fault_diameter_exact`), so the paper bounds it:
+
+* the trivial bound ``D_f <= floor((n - f - 2) / (k - f)) + 1``
+  (Chung & Garey);
+* if the first ``f + 1`` shortest vertex-disjoint paths between every pair
+  have length at most ``δ_f``, then ``D_f <= δ_f`` (Krishnamoorthy &
+  Krishnamurthy).  Finding the min-max disjoint paths is strongly
+  NP-complete, so the paper solves the *min-sum* disjoint-path problem
+  instead (a min-cost-flow problem, solved here with successive shortest
+  paths / Bellman-Ford on the residual network) and uses Equation (1)
+
+      avg_i |π̂_i|  <=  δ_f  <=  max_i |π̂_i| = δ̂_f
+
+  to gauge the accuracy of the approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .digraph import Digraph
+from .metrics import vertex_connectivity
+
+__all__ = [
+    "trivial_fault_diameter_bound",
+    "min_sum_disjoint_paths",
+    "DisjointPathsResult",
+    "fault_diameter_bound",
+    "FaultDiameterEstimate",
+]
+
+
+def trivial_fault_diameter_bound(n: int, k: int, f: int) -> int:
+    """Chung & Garey's bound ``D_f(G, f) <= floor((n - f - 2)/(k - f)) + 1``."""
+    if f >= k:
+        raise ValueError("bound requires f < k")
+    if n <= f + 1:
+        return 0
+    return (n - f - 2) // (k - f) + 1
+
+
+# --------------------------------------------------------------------------- #
+# Min-sum vertex-disjoint paths via successive shortest paths (min-cost flow)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DisjointPathsResult:
+    """Result of the min-sum disjoint-paths problem for one vertex pair."""
+
+    paths: tuple[tuple[int, ...], ...]
+    #: max_i |π̂_i| — upper bound on δ_f for this pair
+    max_length: int
+    #: mean_i |π̂_i| — lower bound on δ_f for this pair (Equation (1))
+    avg_length: float
+
+    @property
+    def count(self) -> int:
+        return len(self.paths)
+
+
+class _MinCostFlow:
+    """Unit-capacity min-cost flow on the vertex-split network.
+
+    Every vertex ``v`` becomes ``v_in -> v_out`` with capacity 1 / cost 0
+    (unbounded for the endpoints); every edge ``(u, v)`` becomes
+    ``u_out -> v_in`` with capacity 1 / cost 1.  Sending ``f + 1`` units from
+    ``s_out`` to ``t_in`` at minimum total cost yields ``f + 1``
+    vertex-disjoint paths of minimum total length.
+    """
+
+    def __init__(self, g: Digraph, s: int, t: int) -> None:
+        self.g = g
+        self.s = s
+        self.t = t
+        n = g.n
+        self.n_nodes = 2 * n
+        self.adj: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        self.to: list[int] = []
+        self.cap: list[int] = []
+        self.cost: list[int] = []
+        big = n + 1
+        for v in range(n):
+            c = big if v in (s, t) else 1
+            self._add(2 * v, 2 * v + 1, c, 0)
+        for u, v in g.edges():
+            self._add(2 * u + 1, 2 * v, 1, 1)
+
+    def _add(self, a: int, b: int, capacity: int, cost: int) -> None:
+        self.adj[a].append(len(self.to))
+        self.to.append(b)
+        self.cap.append(capacity)
+        self.cost.append(cost)
+        self.adj[b].append(len(self.to))
+        self.to.append(a)
+        self.cap.append(0)
+        self.cost.append(-cost)
+
+    def send(self, units: int) -> int:
+        """Send up to *units* of flow; returns the number actually sent.
+        Uses Bellman-Ford (SPFA) shortest augmenting paths, which handles the
+        negative residual costs without potentials."""
+        source = 2 * self.s + 1
+        sink = 2 * self.t
+        sent = 0
+        INF = float("inf")
+        while sent < units:
+            dist = [INF] * self.n_nodes
+            in_queue = [False] * self.n_nodes
+            parent = [-1] * self.n_nodes
+            dist[source] = 0
+            queue = [source]
+            in_queue[source] = True
+            head = 0
+            while head < len(queue):
+                a = queue[head]
+                head += 1
+                in_queue[a] = False
+                for eidx in self.adj[a]:
+                    if self.cap[eidx] > 0 and \
+                            dist[a] + self.cost[eidx] < dist[self.to[eidx]]:
+                        dist[self.to[eidx]] = dist[a] + self.cost[eidx]
+                        parent[self.to[eidx]] = eidx
+                        if not in_queue[self.to[eidx]]:
+                            queue.append(self.to[eidx])
+                            in_queue[self.to[eidx]] = True
+            if dist[sink] == INF:
+                break
+            node = sink
+            while node != source:
+                eidx = parent[node]
+                self.cap[eidx] -= 1
+                self.cap[eidx ^ 1] += 1
+                node = self.to[eidx ^ 1]
+            sent += 1
+        return sent
+
+    def extract_paths(self) -> list[list[int]]:
+        """Decompose the flow into vertex-disjoint s->t paths."""
+        succ: dict[int, list[int]] = {}
+        for idx in range(0, len(self.to), 2):
+            a_out = self.to[idx ^ 1]
+            b_in = self.to[idx]
+            if a_out % 2 == 1 and b_in % 2 == 0 and self.cost[idx] == 1 \
+                    and self.cap[idx] == 0:
+                succ.setdefault(a_out // 2, []).append(b_in // 2)
+        paths = []
+        for first in sorted(succ.get(self.s, [])):
+            path = [self.s, first]
+            guard = 0
+            while path[-1] != self.t:
+                nxts = succ.get(path[-1])
+                if not nxts:
+                    break
+                path.append(nxts.pop())
+                guard += 1
+                if guard > self.g.n:  # pragma: no cover - defensive
+                    raise RuntimeError("cycle while decomposing flow")
+            if path[-1] == self.t:
+                paths.append(path)
+        return paths
+
+
+def min_sum_disjoint_paths(g: Digraph, s: int, t: int,
+                           count: int) -> DisjointPathsResult:
+    """Solve the min-sum ``count``-vertex-disjoint-paths problem for ``s -> t``.
+
+    Raises ``ValueError`` if fewer than *count* disjoint paths exist.
+    """
+    if s == t:
+        raise ValueError("s and t must differ")
+    if count < 1:
+        raise ValueError("count must be positive")
+    flow = _MinCostFlow(g, s, t)
+    got = flow.send(count)
+    if got < count:
+        raise ValueError(
+            f"only {got} vertex-disjoint paths from {s} to {t}, "
+            f"need {count} (f+1 must not exceed k(G))")
+    paths = flow.extract_paths()
+    lengths = [len(p) - 1 for p in paths]
+    return DisjointPathsResult(
+        paths=tuple(tuple(p) for p in paths),
+        max_length=max(lengths),
+        avg_length=sum(lengths) / len(lengths),
+    )
+
+
+@dataclass(frozen=True)
+class FaultDiameterEstimate:
+    """Graph-wide fault-diameter estimate from the min-sum heuristic."""
+
+    #: δ̂_f = max over pairs of max path length — the fault-diameter bound
+    upper_bound: int
+    #: max over pairs of the average path length — lower end of Equation (1)
+    lower_bound: float
+    #: number of vertex pairs examined
+    pairs_examined: int
+    f: int
+
+    @property
+    def is_tight(self) -> bool:
+        """True if Equation (1) pins δ_f exactly (avg == max everywhere)."""
+        return int(round(self.lower_bound)) == self.upper_bound and \
+            abs(self.lower_bound - round(self.lower_bound)) < 1e-9
+
+
+def fault_diameter_bound(g: Digraph, f: int, *,
+                         pairs: Optional[Iterable[tuple[int, int]]] = None,
+                         connectivity: Optional[int] = None
+                         ) -> FaultDiameterEstimate:
+    """Estimate ``D_f(G, f)`` with the min-sum disjoint-path heuristic.
+
+    Parameters
+    ----------
+    g:
+        The overlay digraph.
+    f:
+        Number of tolerated failures; must satisfy ``f < k(G)``.
+    pairs:
+        Vertex pairs to examine.  Defaults to *all* ordered pairs — O(n²)
+        min-cost-flow solves, fine for the paper's worked examples; pass a
+        sample for large graphs.
+    connectivity:
+        ``k(G)`` if already known, to skip recomputation.
+    """
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    k = connectivity if connectivity is not None else vertex_connectivity(g)
+    if f >= k:
+        raise ValueError(f"f={f} must be < k(G)={k}")
+    if pairs is None:
+        pairs = ((s, t) for s in g.vertices() for t in g.vertices() if s != t)
+    ub = 0
+    lb = 0.0
+    examined = 0
+    for s, t in pairs:
+        res = min_sum_disjoint_paths(g, s, t, f + 1)
+        ub = max(ub, res.max_length)
+        lb = max(lb, res.avg_length)
+        examined += 1
+    return FaultDiameterEstimate(upper_bound=ub, lower_bound=lb,
+                                 pairs_examined=examined, f=f)

@@ -1,0 +1,130 @@
+"""``GS(n, d)`` digraphs (Soneoka, Imase, Manabe) — AllConcur's overlay of
+choice (§4.4 of the paper).
+
+Construction summary
+--------------------
+Let ``m`` and ``t`` be the quotient and remainder of ``n / d`` (``n = m·d + t``
+with ``m >= 2``).
+
+1. Build the generalized de Bruijn digraph ``GB(m, d)`` and replace its
+   self-loops with cycles, giving the ``d``-regular multi-digraph
+   ``G*_B(m, d)`` (see :mod:`repro.graphs.debruijn`).
+2. Take the line digraph ``L(G*_B(m, d))``: one vertex per edge of
+   ``G*_B``, and an edge ``(uv) -> (vw)`` whenever the head of the first edge
+   equals the tail of the second.  This has exactly ``m·d`` vertices and is
+   ``d``-regular.
+3. If ``t > 0``, add ``t`` extra vertices ``w_0 .. w_{t-1}``: pick an
+   arbitrary vertex ``v`` of ``G*_B``, let ``X`` be the ``d`` line-vertices
+   that are in-edges of ``v`` and ``Y`` the ``d`` line-vertices that are
+   out-edges of ``v``; connect the ``w_i`` into a clique, attach each ``w_i``
+   to the ``d - t + 1`` vertices ``X_i = {x_i .. x_{i+d-t}}`` (incoming) and
+   ``Y_i = {y_i .. y_{i+d-t}}`` (outgoing), and remove a perfect matching
+   ``M_i`` between ``X_i`` and ``Y_i`` so that every vertex keeps in- and
+   out-degree exactly ``d``.
+
+Properties (paper, Table 3): ``GS(n, d)`` is ``d``-regular, optimally
+connected (``k = d``) and has quasiminimal diameter
+(``D <= D_L(n, d) + 1`` for ``n <= d^3 + d``).
+"""
+
+from __future__ import annotations
+
+from .debruijn import MultiDigraph, debruijn_without_selfloops
+from .digraph import Digraph
+
+__all__ = ["gs_digraph", "line_digraph", "gs_parameters"]
+
+
+def gs_parameters(n: int, d: int) -> tuple[int, int]:
+    """Return ``(m, t)`` with ``n = m*d + t`` and validate the constraints
+    ``d >= 3`` and ``n >= 2*d`` required by the construction."""
+    if d < 3:
+        raise ValueError(f"GS(n,d) requires degree d >= 3, got {d}")
+    if n < 2 * d:
+        raise ValueError(f"GS(n,d) requires n >= 2d, got n={n}, d={d}")
+    m, t = divmod(n, d)
+    return m, t
+
+
+def line_digraph(g: MultiDigraph, *, name: str = "") -> Digraph:
+    """The line digraph ``L(g)`` of a multi-digraph.
+
+    Every (parallel) edge of *g* becomes one vertex; the vertex for edge
+    ``(u, v)`` points to the vertex for edge ``(w, z)`` iff ``v == w``.
+    Vertex ids are assigned by edge position in ``g.edges`` (deterministic).
+    """
+    n_line = len(g.edges)
+    # Group line-vertices (edge indices) by their tail vertex in g.
+    by_tail: dict[int, list[int]] = {}
+    for idx, (u, _v) in enumerate(g.edges):
+        by_tail.setdefault(u, []).append(idx)
+    edges = []
+    for idx, (_u, v) in enumerate(g.edges):
+        for jdx in by_tail.get(v, ()):
+            if jdx != idx:
+                edges.append((idx, jdx))
+            else:  # pragma: no cover - g has no self-loops by construction
+                raise ValueError("line digraph of a graph with self-loops")
+    return Digraph(n_line, edges, name=name or f"L({g.name})")
+
+
+def gs_digraph(n: int, d: int) -> Digraph:
+    """Build the ``GS(n, d)`` digraph used as AllConcur's overlay network.
+
+    Parameters
+    ----------
+    n:
+        Number of servers (vertices), ``n >= 2*d``.
+    d:
+        Degree = vertex-connectivity = number of successors per server,
+        ``d >= 3``.  Choose it from a reliability target with
+        :func:`repro.graphs.selection.degree_for_reliability`.
+    """
+    m, t = gs_parameters(n, d)
+    gstar = debruijn_without_selfloops(m, d)
+    line = line_digraph(gstar)
+
+    if t == 0:
+        return Digraph(n, line.edges(), name=f"GS({n},{d})")
+
+    # --- extension with t extra vertices --------------------------------- #
+    # Pick v = 0 (an arbitrary vertex of G*_B); X = in-edges of v, Y =
+    # out-edges of v, as line-vertex ids.
+    v = 0
+    x_ids = [idx for idx, (_u, head) in enumerate(gstar.edges) if head == v]
+    y_ids = [idx for idx, (tail, _w) in enumerate(gstar.edges) if tail == v]
+    assert len(x_ids) == d and len(y_ids) == d, \
+        "G*_B regularity violated: |X| or |Y| != d"
+
+    w_ids = list(range(line.n, line.n + t))
+    edges = set(line.edges())
+
+    # clique among the new vertices
+    for i in w_ids:
+        for j in w_ids:
+            if i != j:
+                edges.add((i, j))
+
+    s = d - t + 1  # |X_i| == |Y_i| == s
+    for i in range(t):
+        wi = w_ids[i]
+        xi = [x_ids[i + p] for p in range(s)]
+        yi = [y_ids[i + p] for p in range(s)]
+        for x in xi:
+            edges.add((x, wi))
+        for y in yi:
+            edges.add((wi, y))
+        # Remove the perfect matching M_i between X_i and Y_i:
+        #   (x_{i+p}, y_{i+q}) with q = (i + p) mod s,
+        # which pairs every x in X_i with a distinct y in Y_i and — across
+        # different i — removes distinct edges, keeping the digraph
+        # d-regular (see tests/graphs/test_gs.py::test_gs_regularity).
+        for p in range(s):
+            q = (i + p) % s
+            edge = (x_ids[i + p], y_ids[i + q])
+            if edge not in edges:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"GS construction: matching edge {edge} missing")
+            edges.discard(edge)
+
+    return Digraph(n, edges, name=f"GS({n},{d})")

@@ -1,0 +1,161 @@
+"""Reliability model for AllConcur deployments (§4.2.2, §4.4, Figure 5).
+
+The paper estimates the probability of a server failing over a period ``Δ``
+with an exponential lifetime model, ``p_f = 1 - exp(-Δ / MTTF)``, and the
+system reliability as the probability that fewer than ``k(G)`` servers fail:
+
+    ρ_G = Σ_{i=0}^{k(G)-1}  C(n, i) · p_f^i · (1 - p_f)^{n-i}
+
+Reliability is reported in "nines": ``-log10(1 - ρ_G)``.  The default
+parameters follow the paper: Δ = 24 hours and MTTF ≈ 2 years (TSUBAME2.5
+failure history).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "HOURS", "DAYS", "YEARS",
+    "failure_probability",
+    "reliability",
+    "unreliability",
+    "nines",
+    "reliability_nines",
+    "required_connectivity",
+    "ReliabilityModel",
+]
+
+#: Time units expressed in seconds (the library's canonical time unit).
+HOURS = 3600.0
+DAYS = 24 * HOURS
+YEARS = 365.25 * DAYS
+
+#: Paper defaults (§4.4): reliability evaluated over 24 hours with a server
+#: MTTF of about two years.
+DEFAULT_PERIOD = 24 * HOURS
+DEFAULT_MTTF = 2 * YEARS
+
+
+def failure_probability(period: float = DEFAULT_PERIOD,
+                        mttf: float = DEFAULT_MTTF) -> float:
+    """``p_f = 1 - exp(-Δ/MTTF)``: probability that one server fails during
+    the period ``Δ`` under an exponential lifetime model."""
+    if period < 0:
+        raise ValueError("period must be non-negative")
+    if mttf <= 0:
+        raise ValueError("MTTF must be positive")
+    return -math.expm1(-period / mttf)
+
+
+def _log_binom_pmf(n: int, i: int, p: float) -> float:
+    """log of ``C(n, i) p^i (1-p)^(n-i)`` computed in log-space."""
+    if p <= 0.0:
+        return 0.0 if i == 0 else -math.inf
+    if p >= 1.0:
+        return 0.0 if i == n else -math.inf
+    return (math.lgamma(n + 1) - math.lgamma(i + 1) - math.lgamma(n - i + 1)
+            + i * math.log(p) + (n - i) * math.log1p(-p))
+
+
+def unreliability(n: int, k: int, p_f: float) -> float:
+    """``1 - ρ_G``: probability of at least ``k`` failures among ``n``
+    servers, i.e. the probability that the deployment exceeds its fault
+    tolerance.  Computed as an upper-tail binomial sum in log space, which
+    stays accurate far below double-precision round-off of ``ρ_G`` itself.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    total = 0.0
+    for i in range(k, n + 1):
+        term = math.exp(_log_binom_pmf(n, i, p_f))
+        total += term
+        # terms decay geometrically once i >> n*p_f; stop when negligible
+        if term < total * 1e-18 and i > n * p_f + 10:
+            break
+    return min(total, 1.0)
+
+
+def reliability(n: int, k: int, p_f: float) -> float:
+    """``ρ_G = P(fewer than k failures among n servers)``."""
+    return 1.0 - unreliability(n, k, p_f)
+
+
+def nines(rho: float) -> float:
+    """Reliability expressed in "nines": ``-log10(1 - ρ)``.
+
+    ``rho == 1`` maps to ``inf``.
+    """
+    if rho >= 1.0:
+        return math.inf
+    if rho < 0.0:
+        raise ValueError("reliability must be in [0, 1]")
+    return -math.log10(1.0 - rho)
+
+
+def reliability_nines(n: int, k: int, p_f: float) -> float:
+    """Nines of reliability for ``n`` servers with connectivity ``k``."""
+    u = unreliability(n, k, p_f)
+    if u <= 0.0:
+        return math.inf
+    return -math.log10(u)
+
+
+def required_connectivity(n: int, target_nines: float,
+                          p_f: float, *, k_max: int | None = None) -> int:
+    """Smallest vertex-connectivity ``k`` such that the deployment of ``n``
+    servers reaches *target_nines* nines of reliability.
+
+    This is the quantity that drives the degree choice of Table 3 (for the
+    optimally connected ``GS(n, d)`` digraphs, ``k == d``).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    limit = k_max if k_max is not None else n
+    for k in range(1, limit + 1):
+        if reliability_nines(n, k, p_f) >= target_nines:
+            return k
+    raise ValueError(
+        f"no connectivity up to {limit} reaches {target_nines} nines "
+        f"for n={n}, p_f={p_f}")
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Convenience bundle of the paper's reliability parameters.
+
+    Attributes
+    ----------
+    period:
+        Evaluation window Δ in seconds (default 24 hours).
+    mttf:
+        Server mean time to failure in seconds (default 2 years).
+    target_nines:
+        Reliability target (default 6 — "6-nines", as in Table 3/Figure 5).
+    """
+
+    period: float = DEFAULT_PERIOD
+    mttf: float = DEFAULT_MTTF
+    target_nines: float = 6.0
+
+    @property
+    def p_f(self) -> float:
+        """Per-server failure probability over the evaluation window."""
+        return failure_probability(self.period, self.mttf)
+
+    def reliability(self, n: int, k: int) -> float:
+        """ρ_G for ``n`` servers and connectivity ``k``."""
+        return reliability(n, k, self.p_f)
+
+    def nines(self, n: int, k: int) -> float:
+        """Reliability nines for ``n`` servers and connectivity ``k``."""
+        return reliability_nines(n, k, self.p_f)
+
+    def required_connectivity(self, n: int) -> int:
+        """Minimum connectivity to reach the target for ``n`` servers."""
+        return required_connectivity(n, self.target_nines, self.p_f)

@@ -1,0 +1,136 @@
+"""Overlay selection: choosing the digraph ``G`` for a deployment (§4.4).
+
+Given the number of servers ``n`` and a reliability target, this module picks
+the degree ``d`` (Table 3) and builds the corresponding ``GS(n, d)`` overlay,
+or — for comparison — a binomial graph.  It also reproduces the data behind
+Figure 5 (reliability in nines as a function of the graph size for the two
+families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .binomial import binomial_degree, binomial_graph
+from .digraph import Digraph
+from .gs import gs_digraph
+from .metrics import diameter, moore_bound_diameter
+from .reliability import ReliabilityModel
+
+__all__ = [
+    "degree_for_reliability",
+    "select_overlay",
+    "OverlayChoice",
+    "table3_row",
+    "Table3Row",
+]
+
+#: Minimum degree supported by the GS(n, d) construction.
+GS_MIN_DEGREE = 3
+
+
+def degree_for_reliability(n: int, model: ReliabilityModel | None = None
+                           ) -> int:
+    """Degree ``d`` of the ``GS(n, d)`` overlay needed to reach the model's
+    reliability target (Table 3).
+
+    Because GS digraphs are optimally connected, the degree equals the
+    connectivity, so this is just the required connectivity clamped to the
+    construction's constraints (``d >= 3`` and ``n >= 2d``).
+    """
+    model = model or ReliabilityModel()
+    k = model.required_connectivity(n)
+    d = max(k, GS_MIN_DEGREE)
+    if n < 2 * d:
+        raise ValueError(
+            f"n={n} too small for the required degree d={d} (need n >= 2d); "
+            f"use a complete or binomial overlay instead")
+    return d
+
+
+@dataclass(frozen=True)
+class OverlayChoice:
+    """A selected overlay digraph together with its design rationale."""
+
+    graph: Digraph
+    family: str             # "gs" | "binomial" | "complete"
+    degree: int
+    diameter: int
+    target_nines: float
+    achieved_nines: float
+
+
+def select_overlay(n: int, *, family: str = "gs",
+                   model: ReliabilityModel | None = None,
+                   degree: int | None = None) -> OverlayChoice:
+    """Select and build an overlay for ``n`` servers.
+
+    Parameters
+    ----------
+    n:
+        Number of servers.
+    family:
+        ``"gs"`` (default, the paper's choice), ``"binomial"``, or
+        ``"complete"`` (textbook reliable broadcast; degree n-1).
+    model:
+        Reliability model; defaults to the paper's (24 h window, 2-year
+        MTTF, 6-nines target).
+    degree:
+        Override the degree (only for the GS family); when omitted it is
+        derived from the reliability target.
+    """
+    model = model or ReliabilityModel()
+    if family == "gs":
+        d = degree if degree is not None else degree_for_reliability(n, model)
+        g = gs_digraph(n, d)
+    elif family == "binomial":
+        if degree is not None:
+            raise ValueError("binomial graphs have a fixed degree")
+        g = binomial_graph(n)
+        d = binomial_degree(n)
+    elif family == "complete":
+        from .standard import complete_digraph
+
+        g = complete_digraph(n)
+        d = n - 1
+    else:
+        raise ValueError(f"unknown overlay family {family!r}")
+    return OverlayChoice(
+        graph=g,
+        family=family,
+        degree=d,
+        diameter=diameter(g),
+        target_nines=model.target_nines,
+        achieved_nines=model.nines(n, d),
+    )
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table 3: GS(n, d) parameters for the reliability target."""
+
+    n: int
+    degree: int
+    diameter: int
+    moore_lower_bound: int
+    achieved_nines: float
+
+    @property
+    def quasiminimal(self) -> bool:
+        """Diameter within one of the Moore lower bound (the paper's
+        quasiminimality guarantee for ``n <= d^3 + d``)."""
+        return self.diameter <= self.moore_lower_bound + 1
+
+
+def table3_row(n: int, model: ReliabilityModel | None = None) -> Table3Row:
+    """Compute one row of Table 3 for ``n`` servers."""
+    model = model or ReliabilityModel()
+    d = degree_for_reliability(n, model)
+    g = gs_digraph(n, d)
+    return Table3Row(
+        n=n,
+        degree=d,
+        diameter=diameter(g),
+        moore_lower_bound=moore_bound_diameter(n, d),
+        achieved_nines=model.nines(n, d),
+    )

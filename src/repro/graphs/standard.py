@@ -1,0 +1,124 @@
+"""Standard overlay topologies used as baselines and for ablations.
+
+The paper compares its ``GS(n, d)`` overlay against the binomial graph
+(:mod:`repro.graphs.binomial`) and mentions the binary hypercube (§4.4).  A
+complete digraph is the overlay of the textbook reliable-broadcast algorithm
+(§2.1) and of the MPI_Allgather-style unreliable baseline; rings and
+star/leader topologies appear in the leader-based comparison (§4.5).
+"""
+
+from __future__ import annotations
+
+from .digraph import Digraph
+
+__all__ = [
+    "complete_digraph",
+    "ring_digraph",
+    "bidirectional_ring",
+    "binary_hypercube",
+    "star_digraph",
+    "random_regular_digraph",
+]
+
+
+def complete_digraph(n: int) -> Digraph:
+    """The complete digraph ``K_n``: every ordered pair is an edge.
+
+    This is the overlay used by the simple reliable-broadcast algorithm of
+    §2.1 and by the unreliable all-to-all baseline.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    edges = ((u, v) for u in range(n) for v in range(n) if u != v)
+    return Digraph(n, edges, name=f"K({n})")
+
+
+def ring_digraph(n: int) -> Digraph:
+    """A unidirectional ring: ``i -> (i+1) mod n``.  Degree 1, diameter n-1."""
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    return Digraph(n, ((i, (i + 1) % n) for i in range(n)), name=f"Ring({n})")
+
+
+def bidirectional_ring(n: int) -> Digraph:
+    """A bidirectional ring: degree 2, diameter ``floor(n/2)``."""
+    if n < 3:
+        raise ValueError("n must be at least 3")
+    edges = []
+    for i in range(n):
+        edges.append((i, (i + 1) % n))
+        edges.append((i, (i - 1) % n))
+    return Digraph(n, edges, name=f"BiRing({n})")
+
+
+def binary_hypercube(dim: int) -> Digraph:
+    """The binary hypercube with ``2**dim`` vertices, each edge in both
+    directions.  Degree = connectivity = ``dim``, diameter = ``dim``.
+
+    The paper cites it (§4.4) as the classic topology that binomial graphs
+    beat on (fault) diameter.
+    """
+    if dim < 1:
+        raise ValueError("dimension must be at least 1")
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for b in range(dim):
+            edges.append((v, v ^ (1 << b)))
+    return Digraph(n, edges, name=f"Hypercube({dim})")
+
+
+def star_digraph(n: int, center: int = 0) -> Digraph:
+    """A star: the *center* has edges to and from every other vertex.
+
+    This is the communication pattern of the leader-based deployment of
+    Figure 1a (every server talks only to the leader).
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    if not 0 <= center < n:
+        raise ValueError("center out of range")
+    edges = []
+    for v in range(n):
+        if v != center:
+            edges.append((center, v))
+            edges.append((v, center))
+    return Digraph(n, edges, name=f"Star({n})")
+
+
+def random_regular_digraph(n: int, d: int, *, seed: int = 0,
+                           max_tries: int = 200) -> Digraph:
+    """A random ``d``-regular digraph (every in- and out-degree exactly
+    ``d``), built by superimposing ``d`` random permutations without fixed
+    points or duplicate edges.
+
+    Used for ablation benchmarks ("how much does the carefully constructed
+    GS(n,d) overlay matter versus an arbitrary regular overlay?").
+    """
+    import random
+
+    if d < 1 or d >= n:
+        raise ValueError("need 1 <= d < n")
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        succ: list[set[int]] = [set() for _ in range(n)]
+        ok = True
+        for _ in range(d):
+            perm = list(range(n))
+            placed = False
+            for _attempt in range(50):
+                rng.shuffle(perm)
+                if all(perm[v] != v and perm[v] not in succ[v]
+                       for v in range(n)):
+                    placed = True
+                    break
+            if not placed:
+                ok = False
+                break
+            for v in range(n):
+                succ[v].add(perm[v])
+        if ok:
+            edges = [(u, v) for u in range(n) for v in succ[u]]
+            return Digraph(n, edges, name=f"RandomRegular({n},{d})")
+    raise RuntimeError(
+        f"could not build a random {d}-regular digraph on {n} vertices")

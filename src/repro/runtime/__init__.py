@@ -1,0 +1,27 @@
+"""Real asyncio/TCP deployment of the AllConcur protocol core.
+
+Demonstrates that the same sans-IO core used by the simulator runs over real
+sockets: length-prefixed JSON framing, one TCP connection per overlay edge,
+heartbeat failure detection.
+"""
+
+from .cluster import LocalCluster, pick_free_port_base
+from .framing import (
+    FrameDecoder,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from .node import DeliveredRound, NodeAddress, RuntimeNode
+
+__all__ = [
+    "LocalCluster",
+    "pick_free_port_base",
+    "RuntimeNode",
+    "NodeAddress",
+    "DeliveredRound",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_message",
+    "decode_message",
+]

@@ -1,0 +1,153 @@
+"""Local (single-process) deployment of an AllConcur cluster over TCP.
+
+:class:`LocalCluster` starts one :class:`~repro.runtime.node.RuntimeNode` per
+overlay vertex, all inside the current asyncio event loop, listening on
+consecutive localhost ports.  It is the entry point the examples and the
+runtime tests use:
+
+>>> import asyncio
+>>> from repro.graphs import gs_digraph
+>>> from repro.runtime import LocalCluster
+>>> async def demo():
+...     async with LocalCluster(gs_digraph(6, 3)) as cluster:
+...         await cluster.submit(0, b"hello")
+...         rounds = await cluster.run_rounds(1)
+...         return rounds[0]
+>>> # asyncio.run(demo())
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Iterable, Optional, Sequence
+
+from ..core.batching import Batch, Request
+from ..core.config import AllConcurConfig
+from ..graphs.digraph import Digraph
+from .node import DeliveredRound, NodeAddress, RuntimeNode
+
+__all__ = ["LocalCluster", "pick_free_port_base"]
+
+
+def pick_free_port_base(count: int) -> int:
+    """Find a base port such that ``base .. base+count-1`` are bindable."""
+    import socket
+
+    for base in range(20000, 60000, max(count, 1) + 7):
+        ok = True
+        socks = []
+        try:
+            for offset in range(count):
+                s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                try:
+                    s.bind(("127.0.0.1", base + offset))
+                except OSError:
+                    ok = False
+                    s.close()
+                    break
+                socks.append(s)
+        finally:
+            for s in socks:
+                s.close()
+        if ok:
+            return base
+    raise RuntimeError("no free port range found")
+
+
+class LocalCluster:
+    """All servers of one AllConcur deployment, hosted in-process."""
+
+    def __init__(self, graph: Digraph, *, host: str = "127.0.0.1",
+                 base_port: Optional[int] = None,
+                 config: Optional[AllConcurConfig] = None,
+                 heartbeat_period: float = 0.05,
+                 heartbeat_timeout: float = 0.5,
+                 enable_failure_detector: bool = True) -> None:
+        self.graph = graph
+        self.config = config or AllConcurConfig(graph=graph,
+                                                auto_advance=False)
+        members = self.config.initial_members
+        port0 = base_port if base_port is not None \
+            else pick_free_port_base(len(members))
+        self.addresses = {
+            pid: NodeAddress(pid, host, port0 + idx)
+            for idx, pid in enumerate(members)
+        }
+        self.nodes: dict[int, RuntimeNode] = {
+            pid: RuntimeNode(pid, self.config, self.addresses,
+                             heartbeat_period=heartbeat_period,
+                             heartbeat_timeout=heartbeat_timeout,
+                             enable_failure_detector=enable_failure_detector)
+            for pid in members
+        }
+        self._seq: dict[int, int] = {pid: 0 for pid in members}
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        """Start every node (listeners first, then outgoing connections)."""
+        if self._started:
+            return
+        await asyncio.gather(*(node.start() for node in self.nodes.values()))
+        self._started = True
+
+    async def stop(self) -> None:
+        await asyncio.gather(*(node.stop() for node in self.nodes.values()),
+                             return_exceptions=True)
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self.nodes))
+
+    async def submit(self, server_id: int, data, *, nbytes: int = 64) -> None:
+        """Submit an application request at *server_id*."""
+        node = self.nodes[server_id]
+        seq = self._seq[server_id]
+        self._seq[server_id] = seq + 1
+        await node.submit(Request(origin=server_id, seq=seq, nbytes=nbytes,
+                                  data=data))
+
+    async def run_rounds(self, rounds: int, *,
+                         timeout: float = 30.0) -> list[dict[int, DeliveredRound]]:
+        """Run *rounds* full rounds: every node A-broadcasts, then we wait
+        for every node to deliver.  Returns, per round, the delivery record
+        of every node (they all agree; tests assert it)."""
+        results: list[dict[int, DeliveredRound]] = []
+        for _ in range(rounds):
+            current = min(node.delivered_rounds for node in self.nodes.values())
+            await asyncio.gather(*(node.start_round()
+                                   for node in self.nodes.values()))
+            per_node = {}
+            for pid, node in self.nodes.items():
+                per_node[pid] = await node.wait_for_round(current,
+                                                          timeout=timeout)
+            results.append(per_node)
+        return results
+
+    def agreement_holds(self) -> bool:
+        """Every node delivered identical message sequences for the rounds
+        it completed (the runtime counterpart of Lemma 3.5)."""
+        nodes = list(self.nodes.values())
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                common = min(a.delivered_rounds, b.delivered_rounds)
+                for r in range(common):
+                    da, db = a.delivered[r], b.delivered[r]
+                    if da.round != db.round:
+                        return False
+                    if [(o, batch.count, tuple(req.data for req in batch.requests))
+                            for o, batch in da.messages] != \
+                       [(o, batch.count, tuple(req.data for req in batch.requests))
+                            for o, batch in db.messages]:
+                        return False
+        return True

@@ -1,0 +1,128 @@
+"""Wire format of the asyncio/TCP runtime.
+
+The original AllConcur is a C program speaking raw TCP (or InfiniBand
+Verbs); this runtime speaks length-prefixed JSON over TCP sockets on
+localhost, which is more than enough to demonstrate the deployment path of
+the very same protocol core that the simulator exercises (the Python
+runtime obviously cannot reach the paper's absolute throughput — see
+DESIGN.md, substitutions).
+
+Frame layout: ``4-byte big-endian length`` followed by a UTF-8 JSON object
+with a ``"type"`` discriminator.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from ..core.batching import Batch, Request
+from ..core.messages import Backward, Broadcast, FailureNotice, Forward, Message
+
+__all__ = ["encode_message", "decode_message", "encode_frame", "FrameDecoder",
+           "MAX_FRAME_BYTES"]
+
+#: Upper bound on a frame, to protect against corrupted length prefixes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def _batch_to_json(batch: Batch) -> dict[str, Any]:
+    return {
+        "count": batch.count,
+        "nbytes": batch.nbytes,
+        "requests": [
+            {
+                "origin": r.origin,
+                "seq": r.seq,
+                "nbytes": r.nbytes,
+                "submit_time": r.submit_time,
+                "data": r.data,
+            }
+            for r in batch.requests
+        ],
+    }
+
+
+def _batch_from_json(obj: dict[str, Any]) -> Batch:
+    requests = tuple(
+        Request(origin=r["origin"], seq=r["seq"], nbytes=r["nbytes"],
+                submit_time=r.get("submit_time", 0.0), data=r.get("data"))
+        for r in obj.get("requests", ()))
+    if requests:
+        return Batch.of(requests)
+    return Batch(count=obj.get("count", 0), nbytes=obj.get("nbytes", 0))
+
+
+def encode_message(sender: int, message: Message) -> dict[str, Any]:
+    """Convert a protocol message into a JSON-serialisable dict."""
+    if isinstance(message, Broadcast):
+        return {"type": "bcast", "from": sender, "round": message.round,
+                "origin": message.origin,
+                "payload": _batch_to_json(message.payload)}
+    if isinstance(message, FailureNotice):
+        return {"type": "fail", "from": sender, "round": message.round,
+                "failed": message.failed, "reporter": message.reporter}
+    if isinstance(message, Forward):
+        return {"type": "fwd", "from": sender, "round": message.round,
+                "origin": message.origin}
+    if isinstance(message, Backward):
+        return {"type": "bwd", "from": sender, "round": message.round,
+                "origin": message.origin}
+    raise TypeError(f"cannot encode {type(message)!r}")
+
+
+def decode_message(obj: dict[str, Any]) -> tuple[int, Message]:
+    """Inverse of :func:`encode_message`: returns ``(sender, message)``."""
+    kind = obj.get("type")
+    sender = int(obj["from"])
+    rnd = int(obj["round"])
+    if kind == "bcast":
+        return sender, Broadcast(round=rnd, origin=int(obj["origin"]),
+                                 payload=_batch_from_json(obj["payload"]))
+    if kind == "fail":
+        return sender, FailureNotice(round=rnd, failed=int(obj["failed"]),
+                                     reporter=int(obj["reporter"]))
+    if kind == "fwd":
+        return sender, Forward(round=rnd, origin=int(obj["origin"]))
+    if kind == "bwd":
+        return sender, Backward(round=rnd, origin=int(obj["origin"]))
+    raise ValueError(f"unknown message type {kind!r}")
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Length-prefix and encode one JSON object."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame too large ({len(body)} bytes)")
+    return _LEN.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder for a stream of length-prefixed JSON frames."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Feed raw bytes; return every complete frame decoded so far."""
+        self._buffer.extend(data)
+        frames: list[dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ValueError(f"frame length {length} exceeds limit")
+            if len(self._buffer) < _LEN.size + length:
+                break
+            body = bytes(self._buffer[_LEN.size:_LEN.size + length])
+            del self._buffer[:_LEN.size + length]
+            frames.append(json.loads(body.decode("utf-8")))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

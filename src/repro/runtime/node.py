@@ -1,0 +1,257 @@
+"""asyncio/TCP deployment of the AllConcur protocol core.
+
+Each :class:`RuntimeNode` runs one :class:`~repro.core.server.AllConcurServer`
+and talks to its overlay neighbours over TCP: it listens on its own port,
+dials every successor, and translates protocol effects into frames
+(:mod:`repro.runtime.framing`).  A lightweight heartbeat task implements the
+failure detector of §3.2 (period ``Δhb``, timeout ``Δto``): every node
+heartbeats its successors and suspects a predecessor after ``Δto`` of
+silence.
+
+The runtime exists to demonstrate that the same sans-IO core that the
+simulator exercises deploys unchanged over real sockets; it is not a
+performance vehicle (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.batching import Batch, Request
+from ..core.config import AllConcurConfig
+from ..core.interfaces import Deliver, RoundAdvance, Send
+from ..core.messages import Backward, Message
+from ..core.server import AllConcurServer
+from .framing import FrameDecoder, decode_message, encode_frame, encode_message
+
+__all__ = ["RuntimeNode", "NodeAddress", "DeliveredRound"]
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """TCP endpoint of one AllConcur server."""
+
+    server_id: int
+    host: str
+    port: int
+
+
+@dataclass(frozen=True)
+class DeliveredRound:
+    """One A-delivered round as observed by a runtime node."""
+
+    round: int
+    messages: tuple[tuple[int, Batch], ...]
+    removed: tuple[int, ...]
+    wall_time: float
+
+
+class RuntimeNode:
+    """One AllConcur server bound to asyncio TCP transports."""
+
+    def __init__(self, server_id: int, config: AllConcurConfig,
+                 addresses: dict[int, NodeAddress], *,
+                 heartbeat_period: float = 0.05,
+                 heartbeat_timeout: float = 0.5,
+                 enable_failure_detector: bool = True) -> None:
+        if server_id not in addresses:
+            raise ValueError(f"no address for server {server_id}")
+        self.id = server_id
+        self.config = config
+        self.addresses = addresses
+        self.server = AllConcurServer(server_id, config)
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.enable_failure_detector = enable_failure_detector
+
+        self.delivered: list[DeliveredRound] = []
+        self.deliver_callbacks: list[Callable[[DeliveredRound], None]] = []
+
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._last_heard: dict[int, float] = {}
+        self._suspected: set[int] = set()
+        self._tasks: list[asyncio.Task] = []
+        self._lock = asyncio.Lock()
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Start listening and connect to all successors."""
+        addr = self.addresses[self.id]
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, addr.host, addr.port)
+        for succ in self.server.graph.successors(self.id):
+            if succ in self.addresses:
+                await self._connect(succ)
+        if self.enable_failure_detector:
+            self._tasks.append(asyncio.create_task(self._heartbeat_loop()))
+            self._tasks.append(asyncio.create_task(self._timeout_loop()))
+
+    async def stop(self) -> None:
+        """Close every connection and stop background tasks."""
+        self._stopped.set()
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+
+    # ------------------------------------------------------------------ #
+    # Application API
+    # ------------------------------------------------------------------ #
+    async def submit(self, request: Request) -> None:
+        """Queue a request for the next round's message."""
+        async with self._lock:
+            self.server.submit(request)
+
+    async def start_round(self, *, payload: Optional[Batch] = None) -> None:
+        """A-broadcast the current round's message."""
+        async with self._lock:
+            await self._execute(self.server.start_round(payload=payload))
+
+    def on_deliver(self, callback: Callable[[DeliveredRound], None]) -> None:
+        """Register a callback invoked on every A-delivered round."""
+        self.deliver_callbacks.append(callback)
+
+    @property
+    def delivered_rounds(self) -> int:
+        return len(self.delivered)
+
+    async def wait_for_round(self, round_no: int, *,
+                             timeout: float = 30.0) -> DeliveredRound:
+        """Wait until the node has delivered *round_no* (0-based)."""
+        deadline = time.monotonic() + timeout
+        while len(self.delivered) <= round_no:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"server {self.id} did not deliver round {round_no} "
+                    f"within {timeout}s")
+            await asyncio.sleep(0.005)
+        return self.delivered[round_no]
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+    async def _connect(self, peer: int) -> None:
+        addr = self.addresses[peer]
+        for attempt in range(40):
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    addr.host, addr.port)
+                self._writers[peer] = writer
+                return
+            except OSError:
+                await asyncio.sleep(0.05 * (attempt + 1))
+        raise ConnectionError(f"server {self.id} cannot reach {peer}")
+
+    async def _get_writer(self, peer: int) -> Optional[asyncio.StreamWriter]:
+        writer = self._writers.get(peer)
+        if writer is None or writer.is_closing():
+            try:
+                await self._connect(peer)
+            except ConnectionError:
+                return None
+            writer = self._writers.get(peer)
+        return writer
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder()
+        try:
+            while not self._stopped.is_set():
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for obj in decoder.feed(data):
+                    await self._handle_frame(obj)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_frame(self, obj: dict) -> None:
+        kind = obj.get("type")
+        if kind == "heartbeat":
+            self._last_heard[int(obj["from"])] = time.monotonic()
+            return
+        sender, message = decode_message(obj)
+        self._last_heard[sender] = time.monotonic()
+        async with self._lock:
+            await self._execute(self.server.handle_message(sender, message))
+
+    # ------------------------------------------------------------------ #
+    # Effects
+    # ------------------------------------------------------------------ #
+    async def _execute(self, effects: list) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                await self._send_effect(effect)
+            elif isinstance(effect, Deliver):
+                record = DeliveredRound(
+                    round=effect.round, messages=effect.messages,
+                    removed=effect.removed, wall_time=time.monotonic())
+                self.delivered.append(record)
+                for cb in self.deliver_callbacks:
+                    cb(record)
+            elif isinstance(effect, RoundAdvance):
+                continue
+
+    async def _send_effect(self, effect: Send) -> None:
+        frame = encode_frame(encode_message(self.id, effect.message))
+        for target in effect.targets:
+            writer = await self._get_writer(target)
+            if writer is None:
+                continue
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                self._writers.pop(target, None)
+
+    # ------------------------------------------------------------------ #
+    # Failure detector (heartbeats over the same connections)
+    # ------------------------------------------------------------------ #
+    async def _heartbeat_loop(self) -> None:
+        frame = encode_frame({"type": "heartbeat", "from": self.id})
+        while not self._stopped.is_set():
+            for succ in self.server.graph.successors(self.id):
+                writer = self._writers.get(succ)
+                if writer is not None and not writer.is_closing():
+                    try:
+                        writer.write(frame)
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError):
+                        self._writers.pop(succ, None)
+            await asyncio.sleep(self.heartbeat_period)
+
+    async def _timeout_loop(self) -> None:
+        while not self._stopped.is_set():
+            await asyncio.sleep(self.heartbeat_period)
+            now = time.monotonic()
+            for pred in self.server.graph.predecessors(self.id):
+                if pred in self._suspected:
+                    continue
+                last = self._last_heard.get(pred)
+                if last is None:
+                    continue  # never heard yet: grace period
+                if now - last > self.heartbeat_timeout and \
+                        pred in set(self.server.members):
+                    self._suspected.add(pred)
+                    async with self._lock:
+                        await self._execute(self.server.notify_failure(pred))

@@ -1,0 +1,56 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's physical testbeds (96-node InfiniBand cluster, Cray
+XC40) with a deterministic, LogP-parameterised simulator: virtual servers,
+reliable point-to-point message transport, fail-stop failure injection and
+heartbeat-style failure detectors.
+"""
+
+from .engine import SimulationError, Simulator
+from .events import Event, EventHandle, EventQueue
+from .failure_detector import (
+    EventuallyPerfectFailureDetector,
+    FailureDetectorBase,
+    HeartbeatFailureDetector,
+    PerfectFailureDetector,
+)
+from .failures import FailureEvent, FailureInjector
+from .network import (
+    ETHERNET_PARAMS,
+    IBV_PARAMS,
+    TCP_PARAMS,
+    ExponentialJitter,
+    LogPParams,
+    Network,
+    NetworkStats,
+    NoJitter,
+    UniformJitter,
+)
+from .trace import DeliveryRecord, RoundTrace, median_and_ci, percentile
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "LogPParams",
+    "TCP_PARAMS",
+    "IBV_PARAMS",
+    "ETHERNET_PARAMS",
+    "Network",
+    "NetworkStats",
+    "NoJitter",
+    "ExponentialJitter",
+    "UniformJitter",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureDetectorBase",
+    "PerfectFailureDetector",
+    "HeartbeatFailureDetector",
+    "EventuallyPerfectFailureDetector",
+    "DeliveryRecord",
+    "RoundTrace",
+    "median_and_ci",
+    "percentile",
+]

@@ -1,0 +1,92 @@
+"""Event primitives for the discrete-event simulator.
+
+The simulator is the substrate that replaces the paper's physical clusters
+(InfiniBand cluster, Cray XC40): servers are simulated processes, message
+transmission times follow the LogP model with the paper's own measured
+parameters, and failures are injected deterministically.  Determinism is a
+hard requirement — every experiment and property-based test must be exactly
+replayable from a seed — so events are ordered by ``(time, priority, seq)``
+where ``seq`` is a monotonically increasing tie-breaker.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventQueue", "EventHandle"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, priority, seq)``; the callback and its arguments
+    do not participate in comparisons.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.push`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event is skipped when popped."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., None],
+             args: tuple = (), priority: int = 0) -> EventHandle:
+        """Schedule *callback(*args)* at *time*."""
+        ev = Event(time=time, priority=priority, seq=next(self._counter),
+                   callback=callback, args=args)
+        heapq.heappush(self._heap, ev)
+        return EventHandle(ev)
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event (without removing it)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,174 @@
+"""Failure detectors (§2.2.2, §3.2, §3.3.2).
+
+AllConcur requires a failure detector (FD) because consensus is unsolvable in
+a purely asynchronous system with failures (FLP).  The paper uses a
+heartbeat-based FD: every server sends heartbeats to its successors with
+period ``Δhb``; a server that receives no heartbeat from a predecessor for
+``Δto`` suspects it to have failed.
+
+Three simulated detectors are provided:
+
+* :class:`PerfectFailureDetector` (``P``): suspicion happens only after an
+  actual failure, after a configurable detection delay.  Used by the
+  correctness analysis (§3.1) and most benchmarks ("all the experiments
+  assume a perfect FD", §5).
+* :class:`HeartbeatFailureDetector`: detection latency derived from the
+  heartbeat parameters — a failure at time ``t`` is detected by each alive
+  successor at ``t' = (last heartbeat before t) + Δto``, matching the
+  unavailability windows of Figure 7.  With network jitter it can also
+  *falsely* suspect (accuracy violation, §3.2).
+* :class:`EventuallyPerfectFailureDetector` (``◇P``): like the heartbeat FD
+  but with a schedule of injected false suspicions and a timeout that
+  doubles after every mistake, for exercising the surviving-partition
+  mechanism (§3.3.2).
+
+All detectors notify subscribers with ``on_suspect(observer, suspect)``
+callbacks: *observer* is the server whose local FD raised the suspicion of
+*suspect* (one of its predecessors in ``G``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..graphs.digraph import Digraph
+from .engine import Simulator
+from .failures import FailureEvent, FailureInjector
+
+__all__ = [
+    "FailureDetectorBase",
+    "PerfectFailureDetector",
+    "HeartbeatFailureDetector",
+    "EventuallyPerfectFailureDetector",
+]
+
+SuspectCallback = Callable[[int, int], None]
+
+
+class FailureDetectorBase:
+    """Common machinery: who observes whom, and suspicion fan-out."""
+
+    def __init__(self, sim: Simulator, graph: Digraph,
+                 injector: FailureInjector) -> None:
+        self.sim = sim
+        self.graph = graph
+        self.injector = injector
+        self._subscribers: list[SuspectCallback] = []
+        self._suspected: set[tuple[int, int]] = set()  # (observer, suspect)
+        injector.subscribe(self._on_failure)
+
+    def subscribe(self, callback: SuspectCallback) -> None:
+        """Register ``callback(observer, suspect)``."""
+        self._subscribers.append(callback)
+
+    def has_suspected(self, observer: int, suspect: int) -> bool:
+        return (observer, suspect) in self._suspected
+
+    # -- to be provided by subclasses ----------------------------------- #
+    def detection_delay(self, observer: int, suspect: int,
+                        failure_time: float) -> float:
+        """Delay between the failure and the observer's suspicion."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------------- #
+    def _on_failure(self, event: FailureEvent) -> None:
+        """A server failed: schedule detection at each alive successor."""
+        suspect = event.pid
+        for observer in self.graph.successors(suspect):
+            if self.injector.is_failed(observer):
+                continue
+            delay = self.detection_delay(observer, suspect, event.time)
+            self.sim.schedule(delay, self._raise_suspicion, observer, suspect)
+
+    def _raise_suspicion(self, observer: int, suspect: int) -> None:
+        if self.injector.is_failed(observer):
+            return  # the observer failed in the meantime
+        if (observer, suspect) in self._suspected:
+            return
+        self._suspected.add((observer, suspect))
+        for cb in self._subscribers:
+            cb(observer, suspect)
+
+
+class PerfectFailureDetector(FailureDetectorBase):
+    """``P``: complete and accurate.  Detection after a fixed delay."""
+
+    def __init__(self, sim: Simulator, graph: Digraph,
+                 injector: FailureInjector, *,
+                 detection_delay: float = 20e-6) -> None:
+        super().__init__(sim, graph, injector)
+        self._delay = detection_delay
+
+    def detection_delay(self, observer: int, suspect: int,
+                        failure_time: float) -> float:
+        return self._delay
+
+
+class HeartbeatFailureDetector(FailureDetectorBase):
+    """Heartbeat-based FD with period ``Δhb`` and timeout ``Δto`` (§3.2).
+
+    The detector is *complete*: a real failure at time ``t`` is detected by
+    each successor once its timeout expires.  The successor last heard a
+    heartbeat at some time in ``[t - Δhb, t]`` (we place it
+    deterministically, using the failed server's heartbeat phase), so the
+    suspicion is raised at ``last_heartbeat + Δto``.
+
+    With ``false_suspicion_rate > 0`` the detector can also violate accuracy
+    — used to study the ◇P mode.
+    """
+
+    def __init__(self, sim: Simulator, graph: Digraph,
+                 injector: FailureInjector, *,
+                 heartbeat_period: float = 10e-3,
+                 timeout: float = 100e-3) -> None:
+        super().__init__(sim, graph, injector)
+        if timeout < heartbeat_period:
+            raise ValueError("timeout must be at least the heartbeat period")
+        self.heartbeat_period = heartbeat_period
+        self.timeout = timeout
+
+    def detection_delay(self, observer: int, suspect: int,
+                        failure_time: float) -> float:
+        # The last heartbeat the observer received from the suspect was sent
+        # at the last multiple of Δhb before the failure (servers start their
+        # heartbeat timers at time 0).
+        period = self.heartbeat_period
+        last_hb = (failure_time // period) * period
+        detect_at = last_hb + self.timeout
+        return max(detect_at - failure_time, 0.0)
+
+
+class EventuallyPerfectFailureDetector(HeartbeatFailureDetector):
+    """``◇P``: may falsely suspect alive servers, but eventually stops.
+
+    False suspicions are injected explicitly with
+    :meth:`inject_false_suspicion`; after every false suspicion the timeout
+    doubles (the standard Chandra–Toueg adaptation), so a bounded number of
+    injections leads to eventual accuracy.
+    """
+
+    def __init__(self, sim: Simulator, graph: Digraph,
+                 injector: FailureInjector, *,
+                 heartbeat_period: float = 10e-3,
+                 timeout: float = 100e-3) -> None:
+        super().__init__(sim, graph, injector,
+                         heartbeat_period=heartbeat_period, timeout=timeout)
+        self.false_suspicions: list[tuple[int, int, float]] = []
+
+    def inject_false_suspicion(self, observer: int, suspect: int,
+                               at_time: float) -> None:
+        """Schedule *observer* to falsely suspect *suspect* at *at_time*."""
+        if suspect not in set(self.graph.predecessors(observer)):
+            raise ValueError(
+                f"{suspect} is not a predecessor of {observer}; the FD only "
+                f"monitors predecessors")
+        self.false_suspicions.append((observer, suspect, at_time))
+        self.sim.schedule_at(at_time, self._false_suspect, observer, suspect)
+
+    def _false_suspect(self, observer: int, suspect: int) -> None:
+        if self.injector.is_failed(observer):
+            return
+        # Doubling the timeout models the eventual-accuracy adaptation.
+        self.timeout *= 2
+        self._raise_suspicion(observer, suspect)

@@ -1,0 +1,121 @@
+"""Failure injection.
+
+Servers follow the fail-stop model (§2): a failed server stops sending and
+processing messages and never recovers (a rejoining server comes back with a
+new identity / membership change, §3).  The injector supports the failure
+triggers the paper's scenarios need:
+
+* fail at an absolute simulated time (Figure 7's F events);
+* fail after the server has sent a given number of copies of a specific
+  message — this reproduces the §2.3 scenario where ``p0`` fails after
+  sending ``m0`` to only one successor;
+* fail at the beginning of a given round.
+
+The injector notifies registered listeners (the network, failure detectors,
+trace collectors) when a failure actually happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .engine import Simulator
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A failure that has happened: *pid* failed at *time*."""
+
+    pid: int
+    time: float
+    reason: str = "injected"
+
+
+class FailureInjector:
+    """Central registry of injected failures.
+
+    Components query :meth:`is_failed`; listeners subscribe with
+    :meth:`subscribe` to be told when a failure occurs (the perfect failure
+    detector uses this to schedule detection at the successors).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._failed: dict[int, FailureEvent] = {}
+        self._listeners: list[Callable[[FailureEvent], None]] = []
+        #: send-budget based failures: pid -> remaining sends before failure
+        self._send_budget: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: Callable[[FailureEvent], None]) -> None:
+        """Register a callback invoked at the moment a server fails."""
+        self._listeners.append(listener)
+
+    def is_failed(self, pid: int) -> bool:
+        return pid in self._failed
+
+    def failure_time(self, pid: int) -> Optional[float]:
+        ev = self._failed.get(pid)
+        return ev.time if ev else None
+
+    @property
+    def failed(self) -> dict[int, FailureEvent]:
+        """Mapping of failed pid -> failure event."""
+        return dict(self._failed)
+
+    # ------------------------------------------------------------------ #
+    def fail_now(self, pid: int, *, reason: str = "injected") -> None:
+        """Fail *pid* immediately (at the current simulated time)."""
+        if pid in self._failed:
+            return
+        ev = FailureEvent(pid=pid, time=self.sim.now, reason=reason)
+        self._failed[pid] = ev
+        for listener in self._listeners:
+            listener(ev)
+
+    def fail_at(self, pid: int, time: float, *,
+                reason: str = "scheduled") -> None:
+        """Schedule *pid* to fail at absolute simulated *time*."""
+        self.sim.schedule_at(time, self.fail_now, pid, priority=-1)
+        # priority -1: the failure takes effect before messages scheduled at
+        # exactly the same instant are processed.
+
+    def clear(self, pid: int) -> None:
+        """Forget a failure (used when a server rejoins with the same id
+        after a membership change; the paper treats this as a new member)."""
+        self._failed.pop(pid, None)
+        self._send_budget.pop(pid, None)
+
+    def fail_after_sends(self, pid: int, sends: int) -> None:
+        """Fail *pid* after it has completed *sends* further message sends.
+
+        The AllConcur simulation node consults :meth:`consume_send_budget`
+        before each send; when the budget reaches zero the node calls
+        :meth:`fail_now`.  This reproduces the partial-dissemination failures
+        of §2.3 / Figure 2.
+        """
+        if sends < 0:
+            raise ValueError("sends must be non-negative")
+        self._send_budget[pid] = sends
+
+    def consume_send_budget(self, pid: int) -> bool:
+        """Consume one unit of *pid*'s send budget.
+
+        Returns True if *pid* may still send (and decrements the budget);
+        returns False if the budget is exhausted — the caller must then stop
+        sending and fail the server.
+        """
+        if pid not in self._send_budget:
+            return True
+        remaining = self._send_budget[pid]
+        if remaining <= 0:
+            return False
+        self._send_budget[pid] = remaining - 1
+        return True
+
+    def has_send_budget(self, pid: int) -> bool:
+        """True if *pid* has a send-budget trigger installed."""
+        return pid in self._send_budget

@@ -1,0 +1,254 @@
+"""LogP-parameterised network model.
+
+The paper analyses AllConcur with the LogP model (§4): latency ``L``,
+per-message CPU overhead ``o``, gap ``g`` (with the common assumption
+``o > g``), and ``P = n`` processes.  The evaluation calibrates the model to
+the two transports of the C implementation (§5):
+
+* TCP (IP over InfiniBand): ``L = 12 µs``, ``o = 1.8 µs``;
+* InfiniBand Verbs (IBV): ``L = 1.25 µs``, ``o = 0.38 µs``.
+
+The simulated network reproduces the LogP cost structure:
+
+* the **sender** pays ``o`` (plus a per-byte cost ``G`` for long messages —
+  the LogGP extension) for every message, and its sends are serialised: a
+  burst of ``d`` messages to ``d`` successors leaves the NIC back to back;
+* the message then spends ``L`` on the wire (plus optional jitter);
+* the **receiver** pays ``o`` per message, and its receive handling is also
+  serialised, which models the contention-while-receiving discussed in
+  §4.2.1.
+
+Failed senders stop sending: if a process fails while a burst is being
+serialised, only the messages that left before the failure time are
+delivered — exactly the partial-send behaviour that AllConcur's early
+termination has to deal with (the ``p0`` example of §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from .engine import Simulator
+
+__all__ = [
+    "LogPParams", "TCP_PARAMS", "IBV_PARAMS", "ETHERNET_PARAMS",
+    "DelayModel", "NoJitter", "ExponentialJitter", "UniformJitter",
+    "NetworkStats", "Network",
+]
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogP/LogGP parameters, in seconds (and seconds/byte for ``G``).
+
+    Attributes
+    ----------
+    L:
+        Wire latency for a short message.
+    o:
+        CPU overhead paid by sender and receiver per message.
+    g:
+        Minimum gap between consecutive message injections; the paper (and
+        we) assume ``o > g``, so ``g`` only matters if explicitly raised.
+    G:
+        Per-byte gap (LogGP): serialisation cost of message payloads.  The
+        default corresponds to a 40 Gbit/s link (the Voltaire/ConnectX-3
+        fabric of the IB-hsw system).
+    name:
+        Label used in reports ("TCP", "IBV", ...).
+    """
+
+    L: float
+    o: float
+    g: float = 0.0
+    G: float = 1.0 / (40e9 / 8)  # seconds per byte on a 40 Gb/s link
+    name: str = "custom"
+
+    def send_cost(self, nbytes: int = 0) -> float:
+        """Sender-side occupancy for one message of *nbytes* payload."""
+        return max(self.o, self.g) + nbytes * self.G
+
+    def transmission_time(self, nbytes: int = 0) -> float:
+        """End-to-end time of a single isolated message: ``L + 2o`` (+bytes)."""
+        return self.L + 2 * self.o + nbytes * self.G
+
+
+#: §5: LogP parameters measured on the IB-hsw system over TCP (IP over IB).
+TCP_PARAMS = LogPParams(L=12e-6, o=1.8e-6, name="TCP")
+#: §5: LogP parameters measured on the IB-hsw system over InfiniBand Verbs.
+IBV_PARAMS = LogPParams(L=1.25e-6, o=0.38e-6, name="IBV")
+#: A generic 10 GbE datacenter profile (for what-if studies).
+ETHERNET_PARAMS = LogPParams(L=50e-6, o=3.0e-6, G=1.0 / (10e9 / 8),
+                             name="10GbE")
+
+
+class DelayModel(Protocol):
+    """Extra (stochastic) wire delay added on top of the LogP latency.
+
+    §3.2 models network delays as a random variable ``T`` from a known
+    distribution; these delay models provide that ``T``.
+    """
+
+    def sample(self, rng) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class NoJitter:
+    """Deterministic network: no extra delay."""
+
+    def sample(self, rng) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ExponentialJitter:
+    """Exponentially distributed extra delay with the given mean (seconds)."""
+
+    mean: float
+
+    def sample(self, rng) -> float:
+        return rng.expovariate(1.0 / self.mean) if self.mean > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class UniformJitter:
+    """Uniform extra delay in ``[low, high]`` seconds."""
+
+    low: float
+    high: float
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters (work metric of §4.1)."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_process_sent: dict[int, int] = field(default_factory=dict)
+    per_process_received: dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, src: int, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.per_process_sent[src] = self.per_process_sent.get(src, 0) + 1
+
+    def record_delivery(self, dst: int) -> None:
+        self.messages_delivered += 1
+        self.per_process_received[dst] = \
+            self.per_process_received.get(dst, 0) + 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+
+class Network:
+    """Point-to-point reliable message transport over a LogP network.
+
+    The paper assumes *reliable communication*: messages cannot be lost, only
+    delayed (§2).  Consequently the network never drops a message whose
+    sender was alive when the message left; messages addressed to a failed
+    process are delivered to a black hole (counted as drops for statistics
+    only).
+
+    Receivers are registered with :meth:`attach`; each receiver is a callable
+    ``on_message(src, dst, message)``.
+    """
+
+    def __init__(self, sim: Simulator, params: LogPParams = TCP_PARAMS, *,
+                 jitter: Optional[DelayModel] = None) -> None:
+        self.sim = sim
+        self.params = params
+        self.jitter = jitter or NoJitter()
+        self.stats = NetworkStats()
+        self._receivers: dict[int, Callable[[int, int, object], None]] = {}
+        self._failed: set[int] = set()
+        # Per-process times at which the NIC / CPU become free again,
+        # modelling serialised sends and serialised receive handling.
+        self._send_free: dict[int, float] = {}
+        self._recv_free: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    def attach(self, pid: int,
+               on_message: Callable[[int, int, object], None]) -> None:
+        """Register process *pid* with its message-delivery callback."""
+        if pid in self._receivers:
+            raise ValueError(f"process {pid} already attached")
+        self._receivers[pid] = on_message
+        self._send_free.setdefault(pid, 0.0)
+        self._recv_free.setdefault(pid, 0.0)
+
+    def detach(self, pid: int) -> None:
+        """Remove a process (used when members leave the system)."""
+        self._receivers.pop(pid, None)
+
+    def mark_failed(self, pid: int) -> None:
+        """Record that *pid* fail-stopped; subsequent sends from it are
+        suppressed and deliveries to it are dropped."""
+        self._failed.add(pid)
+
+    def mark_recovered(self, pid: int) -> None:
+        """Allow a previously failed id to participate again (rejoin)."""
+        self._failed.discard(pid)
+
+    def is_failed(self, pid: int) -> bool:
+        return pid in self._failed
+
+    # ------------------------------------------------------------------ #
+    def send(self, src: int, dst: int, message: object, *,
+             nbytes: int = 0) -> bool:
+        """Send *message* from *src* to *dst*.
+
+        Returns True if the message actually left the sender (i.e. the
+        sender had not failed).  Delivery is scheduled on the simulator.
+        """
+        if src in self._failed:
+            self.stats.record_drop()
+            return False
+        if src not in self._receivers:
+            raise ValueError(f"unknown sender {src}")
+        params = self.params
+        # serialise sends at the sender
+        start = max(self.sim.now, self._send_free.get(src, 0.0))
+        occupancy = params.send_cost(nbytes)
+        departure = start + occupancy
+        self._send_free[src] = departure
+        self.stats.record_send(src, nbytes)
+        wire = params.L + self.jitter.sample(self.sim.rng)
+        arrival = departure + wire
+        self.sim.schedule_at(arrival, self._deliver, src, dst, message,
+                             priority=1)
+        return True
+
+    def multicast(self, src: int, dsts, message: object, *,
+                  nbytes: int = 0) -> int:
+        """Send *message* to every destination in *dsts* (serialised at the
+        sender, in the given order).  Returns the number of copies sent."""
+        sent = 0
+        for dst in dsts:
+            if self.send(src, dst, message, nbytes=nbytes):
+                sent += 1
+        return sent
+
+    # ------------------------------------------------------------------ #
+    def _deliver(self, src: int, dst: int, message: object) -> None:
+        receiver = self._receivers.get(dst)
+        if receiver is None or dst in self._failed:
+            self.stats.record_drop()
+            return
+        # serialise receive handling (receiver overhead o per message)
+        start = max(self.sim.now, self._recv_free.get(dst, 0.0))
+        done = start + self.params.o
+        self._recv_free[dst] = done
+        self.stats.record_delivery(dst)
+        if done <= self.sim.now:
+            receiver(src, dst, message)
+        else:
+            self.sim.schedule_at(done, receiver, src, dst, message,
+                                 priority=2)

@@ -1,0 +1,193 @@
+"""Tracing and measurement of simulated AllConcur runs.
+
+The evaluation section of the paper uses three performance metrics:
+
+* **agreement latency** — time to reach agreement on a round;
+* **agreement throughput** — amount of data agreed upon per second;
+* **aggregated throughput** — agreement throughput × number of servers.
+
+:class:`RoundTrace` collects per-round, per-server delivery records from
+which all three are derived, plus the work metric of §4.1 (messages
+sent/received per server), and nonparametric median / 95% confidence
+intervals as recommended by the benchmarking guidelines the paper follows
+(Hoefler & Belli, SC'15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["DeliveryRecord", "RoundTrace", "median_and_ci", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of a sequence."""
+    if not values:
+        raise ValueError("empty sequence")
+    s = sorted(values)
+    if len(s) == 1:
+        return s[0]
+    pos = (len(s) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return s[lo]
+    frac = pos - lo
+    return s[lo] * (1 - frac) + s[hi] * frac
+
+
+def median_and_ci(values: Sequence[float],
+                  confidence: float = 0.95) -> tuple[float, float, float]:
+    """Median and a nonparametric confidence interval around it.
+
+    Uses the binomial order-statistic interval: the CI bounds are the
+    order statistics at ranks ``n/2 ± z*sqrt(n)/2``.  Returns
+    ``(median, lower, upper)``; for fewer than 3 samples the CI degenerates
+    to the min/max.
+    """
+    if not values:
+        raise ValueError("empty sequence")
+    s = sorted(values)
+    n = len(s)
+    med = percentile(s, 50)
+    if n < 3:
+        return med, s[0], s[-1]
+    z = 1.96 if confidence >= 0.95 else 1.64
+    half = z * math.sqrt(n) / 2.0
+    lo_rank = max(int(math.floor(n / 2.0 - half)), 0)
+    hi_rank = min(int(math.ceil(n / 2.0 + half)), n - 1)
+    return med, s[lo_rank], s[hi_rank]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One server's A-delivery of one round."""
+
+    round: int
+    server: int
+    time: float
+    #: number of application requests delivered in this round
+    requests: int
+    #: total payload bytes delivered in this round
+    nbytes: int
+    #: number of distinct senders whose messages were delivered
+    senders: int
+
+
+@dataclass
+class RoundTrace:
+    """Collects delivery records and derives the paper's metrics."""
+
+    records: list[DeliveryRecord] = field(default_factory=list)
+    #: round -> time at which the round was started (first A-broadcast)
+    round_start: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def note_round_start(self, round_no: int, time: float) -> None:
+        """Record the earliest A-broadcast time of a round."""
+        cur = self.round_start.get(round_no)
+        if cur is None or time < cur:
+            self.round_start[round_no] = time
+
+    def record_delivery(self, record: DeliveryRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rounds(self) -> list[int]:
+        """All round numbers with at least one delivery, sorted."""
+        return sorted({r.round for r in self.records})
+
+    def deliveries_for_round(self, round_no: int) -> list[DeliveryRecord]:
+        return [r for r in self.records if r.round == round_no]
+
+    def round_completion_time(self, round_no: int) -> float:
+        """Time at which the *last* server delivered the round."""
+        recs = self.deliveries_for_round(round_no)
+        if not recs:
+            raise ValueError(f"round {round_no} has no deliveries")
+        return max(r.time for r in recs)
+
+    def round_latencies(self, round_no: int) -> list[float]:
+        """Per-server agreement latency of a round (delivery − round start)."""
+        start = self.round_start.get(round_no)
+        if start is None:
+            raise ValueError(f"round {round_no} was never started")
+        return [r.time - start for r in self.deliveries_for_round(round_no)]
+
+    def agreement_latency(self, round_no: int) -> float:
+        """Median per-server agreement latency of a round."""
+        lats = self.round_latencies(round_no)
+        return percentile(lats, 50)
+
+    def all_latencies(self, *, skip_rounds: int = 0) -> list[float]:
+        """Per-server latencies over all rounds, optionally skipping warmup."""
+        out: list[float] = []
+        for rnd in self.rounds[skip_rounds:]:
+            out.extend(self.round_latencies(rnd))
+        return out
+
+    # ------------------------------------------------------------------ #
+    def agreement_throughput(self, *, start_time: float = 0.0,
+                             end_time: Optional[float] = None,
+                             skip_rounds: int = 0) -> float:
+        """Bytes agreed upon per second, averaged over the trace.
+
+        The amount agreed per round is counted once (it is the same set at
+        every server); the elapsed time runs from the first considered round
+        start to the last delivery.
+        """
+        rounds = self.rounds[skip_rounds:]
+        if not rounds:
+            return 0.0
+        total_bytes = 0
+        for rnd in rounds:
+            recs = self.deliveries_for_round(rnd)
+            total_bytes += max(r.nbytes for r in recs)
+        t0 = max(start_time, self.round_start.get(rounds[0], start_time))
+        t1 = end_time if end_time is not None else \
+            max(self.round_completion_time(r) for r in rounds)
+        if t1 <= t0:
+            return 0.0
+        return total_bytes / (t1 - t0)
+
+    def request_rate(self, *, skip_rounds: int = 0) -> float:
+        """Requests agreed upon per second."""
+        rounds = self.rounds[skip_rounds:]
+        if not rounds:
+            return 0.0
+        total_requests = 0
+        for rnd in rounds:
+            recs = self.deliveries_for_round(rnd)
+            total_requests += max(r.requests for r in recs)
+        t0 = self.round_start.get(rounds[0], 0.0)
+        t1 = max(self.round_completion_time(r) for r in rounds)
+        if t1 <= t0:
+            return 0.0
+        return total_requests / (t1 - t0)
+
+    def throughput_timeline(self, bin_width: float,
+                            *, until: Optional[float] = None
+                            ) -> list[tuple[float, float]]:
+        """Requests delivered per second, binned (Figure 7's time series).
+
+        Each round's requests are attributed to the bin of its completion
+        time at the earliest delivering server (matching how a client of any
+        single server would observe throughput).
+        """
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        horizon = until
+        if horizon is None:
+            horizon = max((r.time for r in self.records), default=0.0)
+        nbins = int(math.ceil(horizon / bin_width)) + 1
+        bins = [0.0] * nbins
+        for rnd in self.rounds:
+            recs = self.deliveries_for_round(rnd)
+            t = min(r.time for r in recs)
+            reqs = max(r.requests for r in recs)
+            idx = min(int(t / bin_width), nbins - 1)
+            bins[idx] += reqs
+        return [(i * bin_width, bins[i] / bin_width) for i in range(nbins)]

@@ -1,0 +1,15 @@
+"""Synthetic workload generators for the paper's application scenarios."""
+
+from .generators import (
+    ApmWorkload,
+    ConstantRateWorkload,
+    FixedBatchWorkload,
+    GlobalRateWorkload,
+)
+
+__all__ = [
+    "ConstantRateWorkload",
+    "ApmWorkload",
+    "GlobalRateWorkload",
+    "FixedBatchWorkload",
+]

@@ -1,0 +1,157 @@
+"""Workload generators for the paper's three application scenarios (§1.1, §5).
+
+* **Travel reservation systems** (Figure 8): each server generates 64-byte
+  requests at a constant rate ``r`` (bounded by its query-answering rate).
+* **Multiplayer video games** (Figure 9a): each server hosts one player who
+  performs a bounded number of actions per minute (APM, 200 or 400); each
+  action is a 40-byte state update.
+* **Distributed exchanges** (Figure 9b): the whole system handles a global
+  constant rate of 40-byte client orders, spread evenly over the servers.
+* **Fixed batching factor** (Figure 10): every server A-broadcasts a
+  fixed-size batch of 8-byte requests every round.
+
+Request injection into the simulator is done with synthetic batches (counts
+and bytes, not objects) so that multi-million-requests-per-second scenarios
+stay simulable; the generators track fractional request accumulation so low
+rates are represented exactly in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.cluster import SimCluster
+
+__all__ = [
+    "ConstantRateWorkload",
+    "ApmWorkload",
+    "GlobalRateWorkload",
+    "FixedBatchWorkload",
+]
+
+
+@dataclass(frozen=True)
+class ConstantRateWorkload:
+    """Each server generates *rate_per_server* requests/s of
+    *request_nbytes* bytes (the travel-reservation scenario)."""
+
+    rate_per_server: float
+    request_nbytes: int = 64
+    #: period of the injection events; smaller = finer-grained arrival times
+    injection_period: float = 50e-6
+
+    def install(self, cluster: SimCluster, *, duration: float) -> None:
+        """Install periodic request injection on every member for
+        *duration* seconds of simulated time."""
+        if self.rate_per_server < 0:
+            raise ValueError("rate must be non-negative")
+        if self.rate_per_server == 0:
+            return
+        for pid in cluster.members:
+            _install_rate(cluster, pid, self.rate_per_server,
+                          self.request_nbytes, self.injection_period,
+                          duration)
+
+    def per_round_batch(self, round_time: float) -> int:
+        """Expected number of requests accumulated during one round."""
+        return int(self.rate_per_server * round_time)
+
+
+@dataclass(frozen=True)
+class ApmWorkload:
+    """Multiplayer-game workload: one player per server performing *apm*
+    actions per minute, 40-byte updates (Figure 9a)."""
+
+    apm: float = 200.0
+    request_nbytes: int = 40
+    injection_period: float = 1e-3
+
+    @property
+    def rate_per_server(self) -> float:
+        return self.apm / 60.0
+
+    def install(self, cluster: SimCluster, *, duration: float) -> None:
+        ConstantRateWorkload(
+            rate_per_server=self.rate_per_server,
+            request_nbytes=self.request_nbytes,
+            injection_period=self.injection_period,
+        ).install(cluster, duration=duration)
+
+
+@dataclass(frozen=True)
+class GlobalRateWorkload:
+    """Exchange workload: the system as a whole receives *total_rate*
+    requests/s of 40-byte orders, spread evenly (Figure 9b)."""
+
+    total_rate: float
+    request_nbytes: int = 40
+    injection_period: float = 50e-6
+
+    def per_server_rate(self, n: int) -> float:
+        if n < 1:
+            raise ValueError("n must be positive")
+        return self.total_rate / n
+
+    def install(self, cluster: SimCluster, *, duration: float) -> None:
+        rate = self.per_server_rate(len(cluster.members))
+        ConstantRateWorkload(
+            rate_per_server=rate,
+            request_nbytes=self.request_nbytes,
+            injection_period=self.injection_period,
+        ).install(cluster, duration=duration)
+
+
+@dataclass(frozen=True)
+class FixedBatchWorkload:
+    """Every server A-broadcasts exactly *batch_requests* requests of
+    *request_nbytes* bytes per round (the batching-factor sweep, Figure 10)."""
+
+    batch_requests: int
+    request_nbytes: int = 8
+
+    @property
+    def message_nbytes(self) -> int:
+        return self.batch_requests * self.request_nbytes
+
+    def install(self, cluster: SimCluster, *, rounds: int) -> None:
+        """Pre-load every server's queue so that the next *rounds* rounds
+        each carry exactly one full batch."""
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        for pid in cluster.members:
+            server = cluster.server(pid)
+            server.queue.max_batch = self.batch_requests
+            server.submit_synthetic(self.batch_requests * (rounds + 2),
+                                    self.request_nbytes)
+
+    def payload_fn(self):
+        """Payload factory for the baseline clusters (leader / allgather)."""
+        from ..core.batching import Batch
+
+        batch = Batch.synthetic(self.batch_requests, self.request_nbytes)
+        return lambda pid: batch
+
+
+def _install_rate(cluster: SimCluster, pid: int, rate: float,
+                  request_nbytes: int, period: float, duration: float) -> None:
+    """Schedule periodic synthetic-request injection for one server.
+
+    Fractional requests are carried over between injections so the long-run
+    rate is exact even when ``rate * period < 1``.
+    """
+    state = {"carry": 0.0}
+
+    def inject() -> None:
+        if cluster.sim.now > duration:
+            return
+        amount = rate * period + state["carry"]
+        whole = int(amount)
+        state["carry"] = amount - whole
+        if whole > 0:
+            node = cluster.nodes.get(pid)
+            if node is not None and node.alive:
+                node.submit_synthetic(whole, request_nbytes)
+        cluster.sim.schedule(period, inject)
+
+    cluster.sim.schedule(period, inject)

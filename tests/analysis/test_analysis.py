@@ -1,0 +1,234 @@
+"""Closed-form analysis: LogP models, FD accuracy, depth, complexity (§4)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    AllConcurModel,
+    ExponentialDelay,
+    NormalDelay,
+    ParetoDelay,
+    accuracy_probability,
+    allconcur_messages_per_server,
+    allconcur_total_messages,
+    allconcur_work_per_server,
+    depth_time,
+    expected_depth_bounds,
+    false_suspicion_probability,
+    leader_based_total_messages,
+    leader_work,
+    non_leader_work,
+    prob_depth_within_fault_diameter,
+    prob_depth_within_fault_diameter_rounds,
+    round_time_estimate,
+    send_overhead_with_contention,
+    single_request_latency,
+    space_complexity,
+    system_reliability,
+    work_bound,
+)
+from repro.graphs import gs_digraph
+from repro.graphs.reliability import YEARS
+from repro.sim import IBV_PARAMS, TCP_PARAMS
+
+
+class TestLogPModels:
+    def test_work_bound_formula(self):
+        assert work_bound(8, 3, 1.8e-6) == pytest.approx(2 * 7 * 3 * 1.8e-6)
+
+    def test_send_overhead_with_contention(self):
+        assert send_overhead_with_contention(2e-6, 3) == pytest.approx(4e-6)
+        assert send_overhead_with_contention(2e-6, 1) == pytest.approx(2e-6)
+
+    def test_depth_time(self):
+        t = depth_time(TCP_PARAMS, 3, 2)
+        os_ = TCP_PARAMS.o * (1 + 1.0)
+        assert t == pytest.approx((TCP_PARAMS.L + os_ + TCP_PARAMS.o) * 2)
+
+    def test_single_request_latency_figure6_magnitudes(self):
+        """Figure 6: for n = 8 over TCP the latency sits in the tens of µs;
+        over IBV it is an order of magnitude lower."""
+        tcp = single_request_latency(TCP_PARAMS, 8, 3, 2)["combined"]
+        ibv = single_request_latency(IBV_PARAMS, 8, 3, 2)["combined"]
+        assert 20e-6 < tcp < 120e-6
+        assert ibv < tcp / 3
+
+    def test_work_dominates_at_scale(self):
+        """§5: 'with increasing system size, work becomes dominant'."""
+        small = single_request_latency(TCP_PARAMS, 8, 3, 2)
+        large = single_request_latency(TCP_PARAMS, 90, 5, 3)
+        assert small["depth"] > small["work"] * 0.5
+        assert large["work"] > large["depth"]
+
+    def test_round_time_monotone_in_bytes(self):
+        a = round_time_estimate(TCP_PARAMS, 8, 3, 2, 1024)
+        b = round_time_estimate(TCP_PARAMS, 8, 3, 2, 64 * 1024)
+        assert b > a
+
+    def test_congestion_penalty_kicks_in(self):
+        below = round_time_estimate(TCP_PARAMS, 8, 3, 2, 1 << 15)
+        above = round_time_estimate(TCP_PARAMS, 8, 3, 2, 1 << 16)
+        assert above > 2 * below * 0.9
+
+    def test_model_wrapper_from_overlay(self):
+        g = gs_digraph(8, 3)
+        model = AllConcurModel.for_overlay(g, TCP_PARAMS)
+        assert model.n == 8
+        assert model.degree == 3
+        assert model.diameter == 2
+        assert model.work() == pytest.approx(work_bound(8, 3, TCP_PARAMS.o))
+
+    def test_agreement_throughput_peak_magnitude(self):
+        """Figure 10b: AllConcur-TCP with n = 8 peaks at a few Gb/s."""
+        model = AllConcurModel(n=8, degree=3, diameter=2, params=TCP_PARAMS)
+        peak = max(model.agreement_throughput(2 ** k * 8)
+                   for k in range(7, 16))
+        assert 2e8 < peak < 4e9   # 1.6 .. 32 Gbps in bytes/s
+
+    def test_aggregated_throughput_scales_with_n(self):
+        m8 = AllConcurModel(n=8, degree=3, diameter=2, params=TCP_PARAMS)
+        m512 = AllConcurModel(n=512, degree=8, diameter=3, params=TCP_PARAMS)
+        assert m512.aggregated_throughput(2 ** 13 * 8) > \
+            m8.aggregated_throughput(2 ** 13 * 8)
+
+    def test_latency_for_rate_stable_and_unstable(self):
+        model = AllConcurModel(n=8, degree=3, diameter=2, params=IBV_PARAMS)
+        stable = model.agreement_latency_for_rate(1e4, 64)
+        assert math.isfinite(stable)
+        unstable = model.agreement_latency_for_rate(1e9, 64)
+        assert math.isinf(unstable)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work_bound(0, 3, 1e-6)
+        with pytest.raises(ValueError):
+            depth_time(TCP_PARAMS, 3, -1)
+
+
+class TestAccuracy:
+    def test_false_suspicion_decreases_with_timeout(self):
+        delay = ExponentialDelay(mean=1e-3)
+        p_short = false_suspicion_probability(delay, 10e-3, 30e-3)
+        p_long = false_suspicion_probability(delay, 10e-3, 100e-3)
+        assert p_long < p_short
+
+    def test_false_suspicion_decreases_with_heartbeat_rate(self):
+        delay = ExponentialDelay(mean=5e-3)
+        p_slow = false_suspicion_probability(delay, 50e-3, 100e-3)
+        p_fast = false_suspicion_probability(delay, 10e-3, 100e-3)
+        assert p_fast < p_slow
+
+    def test_accuracy_probability_bounds(self):
+        delay = ExponentialDelay(mean=1e-3)
+        p = accuracy_probability(delay, n=64, degree=5,
+                                 heartbeat_period=10e-3, timeout=100e-3)
+        assert 0.0 <= p <= 1.0
+
+    def test_accuracy_close_to_one_for_paper_parameters(self):
+        """Δhb = 10 ms, Δto = 100 ms and sub-millisecond delays make false
+        suspicion essentially impossible (§3.2, Figure 7 parameters)."""
+        delay = ExponentialDelay(mean=100e-6)
+        p = accuracy_probability(delay, n=32, degree=4,
+                                 heartbeat_period=10e-3, timeout=100e-3)
+        assert p > 1 - 1e-12
+
+    def test_more_watchers_reduce_accuracy(self):
+        delay = ExponentialDelay(mean=20e-3)
+        small = accuracy_probability(delay, 8, 3, 10e-3, 40e-3)
+        large = accuracy_probability(delay, 1024, 11, 10e-3, 40e-3)
+        assert large < small
+
+    def test_heavy_tailed_delays_hurt(self):
+        exp = ExponentialDelay(mean=5e-3)
+        pareto = ParetoDelay(scale=5e-3, shape=1.5)
+        assert accuracy_probability(pareto, 32, 4, 10e-3, 100e-3) <= \
+            accuracy_probability(exp, 32, 4, 10e-3, 100e-3)
+
+    def test_normal_delay_tail(self):
+        d = NormalDelay(mean=1e-3, std=1e-4)
+        assert d.tail(0.0) == 1.0
+        assert d.tail(1e-3) == pytest.approx(0.5, abs=1e-6)
+        assert d.tail(2e-3) < 1e-6
+
+    def test_system_reliability_combines_factors(self):
+        delay = ExponentialDelay(mean=100e-6)
+        r = system_reliability(delay, n=32, degree=4, connectivity=4,
+                               heartbeat_period=10e-3, timeout=100e-3,
+                               p_f=1e-3)
+        assert 0.0 < r < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            false_suspicion_probability(ExponentialDelay(1e-3), 0.0, 0.1)
+
+
+class TestDepth:
+    def test_single_round_probability(self):
+        p = prob_depth_within_fault_diameter(256, 7, 1.8e-6, 2 * YEARS)
+        assert 0.99 < p < 1.0
+
+    def test_paper_one_million_rounds_claim(self):
+        """§4.2.2: 1M rounds with n = 256, d = 7, o = 1.8 µs, MTTF ≈ 2 years
+        all stay within the fault diameter with probability > 99.99 %."""
+        p = prob_depth_within_fault_diameter_rounds(
+            256, 7, 1.8e-6, rounds=1_000_000, mttf=2 * YEARS)
+        assert p > 0.9999
+
+    def test_monotone_in_rounds(self):
+        p1 = prob_depth_within_fault_diameter_rounds(64, 5, 1.8e-6, 10)
+        p2 = prob_depth_within_fault_diameter_rounds(64, 5, 1.8e-6, 10_000)
+        assert p2 <= p1
+
+    def test_depth_model_bounds(self):
+        m = expected_depth_bounds(diameter=2, fault_diameter=4, f=3)
+        assert m.best_case == 2
+        assert m.typical_bound == 4
+        assert m.worst_case == 7
+        assert 2 <= m.expected_steps(0.5) <= 4
+
+    def test_depth_model_validation(self):
+        with pytest.raises(ValueError):
+            expected_depth_bounds(diameter=5, fault_diameter=4, f=1)
+
+
+class TestComplexity:
+    def test_messages_per_server(self):
+        assert allconcur_messages_per_server(8, 3) == 24
+        assert allconcur_messages_per_server(8, 3, f=2) == 24 + 2 * 9
+
+    def test_work_is_twice_messages(self):
+        assert allconcur_work_per_server(8, 3) == 48
+
+    def test_total_messages(self):
+        assert allconcur_total_messages(8, 3) == 192
+
+    def test_leader_work_quadratic(self):
+        assert leader_work(8) == 8 + 56
+        assert non_leader_work(8) == 8
+        assert leader_work(64) / leader_work(8) > 30
+
+    def test_leader_total_messages(self):
+        assert leader_based_total_messages(8) == 8 + 56
+        assert leader_based_total_messages(8, group_size=5) == 64 + 64
+
+    def test_allconcur_vs_leader_tradeoff(self):
+        """§4.5: AllConcur trades more total messages for balanced work."""
+        n, d = 64, 5
+        assert allconcur_total_messages(n, d) > leader_based_total_messages(n)
+        assert allconcur_work_per_server(n, d) < leader_work(n)
+
+    def test_space_complexity_table2(self):
+        s = space_complexity(n=90, d=5, f=4)
+        assert s.digraph == 450
+        assert s.messages == 90
+        assert s.failure_notifications == 20
+        assert s.tracking_digraphs == 80
+        assert s.fifo_queue == 20
+        assert s.total == 660
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allconcur_messages_per_server(-1, 3)
+        with pytest.raises(ValueError):
+            space_complexity(1, 2, -1)

@@ -1,0 +1,128 @@
+"""Leader-based and unreliable-agreement baselines (§4.5, Figure 10)."""
+
+import pytest
+
+from repro.baselines import AllgatherCluster, LeaderBasedCluster
+from repro.core import Batch
+from repro.sim import IBV_PARAMS, TCP_PARAMS
+
+
+def payload_fn(batch=64, size=8):
+    b = Batch.synthetic(batch, size)
+    return lambda pid: b
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("schedule", ["direct", "ring"])
+    def test_everyone_delivers_every_round(self, schedule):
+        cluster = AllgatherCluster(6, schedule=schedule,
+                                   payload_fn=payload_fn())
+        cluster.start_all()
+        cluster.run_until_round(2)
+        assert cluster.min_delivered_rounds() >= 3
+        recs = cluster.trace.deliveries_for_round(0)
+        assert len(recs) == 6
+        assert all(r.senders == 6 for r in recs)
+
+    def test_delivery_counts_requests(self):
+        cluster = AllgatherCluster(4, payload_fn=payload_fn(batch=10))
+        cluster.start_all()
+        cluster.run_until_round(0)
+        rec = cluster.trace.deliveries_for_round(0)[0]
+        assert rec.requests == 4 * 10
+
+    def test_throughput_exceeds_allconcur(self):
+        """Unreliable agreement has no redundancy, so it must be faster than
+        AllConcur on the same workload (that gap is the 58% overhead)."""
+        from repro.bench.harness import run_allconcur, run_allgather
+
+        ac = run_allconcur(8, batch_requests=1024, rounds=3)
+        ag = run_allgather(8, batch_requests=1024, rounds=3)
+        assert ag.agreement_throughput > ac.agreement_throughput
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllgatherCluster(1)
+        with pytest.raises(ValueError):
+            AllgatherCluster(4, schedule="butterfly")
+
+    def test_ring_slower_per_round_latency_for_small_batches(self):
+        direct = AllgatherCluster(8, schedule="direct",
+                                  payload_fn=payload_fn(1))
+        ring = AllgatherCluster(8, schedule="ring", payload_fn=payload_fn(1))
+        for c in (direct, ring):
+            c.start_all()
+            c.run_until_round(0)
+        # a ring needs n-1 sequential hops; direct exchange needs one hop
+        assert ring.trace.round_completion_time(0) > \
+            direct.trace.round_completion_time(0)
+
+
+class TestLeaderBased:
+    def test_everyone_delivers_and_agrees_on_order(self):
+        cluster = LeaderBasedCluster(6, payload_fn=payload_fn())
+        cluster.start_all()
+        cluster.run_until_round(1)
+        assert cluster.min_delivered_rounds() >= 2
+        recs = cluster.trace.deliveries_for_round(0)
+        assert len(recs) == 6
+        assert all(r.senders == 6 for r in recs)
+
+    def test_majority_definition(self):
+        assert LeaderBasedCluster(4, group_size=5).majority == 3
+        assert LeaderBasedCluster(4, group_size=1).majority == 1
+
+    def test_group_of_one_skips_replication(self):
+        cluster = LeaderBasedCluster(4, group_size=1,
+                                     payload_fn=payload_fn())
+        cluster.start_all()
+        cluster.run_until_round(0)
+        assert cluster.min_delivered_rounds() >= 1
+
+    def test_idealised_leader_faster_than_calibrated(self):
+        def peak(value_overhead, value_bandwidth):
+            cluster = LeaderBasedCluster(
+                8, payload_fn=payload_fn(512),
+                value_overhead=value_overhead,
+                value_bandwidth=value_bandwidth)
+            cluster.start_all()
+            cluster.run_until_round(2)
+            return cluster.trace.agreement_throughput(skip_rounds=1)
+
+        assert peak(0.0, 0.0) > peak(LeaderBasedCluster.DEFAULT_VALUE_OVERHEAD,
+                                     LeaderBasedCluster.DEFAULT_VALUE_BANDWIDTH)
+
+    def test_allconcur_outperforms_leader_based(self):
+        """§5: AllConcur reaches at least an order of magnitude more
+        throughput than the (Libpaxos-calibrated) leader-based baseline."""
+        from repro.bench.harness import run_allconcur, run_leader_based
+
+        ac = run_allconcur(8, batch_requests=2048, rounds=3)
+        lp = run_leader_based(8, batch_requests=2048, rounds=3)
+        assert ac.agreement_throughput > 10 * lp.agreement_throughput
+
+    def test_leader_work_grows_quadratically(self):
+        """§4.5: the leader's outbound traffic grows as O(n²) — it sends an
+        O(n)-sized decision to each of the n servers — while each AllConcur
+        server only handles O(n·d) fixed-size messages."""
+        small = LeaderBasedCluster(4, payload_fn=payload_fn(64))
+        large = LeaderBasedCluster(16, payload_fn=payload_fn(64))
+        for c in (small, large):
+            c.start_all()
+            c.run_until_round(0)
+        # total bytes on the wire are dominated by the O(n²) decision fan-out:
+        # 4x the servers should cost clearly more than 4x the bytes
+        ratio = large.network.stats.bytes_sent / small.network.stats.bytes_sent
+        assert ratio >= 6.0
+        # the per-round *message count* at the leader is group + n
+        sent_small = small.network.stats.per_process_sent[small.leader]
+        sent_large = large.network.stats.per_process_sent[large.leader]
+        assert sent_large - sent_small == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeaderBasedCluster(1)
+        with pytest.raises(ValueError):
+            LeaderBasedCluster(4, group_size=0)
+        with pytest.raises(ValueError):
+            LeaderBasedCluster(4, value_overhead=-1.0)

@@ -1,0 +1,155 @@
+"""Benchmark harness and per-figure generators (scaled-down smoke runs)."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    fig5,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    headline,
+    overlay_for,
+    run_allconcur,
+    table3,
+)
+from repro.bench.harness import allconcur_estimate
+from repro.bench.reporting import (
+    format_gbps,
+    format_rate,
+    format_seconds,
+    format_table,
+)
+from repro.sim import IBV_PARAMS, TCP_PARAMS
+
+
+class TestReporting:
+    def test_format_seconds_units(self):
+        assert format_seconds(35e-6) == "35.0us"
+        assert format_seconds(3.2e-3) == "3.20ms"
+        assert format_seconds(2.0) == "2.000s"
+        assert format_seconds(math.inf) == "unstable"
+
+    def test_format_rate(self):
+        assert format_rate(1.5e6) == "1.5M/s"
+        assert format_rate(2500) == "2.5K/s"
+        assert format_rate(12) == "12.0/s"
+
+    def test_format_gbps(self):
+        assert format_gbps(1.075e9) == "8.600Gbps"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "no rows" in format_table([])
+
+
+class TestHarness:
+    def test_overlay_cache_and_degree(self):
+        g1 = overlay_for(16)
+        g2 = overlay_for(16)
+        assert g1 is g2
+        assert g1.degree == 4
+
+    def test_run_allconcur_result_fields(self):
+        res = run_allconcur(8, rounds=3, batch_requests=64, skip_rounds=1)
+        assert res.n == 8
+        assert res.median_latency > 0
+        assert res.agreement_throughput > 0
+        assert res.aggregated_throughput == pytest.approx(
+            8 * res.agreement_throughput)
+        assert res.source == "sim"
+        assert res.as_row()["n"] == 8
+
+    def test_model_estimate_matches_simulation_order_of_magnitude(self):
+        sim = run_allconcur(16, rounds=4, batch_requests=512, skip_rounds=1)
+        model = allconcur_estimate(16, batch_requests=512)
+        assert model.source == "model"
+        ratio = sim.agreement_throughput / model.agreement_throughput
+        assert 0.2 < ratio < 5.0
+
+
+class TestTable3AndFig5:
+    def test_table3_rows_match_paper_except_borderline(self):
+        rows = table3.generate_table3(sizes=(6, 8, 16, 22, 32, 64, 90))
+        for row in rows:
+            assert row["degree"] == row["paper_degree"]
+            assert row["diameter"] == row["paper_diameter"]
+            assert row["quasiminimal"]
+            assert row["achieved_nines"] >= 6.0
+
+    def test_fig5_gs_tracks_target_binomial_does_not(self):
+        rows = fig5.generate_fig5(sizes=(8, 64, 512, 32768))
+        for row in rows:
+            assert row["gs_nines"] >= 6.0
+        # binomial over-provisions at small n and under-provisions at large n
+        assert rows[0]["binomial_nines"] > 6.0
+        assert rows[-1]["binomial_nines"] < 6.0
+
+
+class TestFigureGenerators:
+    def test_fig6_single_request_vs_models(self):
+        row = fig6.single_request_run(8, TCP_PARAMS)
+        assert row["median_latency_s"] < 200e-6
+        assert row["model_work_s"] > 0
+        assert row["ci_low_s"] <= row["median_latency_s"] <= row["ci_high_s"]
+
+    def test_fig6_ibv_faster_than_tcp(self):
+        tcp = fig6.single_request_run(8, TCP_PARAMS)
+        ibv = fig6.single_request_run(8, IBV_PARAMS)
+        assert ibv["median_latency_s"] < tcp["median_latency_s"]
+
+    def test_fig8_latency_flat_then_unstable(self):
+        low = fig8.latency_for_rate(8, 1e3, params=IBV_PARAMS, rounds=4)
+        high = fig8.latency_for_rate(8, 1e9, params=IBV_PARAMS, rounds=4)
+        assert low["median_latency_s"] < 1e-3
+        assert high["source"] == "model-unstable"
+        assert math.isinf(high["median_latency_s"])
+
+    def test_fig9a_game_latency_within_frame_budget(self):
+        row = fig9.game_latency(32, 200.0, rounds=4, sim_limit=64)
+        assert row["source"] == "sim"
+        assert row["median_latency_s"] < fig9.FRAME_BUDGET_S
+
+    def test_fig9a_model_used_beyond_sim_limit(self):
+        row = fig9.game_latency(512, 400.0, sim_limit=64)
+        assert row["source"] == "model"
+        assert row["median_latency_s"] < fig9.FRAME_BUDGET_S
+
+    def test_fig9b_exchange_latency_scales_with_n(self):
+        small = fig9.exchange_latency(8, 1e5, rounds=4, sim_limit=64)
+        large = fig9.exchange_latency(512, 1e5, sim_limit=64)
+        assert small["median_latency_s"] < large["median_latency_s"]
+
+    def test_fig10_shapes(self):
+        rows = fig10.generate_fig10(sizes=(8,), batches=(256, 2048),
+                                    systems=("allgather", "allconcur",
+                                             "leader"),
+                                    rounds=3, sim_limit=32)
+        summary = fig10.summarize(rows)
+        # who wins: unreliable > AllConcur > leader-based
+        assert summary["min_speedup_vs_leader"] > 5.0
+        assert 0.3 < summary["avg_overhead_vs_unreliable"] < 0.8
+
+    def test_fig10_larger_batches_increase_throughput(self):
+        small = fig10.throughput_point("allconcur", 8, 128, rounds=3)
+        large = fig10.throughput_point("allconcur", 8, 4096, rounds=3)
+        assert large["agreement_throughput_Bps"] > \
+            small["agreement_throughput_Bps"]
+
+    def test_headline_report_structure(self):
+        rows = headline.generate_headline(simulate=False, sim_limit=8)
+        claims = {r["claim"] for r in rows}
+        assert any("Libpaxos" in r["claim"] or "leader" in r["claim"]
+                   for r in rows)
+        assert all({"claim", "paper", "measured", "source"} <= set(r)
+                   for r in rows)
+        assert len(rows) >= 6

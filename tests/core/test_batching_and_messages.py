@@ -1,0 +1,128 @@
+"""Requests, batches, protocol messages and effects."""
+
+import pytest
+
+from repro.core import (
+    Backward,
+    Batch,
+    Broadcast,
+    Deliver,
+    FailureNotice,
+    Forward,
+    HEADER_BYTES,
+    Request,
+    RequestQueue,
+    Send,
+)
+
+
+class TestBatch:
+    def test_empty_batch(self):
+        b = Batch.empty()
+        assert b.is_empty
+        assert b.count == 0
+        assert b.nbytes == 0
+
+    def test_explicit_batch_counts_bytes(self):
+        reqs = [Request(origin=0, seq=i, nbytes=40) for i in range(3)]
+        b = Batch.of(reqs)
+        assert b.count == 3
+        assert b.nbytes == 120
+        assert not b.is_empty
+
+    def test_synthetic_batch(self):
+        b = Batch.synthetic(2048, 8)
+        assert b.count == 2048
+        assert b.nbytes == 2048 * 8
+        assert b.requests == ()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Batch(count=-1)
+
+
+class TestRequestQueue:
+    def test_drain_empty(self):
+        q = RequestQueue()
+        assert q.drain().is_empty
+
+    def test_drain_explicit_requests(self):
+        q = RequestQueue()
+        q.submit(Request(origin=0, seq=0, nbytes=64))
+        q.submit(Request(origin=0, seq=1, nbytes=64))
+        batch = q.drain()
+        assert batch.count == 2
+        assert len(q) == 0
+
+    def test_drain_synthetic(self):
+        q = RequestQueue()
+        q.submit_synthetic(100, 8)
+        batch = q.drain()
+        assert batch.count == 100
+        assert batch.nbytes == 800
+        assert q.drain().is_empty
+
+    def test_max_batch_limits_explicit(self):
+        q = RequestQueue(max_batch=2)
+        for i in range(5):
+            q.submit(Request(origin=0, seq=i, nbytes=8))
+        assert q.drain().count == 2
+        assert q.drain().count == 2
+        assert q.drain().count == 1
+
+    def test_max_batch_limits_synthetic(self):
+        q = RequestQueue(max_batch=10)
+        q.submit_synthetic(25, 8)
+        assert q.drain().count == 10
+        assert q.drain().count == 10
+        assert q.drain().count == 5
+
+    def test_total_submitted_counter(self):
+        q = RequestQueue()
+        q.submit_synthetic(5, 8)
+        q.submit(Request(origin=0, seq=0))
+        assert q.total_submitted == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_batch=0)
+        with pytest.raises(ValueError):
+            RequestQueue().submit_synthetic(-1, 8)
+
+
+class TestMessages:
+    def test_broadcast_uid_and_size(self):
+        m = Broadcast(round=3, origin=7, payload=Batch.synthetic(10, 8))
+        assert m.uid == (3, 7)
+        assert m.nbytes == HEADER_BYTES + 80
+
+    def test_failure_notice(self):
+        f = FailureNotice(round=1, failed=2, reporter=5)
+        assert f.uid == (1, 2, 5)
+        assert f.pair == (2, 5)
+        assert f.nbytes == HEADER_BYTES
+
+    def test_self_report_rejected(self):
+        with pytest.raises(ValueError):
+            FailureNotice(round=0, failed=3, reporter=3)
+
+    def test_forward_backward(self):
+        assert Forward(round=0, origin=1).nbytes == HEADER_BYTES
+        assert Backward(round=0, origin=1).nbytes == HEADER_BYTES
+
+
+class TestEffects:
+    def test_send_effect_size(self):
+        msg = Broadcast(round=0, origin=0, payload=Batch.synthetic(1, 64))
+        s = Send(message=msg, targets=(1, 2, 3))
+        assert s.nbytes == msg.nbytes
+        assert s.targets == (1, 2, 3)
+
+    def test_deliver_effect_aggregates(self):
+        d = Deliver(round=0, messages=(
+            (0, Batch.synthetic(2, 8)), (1, Batch.synthetic(3, 8))),
+            removed=(5,))
+        assert d.request_count == 5
+        assert d.nbytes == 40
+        assert d.senders == 2
+        assert d.removed == (5,)

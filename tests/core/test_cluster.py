@@ -1,0 +1,202 @@
+"""Simulated cluster: multi-round runs, failure handling, membership."""
+
+import pytest
+
+from repro.core import AllConcurConfig, Batch, ClusterOptions, SimCluster
+from repro.graphs import binomial_graph, gs_digraph
+from repro.sim import IBV_PARAMS, TCP_PARAMS
+
+
+def make_cluster(n=8, d=3, auto_advance=False, **opts):
+    graph = gs_digraph(n, d)
+    return SimCluster(graph,
+                      config=AllConcurConfig(graph=graph,
+                                             auto_advance=auto_advance),
+                      options=ClusterOptions(**opts))
+
+
+class TestFailureFreeRounds:
+    def test_single_round_all_deliver(self):
+        cluster = make_cluster()
+        cluster.start_all()
+        cluster.run_until_round(0)
+        assert cluster.min_delivered_rounds() == 1
+        assert cluster.verify_agreement()
+        assert cluster.delivered_sets(0)[0] == tuple(range(8))
+
+    def test_round_latency_close_to_logp_work_bound(self):
+        """§4.1: the work bound 2(n-1)·d·o is a good indicator of the round
+        time; the simulated value must be within a small factor of it."""
+        from repro.analysis import work_bound
+
+        cluster = make_cluster(params=TCP_PARAMS)
+        cluster.start_all()
+        cluster.run_until_round(0)
+        latency = cluster.trace.agreement_latency(0)
+        bound = work_bound(8, 3, TCP_PARAMS.o)
+        assert latency <= 3.0 * bound
+        assert latency >= 0.2 * bound
+
+    def test_multiple_rounds_auto_advance(self):
+        cluster = make_cluster(auto_advance=True)
+        for pid in cluster.members:
+            cluster.server(pid).submit_synthetic(50, 8)
+        cluster.start_all()
+        cluster.run_until_round(4)
+        assert cluster.min_delivered_rounds() >= 5
+        assert cluster.verify_agreement()
+
+    def test_messages_per_server_matches_work_model(self):
+        """§4.1: without failures each server receives (n-1)·d + own-related
+        traffic; check the per-server receive count is close to n·d."""
+        cluster = make_cluster(n=8, d=3)
+        cluster.start_all()
+        cluster.run_until_round(0)
+        received = cluster.network.stats.per_process_received
+        for pid, count in received.items():
+            assert count <= 8 * 3
+            assert count >= (8 - 1) * 1
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            cluster = make_cluster(seed=seed)
+            cluster.start_all()
+            cluster.run_until_round(0)
+            return cluster.sim.now, cluster.sim.events_processed
+
+        assert run(7) == run(7)
+        # with a deterministic (jitter-free) network the seed does not even
+        # matter — the run is a pure function of the configuration
+        assert run(7) == run(8)
+
+    def test_ibv_faster_than_tcp(self):
+        def latency(params):
+            cluster = make_cluster(params=params)
+            cluster.start_all()
+            cluster.run_until_round(0)
+            return cluster.trace.agreement_latency(0)
+
+        assert latency(IBV_PARAMS) < latency(TCP_PARAMS)
+
+    def test_empty_round_payloads_allowed(self):
+        cluster = make_cluster()
+        cluster.start_all(payloads={0: Batch.synthetic(1, 64)})
+        cluster.run_until_round(0)
+        sets = cluster.delivered_sets(0)
+        assert all(v == tuple(range(8)) for v in sets.values())
+
+
+class TestFailures:
+    def test_one_silent_failure_before_broadcast(self):
+        cluster = make_cluster(n=8, d=3, detection_delay=30e-6)
+        cluster.fail_server(5)
+        cluster.start_all()
+        cluster.run(max_events=5_000_000)
+        alive = cluster.alive_members
+        assert all(cluster.server(p).delivered_rounds == 1 for p in alive)
+        assert cluster.verify_agreement()
+        sets = cluster.delivered_sets(0)
+        assert all(5 not in s for s in sets.values())
+
+    def test_failure_mid_broadcast_partial_send(self):
+        cluster = make_cluster(n=11, d=3, detection_delay=30e-6)
+        cluster.fail_after_sends(2, 1)
+        cluster.start_all()
+        cluster.run(max_events=10_000_000)
+        assert cluster.verify_agreement()
+        # whatever the outcome for m2, every alive server agrees on it
+        sets = set(cluster.delivered_sets(0).values())
+        assert len(sets) == 1
+
+    def test_up_to_f_failures_still_terminate(self):
+        """GS(8,3) tolerates f = 2 failures (k = 3): with two crashed servers
+        every survivor must still terminate and agree."""
+        cluster = make_cluster(n=8, d=3, detection_delay=30e-6)
+        cluster.fail_server(1)
+        cluster.fail_server(4)
+        cluster.start_all()
+        cluster.run(max_events=10_000_000)
+        alive = cluster.alive_members
+        assert len(alive) == 6
+        assert all(cluster.server(p).delivered_rounds == 1 for p in alive)
+        assert cluster.verify_agreement()
+
+    def test_failed_servers_removed_from_next_round(self):
+        cluster = make_cluster(n=8, d=3, auto_advance=True,
+                               detection_delay=30e-6)
+        cluster.fail_server(3)
+        cluster.start_all()
+        cluster.run_until_round(1)
+        for pid in cluster.alive_members:
+            assert 3 not in cluster.server(pid).members
+
+    def test_failure_in_later_round(self):
+        cluster = make_cluster(n=8, d=3, auto_advance=True,
+                               detection_delay=30e-6)
+        cluster.start_all()
+        cluster.run_until_round(0)
+        cluster.fail_server(6)
+        cluster.run_until_round(3)
+        assert cluster.verify_agreement()
+        assert cluster.min_delivered_rounds() >= 4
+
+    def test_heartbeat_detector_unavailability_window(self):
+        """With a heartbeat FD (Δto = 100 ms) a failure stalls the round for
+        roughly the timeout (Figure 7's ~190 ms unavailability)."""
+        graph = gs_digraph(8, 3)
+        cluster = SimCluster(
+            graph,
+            config=AllConcurConfig(graph=graph, auto_advance=False),
+            options=ClusterOptions(params=IBV_PARAMS, detector="heartbeat",
+                                   heartbeat_period=10e-3,
+                                   heartbeat_timeout=100e-3))
+        cluster.fail_server(2)
+        cluster.start_all()
+        cluster.run(max_events=5_000_000)
+        assert cluster.verify_agreement()
+        completion = cluster.trace.round_completion_time(0)
+        assert 90e-3 <= completion <= 250e-3
+
+    def test_network_stats_count_failure_notifications(self):
+        """§4.1: each failure causes at most d² notifications per server."""
+        cluster = make_cluster(n=8, d=3, detection_delay=30e-6)
+        baseline = make_cluster(n=8, d=3)
+        for c in (cluster, baseline):
+            if c is cluster:
+                c.fail_server(1)
+            c.start_all()
+            c.run(max_events=5_000_000)
+        extra = cluster.network.stats.messages_sent \
+            - baseline.network.stats.messages_sent
+        # at most n * d² extra messages for one failure (very loose)
+        assert extra <= 8 * 3 * 3
+
+
+class TestMembershipReconfiguration:
+    def test_rejoin_after_failure(self):
+        cluster = make_cluster(n=8, d=3, auto_advance=True,
+                               detection_delay=30e-6)
+        cluster.start_all()
+        cluster.run_until_round(0)
+        cluster.fail_server(2)
+        cluster.run_until_round(2)
+        assert 2 not in cluster.server(0).members
+        # reconfigure at a round boundary: 2 rejoins with its old id
+        cluster.reconfigure(add=(2,))
+        cluster.start_all()
+        cluster.run_until_round(1)
+        assert 2 in cluster.members
+        assert 2 in cluster.server(0).members
+        assert cluster.verify_agreement()
+        assert cluster.trace_history, "previous epoch trace archived"
+
+    def test_reconfigure_validates_vertex(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            cluster.reconfigure(add=(99,))
+
+    def test_queues_preserved_across_reconfiguration(self):
+        cluster = make_cluster(auto_advance=False)
+        cluster.server(0).submit_synthetic(7, 64)
+        cluster.reconfigure(add=())
+        assert cluster.server(0).queue.pending_requests == 7

@@ -1,0 +1,91 @@
+"""Scenario test reproducing Figure 2 of the paper, end to end.
+
+Nine servers on a binomial graph.  ``p0`` fails after sending its message to
+``p1`` only; ``p1`` receives it but fails before forwarding anything.  The
+paper uses this scenario to explain early termination: every other server
+must terminate the round *without* ``m0`` (no non-faulty server has it) but
+*with* ``m1`` only if it actually survived — here ``p1`` fails before
+forwarding ``m1`` as well, so the round completes with the remaining seven
+messages, identically everywhere.
+"""
+
+import pytest
+
+from repro.core import AllConcurConfig, Batch, ClusterOptions, SimCluster
+from repro.graphs import binomial_graph
+from repro.sim import TCP_PARAMS
+
+
+@pytest.fixture
+def figure2_cluster():
+    graph = binomial_graph(9)
+    cluster = SimCluster(
+        graph,
+        config=AllConcurConfig(graph=graph, auto_advance=False),
+        options=ClusterOptions(params=TCP_PARAMS, detection_delay=50e-6),
+    )
+    return cluster
+
+
+def test_p0_partial_send_p1_silent(figure2_cluster):
+    cluster = figure2_cluster
+    graph = cluster.graph
+    # p0 manages exactly one send (to its first successor, which is p1);
+    # p1 fails immediately, before it can send anything at all.
+    assert graph.successors(0)[0] == 1
+    cluster.fail_after_sends(0, 1)
+    cluster.fail_after_sends(1, 0)
+
+    cluster.start_all()
+    cluster.run(max_events=5_000_000)
+
+    alive = [p for p in range(9) if p not in (0, 1)]
+    # every alive server finished the round
+    for pid in alive:
+        assert cluster.server(pid).delivered_rounds == 1, pid
+    # and they all delivered the same set (set agreement, Lemma 3.5)
+    assert cluster.verify_agreement()
+    sets = cluster.delivered_sets(0)
+    reference = sets[alive[0]]
+    assert all(sets[pid] == reference for pid in alive)
+    # m0 and m1 are lost: p0 only reached the (also faulty) p1, and p1 never
+    # forwarded anything
+    assert 0 not in reference
+    assert 1 not in reference
+    assert set(reference) == set(alive)
+    # the failed servers are tagged for removal from the next round
+    outcome = cluster.server(alive[0]).history[0]
+    assert set(outcome.removed) == {0, 1}
+
+
+def test_m0_survives_if_p1_forwards_before_failing(figure2_cluster):
+    """Variation: p1 forwards m0 to one healthy successor before failing —
+    then m0 must be delivered by everyone (agreement on what survived)."""
+    cluster = figure2_cluster
+    cluster.fail_after_sends(0, 1)
+    # p1 gets enough budget to A-broadcast its own message to everyone and
+    # then forward m0 to its first two successors; the first one is the
+    # already-dead p0, the second (p2) is healthy, so m0 survives.
+    cluster.fail_after_sends(1, len(cluster.graph.successors(1)) + 2)
+
+    cluster.start_all()
+    cluster.run(max_events=5_000_000)
+
+    alive = [p for p in range(9) if p not in (0, 1)]
+    assert cluster.verify_agreement()
+    sets = cluster.delivered_sets(0)
+    reference = set(sets[alive[0]])
+    # m1 was fully A-broadcast before p1 died, and m0 reached at least one
+    # non-faulty server via p1, so both must have been agreed upon.
+    assert 1 in reference
+    assert 0 in reference
+
+
+def test_failure_free_round_delivers_everything(figure2_cluster):
+    cluster = figure2_cluster
+    payloads = {pid: Batch.synthetic(1, 64) for pid in range(9)}
+    cluster.start_all(payloads=payloads)
+    cluster.run_until_round(0)
+    assert cluster.verify_agreement()
+    for pid in range(9):
+        assert cluster.delivered_sets(0)[pid] == tuple(range(9))

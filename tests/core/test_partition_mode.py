@@ -1,0 +1,98 @@
+"""Surviving-partition mechanism and ◇P mode (§3.3.2)."""
+
+import pytest
+
+from repro.core import (
+    AllConcurConfig,
+    Batch,
+    ClusterOptions,
+    FDMode,
+    PartitionGuard,
+    SimCluster,
+)
+from repro.graphs import gs_digraph
+
+
+class TestPartitionGuard:
+    def test_initial_state(self):
+        g = PartitionGuard(owner=0, majority=3)
+        assert not g.decided
+        assert not g.can_deliver()
+
+    def test_self_counts_after_decision(self):
+        g = PartitionGuard(owner=0, majority=1)
+        g.mark_decided()
+        assert g.can_deliver()
+
+    def test_majority_required_in_both_directions(self):
+        g = PartitionGuard(owner=0, majority=3)
+        g.mark_decided()
+        g.record_forward(1)
+        g.record_forward(2)
+        assert not g.can_deliver()      # backward side still short
+        g.record_backward(1)
+        g.record_backward(2)
+        assert g.can_deliver()
+
+    def test_duplicates_not_double_counted(self):
+        g = PartitionGuard(owner=0, majority=3)
+        g.mark_decided()
+        assert g.record_forward(1)
+        assert not g.record_forward(1)
+        assert g.forward_count == 2     # self + server 1
+
+    def test_no_delivery_without_decision(self):
+        g = PartitionGuard(owner=0, majority=1)
+        g.record_forward(1)
+        g.record_backward(1)
+        assert not g.can_deliver()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionGuard(owner=0, majority=0)
+
+
+class TestEventualMode:
+    def make_cluster(self, n=8, d=3):
+        graph = gs_digraph(n, d)
+        cfg = AllConcurConfig(graph=graph, fd_mode=FDMode.EVENTUAL,
+                              auto_advance=False)
+        return SimCluster(graph, config=cfg,
+                          options=ClusterOptions(detection_delay=30e-6))
+
+    def test_failure_free_round_still_delivers(self):
+        cluster = self.make_cluster()
+        cluster.start_all(payloads={0: Batch.synthetic(1, 64)})
+        cluster.run_until_round(0)
+        assert cluster.min_delivered_rounds() == 1
+        assert cluster.verify_agreement()
+
+    def test_fwd_bwd_traffic_present(self):
+        """◇P mode sends extra FWD/BWD messages compared to P mode."""
+        eventual = self.make_cluster()
+        eventual.start_all()
+        eventual.run_until_round(0)
+
+        graph = gs_digraph(8, 3)
+        perfect = SimCluster(
+            graph, config=AllConcurConfig(graph=graph, auto_advance=False),
+            options=ClusterOptions(detection_delay=30e-6))
+        perfect.start_all()
+        perfect.run_until_round(0)
+
+        assert eventual.network.stats.messages_sent > \
+            perfect.network.stats.messages_sent
+
+    def test_delivery_with_one_real_failure(self):
+        cluster = self.make_cluster()
+        cluster.fail_server(3)
+        cluster.start_all()
+        cluster.run(max_events=5_000_000)
+        alive = cluster.alive_members
+        assert all(cluster.server(p).delivered_rounds == 1 for p in alive)
+        assert cluster.verify_agreement()
+
+    def test_majority_definition(self):
+        graph = gs_digraph(8, 3)
+        cfg = AllConcurConfig(graph=graph, fd_mode=FDMode.EVENTUAL)
+        assert cfg.majority == 5

@@ -1,0 +1,96 @@
+"""Property-based tests of the protocol's safety invariants.
+
+The key theorem (Corollary 3.5.1): with fewer than ``k(G)`` failures and a
+perfect failure detector, AllConcur solves atomic broadcast — validity,
+agreement, integrity and total order all hold.  We check them on randomly
+generated failure scenarios.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AllConcurConfig, ClusterOptions, SimCluster
+from repro.graphs import gs_digraph
+from repro.sim import IBV_PARAMS
+
+#: overlay used by the random scenarios: GS(8,3), tolerating f < 3 failures
+N = 8
+DEGREE = 3
+
+
+@st.composite
+def failure_scenarios(draw):
+    """Up to k-1 failures, each either silent, partial-send or time-based."""
+    count = draw(st.integers(min_value=0, max_value=DEGREE - 1))
+    victims = draw(st.lists(st.integers(0, N - 1), min_size=count,
+                            max_size=count, unique=True))
+    modes = draw(st.lists(st.sampled_from(["silent", "partial", "timed"]),
+                          min_size=count, max_size=count))
+    budgets = draw(st.lists(st.integers(0, 6), min_size=count,
+                            max_size=count))
+    times = draw(st.lists(st.floats(1e-6, 2e-4), min_size=count,
+                          max_size=count))
+    seed = draw(st.integers(0, 2 ** 16))
+    return list(zip(victims, modes, budgets, times)), seed
+
+
+def run_scenario(scenario, seed):
+    graph = gs_digraph(N, DEGREE)
+    cluster = SimCluster(
+        graph,
+        config=AllConcurConfig(graph=graph, auto_advance=False),
+        options=ClusterOptions(params=IBV_PARAMS, seed=seed,
+                               detection_delay=20e-6))
+    for victim, mode, budget, at in scenario:
+        if mode == "silent":
+            cluster.fail_server(victim)
+        elif mode == "partial":
+            cluster.fail_after_sends(victim, budget)
+        else:
+            cluster.fail_server(victim, at=at)
+    for pid in cluster.members:
+        cluster.server(pid).submit_synthetic(1, 64)
+    cluster.start_all()
+    cluster.run(max_events=5_000_000)
+    return cluster
+
+
+class TestAtomicBroadcastProperties:
+    @given(failure_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_termination_and_agreement(self, scenario_seed):
+        scenario, seed = scenario_seed
+        cluster = run_scenario(scenario, seed)
+        alive = cluster.alive_members
+        # Validity/termination: every alive server finishes the round
+        # (f < k(G), perfect FD).
+        assert all(cluster.server(p).delivered_rounds >= 1 for p in alive)
+        # Agreement + total order: identical ordered message sets everywhere.
+        assert cluster.verify_agreement()
+
+    @given(failure_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_integrity(self, scenario_seed):
+        """Integrity: a delivered message was A-broadcast by its origin and
+        is delivered at most once per server."""
+        scenario, seed = scenario_seed
+        cluster = run_scenario(scenario, seed)
+        for pid in cluster.alive_members:
+            history = cluster.server(pid).history
+            for outcome in history:
+                origins = [o for o, _b in outcome.messages]
+                assert len(origins) == len(set(origins))
+                assert all(0 <= o < N for o in origins)
+                # a server never delivers a message from a server that was
+                # not a member of that round
+                assert set(origins) <= set(range(N))
+
+    @given(failure_scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_own_message_always_delivered_by_alive_origin(self, scenario_seed):
+        """Validity: a non-faulty server's own message is always in the
+        agreed set (it A-broadcast it and did not fail)."""
+        scenario, seed = scenario_seed
+        cluster = run_scenario(scenario, seed)
+        for pid in cluster.alive_members:
+            outcome = cluster.server(pid).history[0]
+            assert pid in outcome.origins

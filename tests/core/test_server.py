@@ -1,0 +1,264 @@
+"""Unit tests of the sans-IO AllConcurServer state machine."""
+
+import pytest
+
+from repro.core import (
+    AllConcurConfig,
+    AllConcurServer,
+    Batch,
+    Broadcast,
+    Deliver,
+    FailureNotice,
+    FDMode,
+    Request,
+    RoundAdvance,
+    Send,
+)
+from repro.graphs import complete_digraph, gs_digraph
+
+
+def config(graph=None, **kwargs):
+    graph = graph if graph is not None else gs_digraph(6, 3)
+    kwargs.setdefault("auto_advance", False)
+    return AllConcurConfig(graph=graph, **kwargs)
+
+
+def sends(effects):
+    return [e for e in effects if isinstance(e, Send)]
+
+
+def delivers(effects):
+    return [e for e in effects if isinstance(e, Deliver)]
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = AllConcurConfig(graph=gs_digraph(8, 3))
+        assert cfg.n == 8
+        assert cfg.resilience == 2          # d - 1
+        assert cfg.majority == 5
+        assert cfg.fd_mode == FDMode.PERFECT
+
+    def test_explicit_members(self):
+        cfg = AllConcurConfig(graph=complete_digraph(6), members=(0, 2, 4))
+        assert cfg.n == 3
+        assert cfg.initial_members == (0, 2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllConcurConfig(graph=gs_digraph(6, 3), fd_mode="sometimes")
+        with pytest.raises(ValueError):
+            AllConcurConfig(graph=gs_digraph(6, 3), f=-1)
+        with pytest.raises(ValueError):
+            AllConcurConfig(graph=gs_digraph(6, 3), members=(0, 99))
+
+
+class TestBroadcastPath:
+    def test_start_round_sends_to_successors(self):
+        server = AllConcurServer(0, config())
+        effects = server.start_round(payload=Batch.synthetic(1, 64))
+        (send,) = sends(effects)
+        assert isinstance(send.message, Broadcast)
+        assert send.message.origin == 0
+        assert send.targets == server.successors
+        assert server.has_broadcast
+
+    def test_start_round_idempotent(self):
+        server = AllConcurServer(0, config())
+        server.start_round()
+        assert server.start_round() == []
+
+    def test_receiving_broadcast_triggers_own_and_forwards(self):
+        server = AllConcurServer(0, config())
+        pred = server.predecessors[0]
+        msg = Broadcast(round=0, origin=pred, payload=Batch.empty())
+        effects = server.handle_message(pred, msg)
+        out = sends(effects)
+        origins = {s.message.origin for s in out}
+        # it A-broadcasts its own message and forwards the received one
+        assert origins == {0, pred}
+
+    def test_duplicate_broadcast_not_reforwarded(self):
+        server = AllConcurServer(0, config())
+        server.start_round()
+        pred = server.predecessors[0]
+        msg = Broadcast(round=0, origin=pred, payload=Batch.empty())
+        first = server.handle_message(pred, msg)
+        assert sends(first)
+        second = server.handle_message(pred, msg)
+        assert not sends(second)
+
+    def test_delivery_when_all_messages_received(self):
+        server = AllConcurServer(0, config())
+        server.start_round(payload=Batch.synthetic(2, 8))
+        effects = []
+        for origin in range(1, 6):
+            msg = Broadcast(round=0, origin=origin,
+                            payload=Batch.synthetic(1, 8))
+            effects += server.handle_message(origin, msg)
+        (deliver,) = delivers(effects)
+        assert deliver.round == 0
+        assert [o for o, _b in deliver.messages] == list(range(6))
+        assert deliver.request_count == 2 + 5
+        assert deliver.removed == ()
+        assert server.delivered_rounds == 1
+
+    def test_requests_drained_into_payload(self):
+        server = AllConcurServer(0, config())
+        server.submit(Request(origin=0, seq=0, nbytes=64, data="a"))
+        server.submit(Request(origin=0, seq=1, nbytes=64, data="b"))
+        effects = server.start_round()
+        (send,) = sends(effects)
+        assert send.message.payload.count == 2
+
+    def test_future_round_message_buffered(self):
+        server = AllConcurServer(0, config())
+        msg = Broadcast(round=5, origin=1, payload=Batch.empty())
+        assert server.handle_message(1, msg) == []
+        assert 1 not in server.known_messages
+
+    def test_stale_round_message_ignored(self):
+        graph = complete_digraph(3)
+        server = AllConcurServer(0, config(graph))
+        server.start_round()
+        for origin in (1, 2):
+            server.handle_message(
+                origin, Broadcast(round=0, origin=origin, payload=Batch.empty()))
+        assert server.round == 1
+        # stale round-0 message from a confused peer
+        effects = server.handle_message(
+            1, Broadcast(round=0, origin=1, payload=Batch.empty()))
+        assert not sends(effects)
+
+    def test_crashed_server_is_inert(self):
+        server = AllConcurServer(0, config())
+        server.crash()
+        assert server.start_round() == []
+        assert server.handle_message(
+            1, Broadcast(round=0, origin=1, payload=Batch.empty())) == []
+
+
+class TestFailurePath:
+    def test_local_suspicion_generates_notification(self):
+        server = AllConcurServer(0, config())
+        server.start_round()
+        pred = server.predecessors[0]
+        effects = server.notify_failure(pred)
+        out = sends(effects)
+        assert any(isinstance(s.message, FailureNotice) and
+                   s.message.pair == (pred, 0) for s in out)
+        assert pred in server.ignored_predecessors
+
+    def test_cannot_suspect_self_or_non_predecessor(self):
+        server = AllConcurServer(0, config())
+        with pytest.raises(ValueError):
+            server.notify_failure(0)
+        non_pred = next(p for p in range(6)
+                        if p != 0 and p not in server.predecessors)
+        with pytest.raises(ValueError):
+            server.notify_failure(non_pred)
+
+    def test_failure_notice_forwarded_once_per_round(self):
+        server = AllConcurServer(0, config())
+        server.start_round()
+        notice = FailureNotice(round=0, failed=1, reporter=2)
+        first = server.handle_message(2, notice)
+        assert sends(first)
+        second = server.handle_message(3, notice)
+        assert not sends(second)
+
+    def test_messages_from_suspected_predecessor_ignored(self):
+        server = AllConcurServer(0, config())
+        server.start_round()
+        pred = server.predecessors[0]
+        server.notify_failure(pred)
+        effects = server.handle_message(
+            pred, Broadcast(round=0, origin=pred, payload=Batch.empty()))
+        assert not sends(effects)
+        assert pred not in server.known_messages
+
+    def test_removed_server_excluded_from_next_round(self):
+        graph = complete_digraph(3)
+        server = AllConcurServer(0, config(graph))
+        server.start_round()
+        server.handle_message(
+            1, Broadcast(round=0, origin=1, payload=Batch.empty()))
+        # server 2 fails without sending; both 0 and 1 report it
+        server.notify_failure(2)
+        effects = server.handle_message(
+            1, FailureNotice(round=0, failed=2, reporter=1))
+        (deliver,) = delivers(effects)
+        assert deliver.removed == (2,)
+        assert server.members == (0, 1)
+        assert server.round == 1
+
+    def test_carryover_failure_rebroadcast_next_round(self):
+        """A server whose message was delivered but which failed later must
+        have its failure notifications re-broadcast in the next round
+        (Algorithm 1 lines 12-13)."""
+        graph = complete_digraph(3)
+        server = AllConcurServer(0, config(graph))
+        server.start_round()
+        # receive both messages, but also a failure notification about 2
+        server.handle_message(
+            1, Broadcast(round=0, origin=1, payload=Batch.empty()))
+        server.handle_message(
+            1, FailureNotice(round=0, failed=2, reporter=1))
+        effects = server.handle_message(
+            2, Broadcast(round=0, origin=2, payload=Batch.empty()))
+        (deliver,) = delivers(effects)
+        assert deliver.removed == ()           # m2 made it
+        assert server.round == 1
+        # the (2, 1) failure pair must be re-announced in round 1
+        renotified = [s for s in sends(effects)
+                      if isinstance(s.message, FailureNotice)
+                      and s.message.round == 1 and s.message.pair == (2, 1)]
+        assert renotified
+
+    def test_stale_failure_notice_applies_to_current_round(self):
+        server = AllConcurServer(0, config(complete_digraph(3)))
+        server.start_round()
+        server.handle_message(
+            1, Broadcast(round=0, origin=1, payload=Batch.empty()))
+        server.handle_message(
+            2, Broadcast(round=0, origin=2, payload=Batch.empty()))
+        assert server.round == 1
+        server.start_round()
+        # a FAIL tagged with the old round still counts against round 1
+        effects = server.handle_message(
+            1, FailureNotice(round=0, failed=2, reporter=1))
+        forwarded = [s for s in sends(effects)
+                     if isinstance(s.message, FailureNotice)]
+        assert forwarded and forwarded[0].message.round == 1
+
+
+class TestAutoAdvance:
+    def test_next_round_started_automatically(self):
+        graph = complete_digraph(3)
+        cfg = AllConcurConfig(graph=graph, auto_advance=True)
+        server = AllConcurServer(0, cfg)
+        server.start_round()
+        effects = []
+        for origin in (1, 2):
+            effects += server.handle_message(
+                origin, Broadcast(round=0, origin=origin, payload=Batch.empty()))
+        assert server.round == 1
+        assert server.has_broadcast          # round 1 message already out
+        advances = [e for e in effects if isinstance(e, RoundAdvance)]
+        assert advances and advances[0].round == 1
+
+    def test_buffered_future_messages_replayed(self):
+        graph = complete_digraph(3)
+        cfg = AllConcurConfig(graph=graph, auto_advance=True)
+        server = AllConcurServer(0, cfg)
+        server.start_round()
+        # round-1 message arrives while still in round 0
+        server.handle_message(
+            1, Broadcast(round=1, origin=1, payload=Batch.empty()))
+        effects = []
+        for origin in (1, 2):
+            effects += server.handle_message(
+                origin, Broadcast(round=0, origin=origin, payload=Batch.empty()))
+        # after advancing, the buffered round-1 message must be known
+        assert server.round == 1
+        assert 1 in server.known_messages

@@ -1,0 +1,158 @@
+"""Tracking digraphs / early termination (§2.3, Algorithm 1 lines 21-40)."""
+
+import pytest
+
+from repro.core import MessageTracker, TrackingDigraph
+from repro.graphs import binomial_graph, complete_digraph, gs_digraph
+
+
+def make_tracker(graph, owner=6, members=None):
+    members = members if members is not None else range(graph.n)
+    return MessageTracker(owner=owner, members=members,
+                          successors_fn=graph.successors)
+
+
+class TestTrackingDigraph:
+    def test_initial_state(self):
+        g = TrackingDigraph.initial(3)
+        assert g.vertices == {3}
+        assert not g.edges
+        assert not g.is_empty
+
+    def test_clear(self):
+        g = TrackingDigraph.initial(3)
+        g.clear()
+        assert g.is_empty
+
+    def test_reachability(self):
+        g = TrackingDigraph(target=0, vertices={0, 1, 2, 3},
+                            edges={(0, 1), (1, 2)})
+        assert g.reachable_from_target() == {0, 1, 2}
+
+    def test_prune_removes_unreachable(self):
+        g = TrackingDigraph(target=0, vertices={0, 1, 2},
+                            edges={(0, 1), (2, 1)})
+        g.prune(failed_servers=set())
+        assert g.vertices == {0, 1}
+        assert g.edges == {(0, 1)}
+
+    def test_prune_clears_if_all_failed(self):
+        g = TrackingDigraph(target=0, vertices={0, 1}, edges={(0, 1)})
+        g.prune(failed_servers={0, 1})
+        assert g.is_empty
+
+    def test_prune_keeps_if_some_alive(self):
+        g = TrackingDigraph(target=0, vertices={0, 1}, edges={(0, 1)})
+        g.prune(failed_servers={0})
+        assert g.vertices == {0, 1}
+
+
+class TestMessageTracker:
+    def test_initial_tracking_everyone_else(self):
+        graph = gs_digraph(8, 3)
+        t = make_tracker(graph, owner=2, members=range(8))
+        assert set(t.graphs) == set(range(8)) - {2}
+        assert not t.all_done()
+        assert t.pending_targets() == [p for p in range(8) if p != 2]
+
+    def test_owner_must_be_member(self):
+        graph = gs_digraph(8, 3)
+        with pytest.raises(ValueError):
+            MessageTracker(owner=9, members=range(8),
+                           successors_fn=graph.successors)
+
+    def test_receiving_all_messages_terminates(self):
+        graph = gs_digraph(8, 3)
+        t = make_tracker(graph, owner=0)
+        for origin in range(1, 8):
+            t.message_received(origin)
+        assert t.all_done()
+
+    def test_round_successors_respect_membership(self):
+        graph = complete_digraph(6)
+        t = make_tracker(graph, owner=0, members=[0, 1, 2, 3])
+        assert set(t.round_successors(1)) == {0, 2, 3}
+
+    def test_first_failure_notification_expands(self):
+        graph = binomial_graph(9)
+        t = make_tracker(graph, owner=6)
+        t.add_failure(0, 2)
+        g0 = t.graphs[0]
+        expected = set(graph.successors(0)) - {2} | {0}
+        assert g0.vertices == expected
+        assert all(edge[0] == 0 for edge in g0.edges)
+        assert (0, 2) not in g0.edges
+
+    def test_subsequent_notification_removes_edge(self):
+        graph = binomial_graph(9)
+        t = make_tracker(graph, owner=6)
+        t.add_failure(0, 2)
+        assert (0, 5) in t.graphs[0].edges
+        t.add_failure(0, 5)
+        assert (0, 5) not in t.graphs[0].edges
+        assert 5 not in t.graphs[0].vertices   # pruned: unreachable
+
+    def test_duplicate_notification_is_noop(self):
+        graph = binomial_graph(9)
+        t = make_tracker(graph, owner=6)
+        assert t.add_failure(0, 2) is True
+        before = t.snapshot()
+        assert t.add_failure(0, 2) is False
+        assert t.snapshot() == before
+
+    def test_notifications_from_all_successors_stop_tracking(self):
+        """If every successor of a failed server reports the failure, nobody
+        can have its message: the tracking digraph must empty (line 39)."""
+        graph = binomial_graph(9)
+        t = make_tracker(graph, owner=6)
+        for reporter in graph.successors(0):
+            t.add_failure(0, reporter)
+        assert t.graphs[0].is_empty
+
+    def test_failure_of_already_failed_successor_cascades(self):
+        """Figure 2b: after p0 and p1 both fail, g6[p1] contains p0's
+        successors too (p0 may have received m1 and passed it on)."""
+        graph = binomial_graph(9)
+        t = make_tracker(graph, owner=6)
+        t.add_failure(0, 2)
+        t.add_failure(0, 5)
+        t.add_failure(1, 3)
+        g1 = t.graphs[1]
+        # p1's successors (except the reporter p3) are now suspects for m1
+        for succ in graph.successors(1):
+            if succ not in (3,):
+                assert succ in g1.vertices
+        # p0 is a successor of p1 and is known failed, so p0's successors
+        # (except those that already reported p0) are suspects as well
+        for succ in graph.successors(0):
+            if succ not in (2, 5):
+                assert succ in g1.vertices
+
+    def test_message_received_clears_even_after_expansion(self):
+        graph = binomial_graph(9)
+        t = make_tracker(graph, owner=6)
+        t.add_failure(1, 3)
+        assert not t.graphs[1].is_empty
+        t.message_received(1)
+        assert t.graphs[1].is_empty
+
+    def test_storage_size_bounded(self):
+        """Table 2: tracking digraphs take O(f²·d) space."""
+        graph = gs_digraph(32, 4)
+        t = make_tracker(graph, owner=0, members=range(32))
+        f = 3
+        for failed, reporter in [(1, g) for g in graph.successors(1)[:2]] + \
+                                [(2, graph.successors(2)[0]),
+                                 (3, graph.successors(3)[0])]:
+            t.add_failure(failed, reporter)
+        # crude constant: 4 * f^2 * d covers vertices + edges comfortably
+        assert t.storage_size() <= 4 * (f + 1) ** 2 * graph.degree * 4
+
+    def test_failure_of_nonmember_ignored_gracefully(self):
+        graph = complete_digraph(6)
+        t = make_tracker(graph, owner=0, members=[0, 1, 2, 3])
+        # server 4 is not a member this round; its graphs aren't tracked
+        assert 4 not in t.graphs
+        t.add_failure(4, 5)   # recorded in F_i but affects no tracking graph
+        assert t.all_done() is False
+        assert (4, 5) in t.failure_pairs

@@ -1,0 +1,162 @@
+"""Tests for the standard, binomial and de Bruijn graph families."""
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    MultiDigraph,
+    bidirectional_ring,
+    binary_hypercube,
+    binomial_degree,
+    binomial_graph,
+    complete_digraph,
+    debruijn_without_selfloops,
+    diameter,
+    generalized_de_bruijn,
+    random_regular_digraph,
+    ring_digraph,
+    star_digraph,
+    vertex_connectivity,
+)
+
+
+class TestStandardTopologies:
+    def test_complete_digraph_edges(self):
+        g = complete_digraph(4)
+        assert g.num_edges == 12
+        assert g.is_regular()
+        assert g.degree == 3
+
+    def test_complete_rejects_zero(self):
+        with pytest.raises(ValueError):
+            complete_digraph(0)
+
+    def test_ring_structure(self):
+        g = ring_digraph(5)
+        assert g.successors(4) == (0,)
+        assert g.degree == 1
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_digraph(1)
+
+    def test_bidirectional_ring(self):
+        g = bidirectional_ring(6)
+        assert g.degree == 2
+        assert g.is_regular()
+        assert diameter(g) == 3
+
+    def test_hypercube_properties(self):
+        g = binary_hypercube(3)
+        assert g.n == 8
+        assert g.degree == 3
+        assert g.is_regular()
+        assert diameter(g) == 3
+
+    def test_hypercube_neighbours_differ_in_one_bit(self):
+        g = binary_hypercube(4)
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_star_centre_degree(self):
+        g = star_digraph(7, center=2)
+        assert g.out_degree(2) == 6
+        assert g.in_degree(2) == 6
+        assert g.out_degree(0) == 1
+
+    def test_star_validation(self):
+        with pytest.raises(ValueError):
+            star_digraph(5, center=9)
+
+    def test_random_regular_is_regular(self):
+        g = random_regular_digraph(15, 4, seed=3)
+        assert g.is_regular()
+        assert g.degree == 4
+
+    def test_random_regular_deterministic_by_seed(self):
+        assert random_regular_digraph(10, 3, seed=5) == \
+            random_regular_digraph(10, 3, seed=5)
+
+    def test_random_regular_validation(self):
+        with pytest.raises(ValueError):
+            random_regular_digraph(4, 4)
+
+
+class TestBinomialGraph:
+    def test_figure2a_nine_servers(self):
+        """In the n = 9 example of Figure 2a, p0's neighbours are p±1, p±2,
+        p±4 and p±8 ≡ p∓1 (collapsed)."""
+        g = binomial_graph(9)
+        assert set(g.successors(0)) == {1, 2, 4, 5, 7, 8}
+
+    def test_symmetric(self):
+        g = binomial_graph(10)
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_regular(self):
+        for n in (5, 9, 12, 16):
+            assert binomial_graph(n).is_regular(), n
+
+    def test_degree_helper_matches_graph(self):
+        for n in (5, 9, 12, 31):
+            assert binomial_graph(n).degree == binomial_degree(n)
+
+    def test_paper_n12_parameters(self):
+        """§4.2.3: for n = 12 the binomial graph has k = 6 and D = 2."""
+        g = binomial_graph(12)
+        assert g.degree == 6
+        assert diameter(g) == 2
+        assert vertex_connectivity(g) == 6
+
+    def test_optimally_connected_small(self):
+        for n in (6, 9, 12):
+            g = binomial_graph(n)
+            assert vertex_connectivity(g) == g.degree
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_graph(1)
+
+
+class TestGeneralizedDeBruijn:
+    def test_edge_rule(self):
+        g = generalized_de_bruijn(5, 2)
+        # v = u*2 + a (mod 5), a in {0,1}
+        assert set(g.successors(1)) == {2, 3}
+        assert set(g.successors(3)) == {1, 2}
+
+    def test_no_self_loops_in_plain_digraph(self):
+        g = generalized_de_bruijn(6, 3)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generalized_de_bruijn(1, 3)
+        with pytest.raises(ValueError):
+            generalized_de_bruijn(5, 0)
+
+    @pytest.mark.parametrize("m,d", [(2, 3), (3, 3), (4, 4), (18, 5), (93, 11)])
+    def test_gstar_is_regular_multidigraph(self, m, d):
+        g = debruijn_without_selfloops(m, d)
+        assert isinstance(g, MultiDigraph)
+        assert g.is_regular(d)
+        assert not g.has_self_loops()
+        assert len(g.edges) == m * d
+
+    def test_gstar_validation(self):
+        with pytest.raises(ValueError):
+            debruijn_without_selfloops(1, 3)
+
+    def test_multidigraph_degree_helpers(self):
+        g = MultiDigraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.out_degree(0) == 2
+        assert g.in_degree(1) == 2
+        assert not g.is_regular(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 9)

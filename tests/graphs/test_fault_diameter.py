@@ -1,0 +1,123 @@
+"""Fault-diameter bounds (§4.2.3), including the paper's worked example."""
+
+import pytest
+
+from repro.graphs import (
+    binomial_graph,
+    complete_digraph,
+    diameter,
+    fault_diameter_bound,
+    fault_diameter_exact,
+    gs_digraph,
+    min_sum_disjoint_paths,
+    trivial_fault_diameter_bound,
+    vertex_connectivity,
+)
+
+
+class TestTrivialBound:
+    def test_formula(self):
+        # floor((n - f - 2)/(k - f)) + 1
+        assert trivial_fault_diameter_bound(12, 6, 2) == 3
+        assert trivial_fault_diameter_bound(90, 5, 4) == 85
+
+    def test_requires_f_below_k(self):
+        with pytest.raises(ValueError):
+            trivial_fault_diameter_bound(10, 3, 3)
+
+    def test_degenerate_small_n(self):
+        # removing f = 1 of 3 vertices leaves two connected vertices
+        assert trivial_fault_diameter_bound(3, 2, 1) == 1
+        # n <= f + 1: nothing left to connect
+        assert trivial_fault_diameter_bound(2, 2, 1) == 0
+
+
+class TestMinSumDisjointPaths:
+    def test_paths_are_disjoint_and_valid(self):
+        g = binomial_graph(12)
+        res = min_sum_disjoint_paths(g, 0, 3, 6)
+        assert res.count == 6
+        internal = [set(p[1:-1]) for p in res.paths]
+        for i, a in enumerate(internal):
+            for b in internal[i + 1:]:
+                assert not (a & b)
+        for path in res.paths:
+            assert path[0] == 0 and path[-1] == 3
+            for u, v in zip(path, path[1:]):
+                assert g.has_edge(u, v)
+
+    def test_equation_one_ordering(self):
+        g = binomial_graph(12)
+        res = min_sum_disjoint_paths(g, 0, 3, 6)
+        assert res.avg_length <= res.max_length
+
+    def test_paper_example_n12(self):
+        """§4.2.3: for the 12-vertex binomial graph, the min-sum heuristic
+        gives 3 <= δ_f <= 4 for f = 5 (six disjoint paths), and one of the
+        six paths from p0 to p3 indeed has length four."""
+        g = binomial_graph(12)
+        worst_max = 0
+        worst_avg = 0.0
+        for s in g.vertices():
+            for t in g.vertices():
+                if s == t:
+                    continue
+                res = min_sum_disjoint_paths(g, s, t, 6)
+                worst_max = max(worst_max, res.max_length)
+                worst_avg = max(worst_avg, res.avg_length)
+        assert worst_max == 4
+        assert worst_avg >= 2.5   # strictly above the diameter of 2
+        assert worst_avg <= 4.0
+
+    def test_requires_enough_connectivity(self):
+        g = binomial_graph(9)
+        k = vertex_connectivity(g)
+        with pytest.raises(ValueError):
+            min_sum_disjoint_paths(g, 0, 1, k + 1)
+
+    def test_argument_validation(self):
+        g = complete_digraph(4)
+        with pytest.raises(ValueError):
+            min_sum_disjoint_paths(g, 1, 1, 2)
+        with pytest.raises(ValueError):
+            min_sum_disjoint_paths(g, 0, 1, 0)
+
+
+class TestFaultDiameterBound:
+    def test_complete_graph_bound_not_tight(self):
+        # Only one direct path exists between any pair, so the other two
+        # disjoint paths have length 2: the heuristic bound is 2 even though
+        # the exact fault diameter of a complete digraph stays 1.
+        est = fault_diameter_bound(complete_digraph(6), 2)
+        assert est.upper_bound == 2
+        assert fault_diameter_exact(complete_digraph(6), 2) == 1
+
+    def test_upper_bound_dominates_exact(self):
+        g = binomial_graph(8)
+        est = fault_diameter_bound(g, 2)
+        exact = fault_diameter_exact(g, 2)
+        assert est.upper_bound >= exact >= diameter(g)
+
+    def test_gs_digraph_low_fault_diameter(self):
+        """§4.4 claims GS digraphs have low fault-diameter bounds: the
+        min-sum estimate must sit between the diameter and the (loose)
+        trivial bound, and stay small in absolute terms."""
+        g = gs_digraph(16, 4)
+        est = fault_diameter_bound(g, 3, connectivity=4)
+        assert diameter(g) <= est.upper_bound
+        assert est.upper_bound <= trivial_fault_diameter_bound(16, 4, 3)
+        assert est.upper_bound <= 6
+
+    def test_sampled_pairs(self):
+        g = binomial_graph(12)
+        est = fault_diameter_bound(g, 5, pairs=[(0, 3), (0, 6)],
+                                   connectivity=6)
+        assert est.pairs_examined == 2
+        assert est.f == 5
+
+    def test_f_validation(self):
+        g = binomial_graph(9)
+        with pytest.raises(ValueError):
+            fault_diameter_bound(g, 99)
+        with pytest.raises(ValueError):
+            fault_diameter_bound(g, -1)

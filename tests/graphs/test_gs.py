@@ -1,0 +1,117 @@
+"""GS(n, d) digraph construction — the overlay of §4.4 and Table 3."""
+
+import pytest
+
+from repro.graphs import (
+    debruijn_without_selfloops,
+    diameter,
+    gs_digraph,
+    gs_parameters,
+    line_digraph,
+    moore_bound_diameter,
+    vertex_connectivity,
+)
+
+#: (n, d, D) rows of Table 3
+TABLE3 = [
+    (6, 3, 2), (8, 3, 2), (11, 3, 3), (16, 4, 2), (22, 4, 3), (32, 4, 3),
+    (45, 4, 4), (64, 5, 4), (90, 5, 3), (128, 5, 4), (256, 7, 4),
+    (512, 8, 3), (1024, 11, 4),
+]
+
+SMALL_TABLE3 = [row for row in TABLE3 if row[0] <= 64]
+
+
+class TestParameters:
+    def test_quotient_remainder(self):
+        assert gs_parameters(11, 3) == (3, 2)
+        assert gs_parameters(90, 5) == (18, 0)
+
+    def test_degree_lower_bound(self):
+        with pytest.raises(ValueError, match="d >= 3"):
+            gs_parameters(10, 2)
+
+    def test_size_lower_bound(self):
+        with pytest.raises(ValueError, match="n >= 2d"):
+            gs_parameters(5, 3)
+
+
+class TestLineDigraph:
+    def test_line_digraph_of_cycle(self):
+        from repro.graphs import MultiDigraph
+
+        g = MultiDigraph(3, [(0, 1), (1, 2), (2, 0)])
+        line = line_digraph(g)
+        assert line.n == 3
+        assert line.num_edges == 3
+        assert line.is_regular()
+
+    def test_line_digraph_vertex_count_equals_edges(self):
+        gstar = debruijn_without_selfloops(3, 3)
+        line = line_digraph(gstar)
+        assert line.n == len(gstar.edges)
+
+    def test_line_digraph_regularity_preserved(self):
+        gstar = debruijn_without_selfloops(4, 4)
+        assert line_digraph(gstar).is_regular()
+
+
+class TestGSDigraph:
+    @pytest.mark.parametrize("n,d,paper_diameter", TABLE3)
+    def test_vertex_count_and_regularity(self, n, d, paper_diameter):
+        g = gs_digraph(n, d)
+        assert g.n == n
+        assert g.is_regular()
+        assert g.degree == d
+
+    @pytest.mark.parametrize("n,d,paper_diameter", TABLE3)
+    def test_diameter_matches_table3(self, n, d, paper_diameter):
+        assert diameter(gs_digraph(n, d)) == paper_diameter
+
+    @pytest.mark.parametrize("n,d,paper_diameter", TABLE3)
+    def test_quasiminimal_diameter(self, n, d, paper_diameter):
+        """§4.4: the diameter is at most one above the Moore lower bound."""
+        g = gs_digraph(n, d)
+        assert diameter(g) <= moore_bound_diameter(n, d) + 1
+
+    @pytest.mark.parametrize("n,d,paper_diameter", SMALL_TABLE3)
+    def test_optimal_connectivity(self, n, d, paper_diameter):
+        """GS digraphs are optimally connected: k(G) = d (§4.4)."""
+        assert vertex_connectivity(gs_digraph(n, d)) == d
+
+    def test_t_zero_case_has_no_extra_vertices(self):
+        # n = 90 = 18*5: pure line digraph, no W vertices
+        m, t = gs_parameters(90, 5)
+        assert t == 0
+        g = gs_digraph(90, 5)
+        assert g.n == 90
+
+    @pytest.mark.parametrize("n,d", [(8, 3), (11, 3), (22, 4), (64, 5),
+                                     (128, 5), (256, 7)])
+    def test_t_positive_case_still_regular(self, n, d):
+        _m, t = gs_parameters(n, d)
+        assert t > 0
+        g = gs_digraph(n, d)
+        assert g.is_regular()
+        assert g.degree == d
+
+    def test_no_self_loops(self):
+        g = gs_digraph(22, 4)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_strongly_connected(self):
+        for n, d, _ in SMALL_TABLE3:
+            assert gs_digraph(n, d).is_strongly_connected()
+
+    def test_deterministic_construction(self):
+        assert gs_digraph(32, 4) == gs_digraph(32, 4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            gs_digraph(4, 3)
+        with pytest.raises(ValueError):
+            gs_digraph(20, 2)
+
+    def test_name_contains_parameters(self):
+        assert gs_digraph(16, 4).name == "GS(16,4)"

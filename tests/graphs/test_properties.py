@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Digraph,
+    binomial_graph,
+    diameter,
+    gs_digraph,
+    gs_parameters,
+    random_regular_digraph,
+    reliability,
+    unreliability,
+    vertex_connectivity,
+)
+
+
+@st.composite
+def small_digraphs(draw):
+    """Random simple digraphs with 2..10 vertices."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=40))
+    return Digraph(n, edges)
+
+
+@st.composite
+def gs_params(draw):
+    d = draw(st.integers(min_value=3, max_value=6))
+    n = draw(st.integers(min_value=2 * d, max_value=40))
+    return n, d
+
+
+class TestDigraphInvariants:
+    @given(small_digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_successor_predecessor_duality(self, g):
+        for u, v in g.edges():
+            assert u in g.predecessors(v)
+            assert v in g.successors(u)
+
+    @given(small_digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_preserves_edge_count(self, g):
+        assert g.reverse().num_edges == g.num_edges
+
+    @given(small_digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_connectivity_bounded_by_min_degree(self, g):
+        k = vertex_connectivity(g)
+        if g.n > 1:
+            min_deg = min(min(g.out_degree(v), g.in_degree(v))
+                          for v in g.vertices())
+            assert k <= min_deg
+
+    @given(small_digraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_connectivity_matches_definition(self, g):
+        """k(G) is the size of a smallest vertex set whose removal leaves a
+        non-strongly-connected (or single-vertex) digraph.  Checked by brute
+        force.  (networkx's global node_connectivity is not used as the
+        oracle here: for some small digraphs it disagrees with its own
+        minimum_node_cut, e.g. DiGraph([(0,1),(0,2),(1,0),(2,1)]).)"""
+        from itertools import combinations
+
+        if not g.is_strongly_connected():
+            assert vertex_connectivity(g) == 0
+            return
+        k = vertex_connectivity(g)
+        assert 1 <= k <= g.n - 1
+        # no smaller set disconnects it
+        for size in range(1, k):
+            for removed in combinations(range(g.n), size):
+                assert g.is_strongly_connected(excluded=set(removed))
+        # some set of size k does disconnect it (or reduces it to one vertex)
+        assert any(not g.is_strongly_connected(excluded=set(removed))
+                   or g.n - k <= 1
+                   for removed in combinations(range(g.n), k))
+
+    @given(small_digraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_distances_consistent_with_edges(self, g):
+        dist = g.bfs_distances(0)
+        for u, v in g.edges():
+            if dist[u] >= 0:
+                assert dist[v] >= 0
+                assert dist[v] <= dist[u] + 1
+
+
+class TestGSInvariants:
+    @given(gs_params())
+    @settings(max_examples=25, deadline=None)
+    def test_gs_always_regular_with_n_vertices(self, params):
+        n, d = params
+        g = gs_digraph(n, d)
+        assert g.n == n
+        assert g.is_regular()
+        assert g.degree == d
+
+    @given(gs_params())
+    @settings(max_examples=15, deadline=None)
+    def test_gs_strongly_connected(self, params):
+        n, d = params
+        assert gs_digraph(n, d).is_strongly_connected()
+
+    @given(gs_params())
+    @settings(max_examples=10, deadline=None)
+    def test_gs_parameters_consistent(self, params):
+        n, d = params
+        m, t = gs_parameters(n, d)
+        assert n == m * d + t
+        assert 0 <= t < d
+
+
+class TestReliabilityInvariants:
+    @given(st.integers(2, 200), st.integers(1, 12),
+           st.floats(0.0, 0.5, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_reliability_in_unit_interval(self, n, k, p):
+        r = reliability(n, k, p)
+        assert 0.0 <= r <= 1.0
+
+    @given(st.integers(2, 200), st.integers(1, 10),
+           st.floats(1e-6, 0.2, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_more_connectivity_never_hurts(self, n, k, p):
+        assert unreliability(n, k + 1, p) <= unreliability(n, k, p) + 1e-15
+
+    @given(st.integers(2, 64), st.floats(1e-6, 0.2, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_tolerating_everything_is_certain(self, n, p):
+        assert reliability(n, n + 1, p) == 1.0
+
+
+class TestFamilies:
+    @given(st.integers(3, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_binomial_symmetric_and_regular(self, n):
+        g = binomial_graph(n)
+        assert g.is_regular()
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    @given(st.integers(6, 24), st.integers(2, 4), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_random_regular_matches_requested_degree(self, n, d, seed):
+        if d >= n:
+            return
+        g = random_regular_digraph(n, d, seed=seed)
+        assert g.is_regular()
+        assert g.degree == d

@@ -1,0 +1,111 @@
+"""asyncio/TCP runtime: framing plus an end-to-end localhost deployment."""
+
+import asyncio
+
+import pytest
+
+from repro.core import Batch, Broadcast, FailureNotice, Forward, Backward, Request
+from repro.graphs import gs_digraph
+from repro.runtime import (
+    FrameDecoder,
+    LocalCluster,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+
+
+class TestFraming:
+    def test_broadcast_roundtrip_with_requests(self):
+        payload = Batch.of([Request(origin=2, seq=0, nbytes=40, data="hi"),
+                            Request(origin=2, seq=1, nbytes=40, data=[1, 2])])
+        msg = Broadcast(round=3, origin=2, payload=payload)
+        sender, decoded = decode_message(encode_message(7, msg))
+        assert sender == 7
+        assert decoded == msg
+
+    def test_broadcast_roundtrip_synthetic(self):
+        msg = Broadcast(round=0, origin=1,
+                        payload=Batch.synthetic(100, 8))
+        _s, decoded = decode_message(encode_message(1, msg))
+        assert decoded.payload.count == 100
+        assert decoded.payload.nbytes == 800
+
+    def test_failure_fwd_bwd_roundtrip(self):
+        for msg in (FailureNotice(round=2, failed=1, reporter=4),
+                    Forward(round=2, origin=3),
+                    Backward(round=2, origin=3)):
+            _s, decoded = decode_message(encode_message(0, msg))
+            assert decoded == msg
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            decode_message({"type": "gossip", "from": 0, "round": 0})
+
+    def test_frame_decoder_handles_partial_frames(self):
+        frame = encode_frame({"type": "heartbeat", "from": 3})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:3]) == []
+        assert decoder.pending_bytes == 3
+        frames = decoder.feed(frame[3:])
+        assert frames == [{"type": "heartbeat", "from": 3}]
+        assert decoder.pending_bytes == 0
+
+    def test_frame_decoder_handles_multiple_frames(self):
+        f1 = encode_frame({"a": 1})
+        f2 = encode_frame({"b": 2})
+        decoder = FrameDecoder()
+        assert decoder.feed(f1 + f2) == [{"a": 1}, {"b": 2}]
+
+    def test_oversized_frame_rejected(self):
+        decoder = FrameDecoder()
+        bogus = (200_000_000).to_bytes(4, "big") + b"x"
+        with pytest.raises(ValueError):
+            decoder.feed(bogus)
+
+
+class TestLocalCluster:
+    def test_single_round_agreement_over_tcp(self):
+        async def scenario():
+            graph = gs_digraph(6, 3)
+            async with LocalCluster(graph,
+                                    enable_failure_detector=False) as cluster:
+                await cluster.submit(0, "a")
+                await cluster.submit(3, "b")
+                rounds = await cluster.run_rounds(1, timeout=20)
+                assert cluster.agreement_holds()
+                record = rounds[0][0]
+                origins = [o for o, _b in record.messages]
+                assert origins == list(range(6))
+                data = [req.data for _o, b in record.messages
+                        for req in b.requests]
+                assert sorted(data) == ["a", "b"]
+
+        asyncio.run(scenario())
+
+    def test_multiple_rounds_preserve_order_everywhere(self):
+        async def scenario():
+            graph = gs_digraph(6, 3)
+            async with LocalCluster(graph,
+                                    enable_failure_detector=False) as cluster:
+                for rnd in range(3):
+                    await cluster.submit(rnd % 6, f"round-{rnd}")
+                    await cluster.run_rounds(1, timeout=20)
+                assert cluster.agreement_holds()
+                node = cluster.nodes[5]
+                assert node.delivered_rounds == 3
+                assert [d.round for d in node.delivered] == [0, 1, 2]
+
+        asyncio.run(scenario())
+
+    def test_deliver_callback_invoked(self):
+        async def scenario():
+            graph = gs_digraph(6, 3)
+            seen = []
+            async with LocalCluster(graph,
+                                    enable_failure_detector=False) as cluster:
+                cluster.nodes[2].on_deliver(lambda rec: seen.append(rec.round))
+                await cluster.run_rounds(1, timeout=20)
+            assert seen == [0]
+
+        asyncio.run(scenario())

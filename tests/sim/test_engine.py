@@ -1,0 +1,149 @@
+"""Discrete-event engine and event-queue tests."""
+
+import pytest
+
+from repro.sim import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, order.append, ("a",))
+        q.push(1.0, order.append, ("b",))
+        q.push(1.0, order.append, ("c",))
+        while (ev := q.pop()) is not None:
+            ev.callback(*ev.args)
+        assert order == ["a", "b", "c"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        assert q.peek_time() == 1.0
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, order.append, ("low",), priority=5)
+        q.push(1.0, order.append, ("high",), priority=-5)
+        while (ev := q.pop()) is not None:
+            ev.callback(*ev.args)
+        assert order == ["high", "low"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        handle.cancel()
+        assert handle.cancelled
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        h.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_len_and_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.clear()
+        assert q.pop() is None
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "x")
+        sim.schedule(0.5, fired.append, "y")
+        sim.run_until_idle()
+        assert fired == ["y", "x"]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run(stop_when=lambda: counter["n"] >= 3, max_events=100)
+        assert counter["n"] == 3
+
+    def test_cascading_events_same_time(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(0.0, lambda: log.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run_until_idle()
+        assert log == ["first", "second"]
+
+    def test_rng_is_deterministic_per_seed(self):
+        a = Simulator(seed=42).rng.random()
+        b = Simulator(seed=42).rng.random()
+        c = Simulator(seed=43).rng.random()
+        assert a == b
+        assert a != c
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 5

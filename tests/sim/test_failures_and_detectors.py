@@ -1,0 +1,184 @@
+"""Failure injection and failure detectors (§2.2.2, §3.2)."""
+
+import pytest
+
+from repro.graphs import binomial_graph, gs_digraph
+from repro.sim import (
+    EventuallyPerfectFailureDetector,
+    FailureInjector,
+    HeartbeatFailureDetector,
+    PerfectFailureDetector,
+    Simulator,
+)
+
+
+class TestFailureInjector:
+    def test_fail_now(self):
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        inj.fail_now(3)
+        assert inj.is_failed(3)
+        assert not inj.is_failed(1)
+        assert inj.failure_time(3) == 0.0
+
+    def test_fail_at_schedules(self):
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        inj.fail_at(2, 5.0)
+        assert not inj.is_failed(2)
+        sim.run_until_idle()
+        assert inj.is_failed(2)
+        assert inj.failure_time(2) == 5.0
+
+    def test_listeners_notified_once(self):
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        events = []
+        inj.subscribe(events.append)
+        inj.fail_now(1)
+        inj.fail_now(1)
+        assert len(events) == 1
+        assert events[0].pid == 1
+
+    def test_send_budget(self):
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        inj.fail_after_sends(0, 2)
+        assert inj.has_send_budget(0)
+        assert inj.consume_send_budget(0)
+        assert inj.consume_send_budget(0)
+        assert not inj.consume_send_budget(0)
+
+    def test_no_budget_means_unlimited(self):
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        assert all(inj.consume_send_budget(5) for _ in range(100))
+
+    def test_budget_validation(self):
+        inj = FailureInjector(Simulator())
+        with pytest.raises(ValueError):
+            inj.fail_after_sends(0, -1)
+
+    def test_clear_forgets_failure(self):
+        sim = Simulator()
+        inj = FailureInjector(sim)
+        inj.fail_now(4)
+        inj.clear(4)
+        assert not inj.is_failed(4)
+
+    def test_failed_mapping_snapshot(self):
+        inj = FailureInjector(Simulator())
+        inj.fail_now(1)
+        inj.fail_now(2)
+        assert set(inj.failed) == {1, 2}
+
+
+class TestPerfectFailureDetector:
+    def test_successors_detect_after_delay(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        fd = PerfectFailureDetector(sim, graph, inj, detection_delay=1e-3)
+        suspicions = []
+        fd.subscribe(lambda obs, sus: suspicions.append((obs, sus)))
+        inj.fail_now(0)
+        sim.run_until_idle()
+        assert sim.now == pytest.approx(1e-3)
+        assert set(suspicions) == {(s, 0) for s in graph.successors(0)}
+
+    def test_only_successors_suspect(self):
+        sim = Simulator()
+        graph = gs_digraph(8, 3)
+        inj = FailureInjector(sim)
+        fd = PerfectFailureDetector(sim, graph, inj)
+        suspicions = []
+        fd.subscribe(lambda obs, sus: suspicions.append((obs, sus)))
+        inj.fail_now(2)
+        sim.run_until_idle()
+        observers = {obs for obs, _ in suspicions}
+        assert observers == set(graph.successors(2))
+
+    def test_failed_observer_does_not_suspect(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        fd = PerfectFailureDetector(sim, graph, inj)
+        suspicions = []
+        fd.subscribe(lambda obs, sus: suspicions.append((obs, sus)))
+        victim_successor = graph.successors(0)[0]
+        inj.fail_now(victim_successor)
+        inj.fail_now(0)
+        sim.run_until_idle()
+        assert all(obs != victim_successor for obs, _ in suspicions)
+
+    def test_has_suspected_bookkeeping(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        fd = PerfectFailureDetector(sim, graph, inj)
+        inj.fail_now(0)
+        sim.run_until_idle()
+        succ = graph.successors(0)[0]
+        assert fd.has_suspected(succ, 0)
+        assert not fd.has_suspected(0, succ)
+
+
+class TestHeartbeatFailureDetector:
+    def test_detection_within_timeout(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        fd = HeartbeatFailureDetector(sim, graph, inj,
+                                      heartbeat_period=10e-3, timeout=100e-3)
+        suspicions = []
+        fd.subscribe(lambda obs, sus: suspicions.append(sim.now))
+        inj.fail_at(0, 0.055)
+        sim.run_until_idle()
+        assert suspicions
+        # last heartbeat at 0.05, so detection at 0.15
+        assert suspicions[0] == pytest.approx(0.15)
+        # detection latency is bounded by Δto + Δhb
+        assert suspicions[0] - 0.055 <= 0.100 + 0.010 + 1e-9
+
+    def test_timeout_must_cover_period(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(sim, graph, inj,
+                                     heartbeat_period=0.2, timeout=0.1)
+
+
+class TestEventuallyPerfectDetector:
+    def test_false_suspicion_injection(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        fd = EventuallyPerfectFailureDetector(sim, graph, inj)
+        suspicions = []
+        fd.subscribe(lambda obs, sus: suspicions.append((obs, sus)))
+        observer = graph.successors(0)[0]
+        fd.inject_false_suspicion(observer, 0, at_time=0.5)
+        sim.run_until_idle()
+        assert (observer, 0) in suspicions
+        assert not inj.is_failed(0)   # it was a *false* suspicion
+
+    def test_timeout_doubles_after_mistake(self):
+        sim = Simulator()
+        graph = binomial_graph(9)
+        inj = FailureInjector(sim)
+        fd = EventuallyPerfectFailureDetector(sim, graph, inj, timeout=0.1)
+        observer = graph.successors(0)[0]
+        fd.inject_false_suspicion(observer, 0, at_time=0.1)
+        sim.run_until_idle()
+        assert fd.timeout == pytest.approx(0.2)
+
+    def test_only_predecessors_can_be_falsely_suspected(self):
+        sim = Simulator()
+        graph = gs_digraph(8, 3)
+        inj = FailureInjector(sim)
+        fd = EventuallyPerfectFailureDetector(sim, graph, inj)
+        non_pred = next(p for p in range(8)
+                        if p not in graph.predecessors(0) and p != 0)
+        with pytest.raises(ValueError):
+            fd.inject_false_suspicion(0, non_pred, at_time=0.1)

@@ -1,0 +1,183 @@
+"""LogP network model tests."""
+
+import pytest
+
+from repro.sim import (
+    ETHERNET_PARAMS,
+    IBV_PARAMS,
+    TCP_PARAMS,
+    ExponentialJitter,
+    LogPParams,
+    Network,
+    NoJitter,
+    Simulator,
+    UniformJitter,
+)
+
+
+def make_net(params=TCP_PARAMS, jitter=None):
+    sim = Simulator(seed=1)
+    net = Network(sim, params, jitter=jitter)
+    inbox = {}
+
+    def attach(pid):
+        inbox[pid] = []
+        net.attach(pid, lambda src, dst, msg: inbox[dst].append((src, msg)))
+
+    return sim, net, inbox, attach
+
+
+class TestLogPParams:
+    def test_paper_parameters(self):
+        assert TCP_PARAMS.L == pytest.approx(12e-6)
+        assert TCP_PARAMS.o == pytest.approx(1.8e-6)
+        assert IBV_PARAMS.L == pytest.approx(1.25e-6)
+        assert IBV_PARAMS.o == pytest.approx(0.38e-6)
+
+    def test_transmission_time_short_message(self):
+        assert TCP_PARAMS.transmission_time() == pytest.approx(
+            12e-6 + 2 * 1.8e-6)
+
+    def test_send_cost_includes_bytes(self):
+        cost = IBV_PARAMS.send_cost(5000)
+        assert cost > IBV_PARAMS.send_cost(0)
+
+    def test_ethernet_preset_slower_than_ibv(self):
+        assert ETHERNET_PARAMS.transmission_time() > \
+            IBV_PARAMS.transmission_time()
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        assert net.send(0, 1, "hello")
+        sim.run_until_idle()
+        assert inbox[1] == [(0, "hello")]
+        assert sim.now == pytest.approx(TCP_PARAMS.transmission_time())
+
+    def test_sends_serialised_at_sender(self):
+        sim, net, inbox, attach = make_net()
+        for pid in range(4):
+            attach(pid)
+        net.multicast(0, [1, 2, 3], "m")
+        sim.run_until_idle()
+        # last copy leaves after 3 overheads, then wire latency + recv o
+        expected = 3 * TCP_PARAMS.o + TCP_PARAMS.L + TCP_PARAMS.o
+        assert sim.now == pytest.approx(expected)
+
+    def test_receive_serialised_at_receiver(self):
+        sim, net, inbox, attach = make_net()
+        for pid in range(3):
+            attach(pid)
+        net.send(0, 2, "a")
+        net.send(1, 2, "b")
+        sim.run_until_idle()
+        assert len(inbox[2]) == 2
+        # both arrive at L + o + o, the second waits one extra recv overhead
+        assert sim.now == pytest.approx(TCP_PARAMS.L + 2 * TCP_PARAMS.o
+                                        + TCP_PARAMS.o)
+
+    def test_unknown_sender_rejected(self):
+        _sim, net, _inbox, attach = make_net()
+        attach(1)
+        with pytest.raises(ValueError):
+            net.send(9, 1, "x")
+
+    def test_duplicate_attach_rejected(self):
+        _sim, net, _inbox, attach = make_net()
+        attach(0)
+        with pytest.raises(ValueError):
+            net.attach(0, lambda *a: None)
+
+    def test_failed_sender_suppressed(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        net.mark_failed(0)
+        assert net.send(0, 1, "x") is False
+        sim.run_until_idle()
+        assert inbox[1] == []
+        assert net.stats.messages_dropped == 1
+
+    def test_failed_receiver_blackholed(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        net.send(0, 1, "x")
+        net.mark_failed(1)
+        sim.run_until_idle()
+        assert inbox[1] == []
+
+    def test_recovered_receiver_gets_messages_again(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        net.mark_failed(1)
+        net.mark_recovered(1)
+        net.send(0, 1, "x")
+        sim.run_until_idle()
+        assert inbox[1] == [(0, "x")]
+
+    def test_detach_stops_delivery(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        net.send(0, 1, "x")
+        net.detach(1)
+        sim.run_until_idle()
+        assert inbox[1] == []
+
+    def test_byte_size_increases_delay(self):
+        sim1, net1, _in1, attach1 = make_net()
+        attach1(0); attach1(1)
+        net1.send(0, 1, "small", nbytes=0)
+        sim1.run_until_idle()
+        t_small = sim1.now
+
+        sim2, net2, _in2, attach2 = make_net()
+        attach2(0); attach2(1)
+        net2.send(0, 1, "big", nbytes=1 << 20)
+        sim2.run_until_idle()
+        assert sim2.now > t_small
+
+    def test_stats_counters(self):
+        sim, net, _inbox, attach = make_net()
+        for pid in range(3):
+            attach(pid)
+        net.multicast(0, [1, 2], "m", nbytes=10)
+        sim.run_until_idle()
+        assert net.stats.messages_sent == 2
+        assert net.stats.messages_delivered == 2
+        assert net.stats.bytes_sent == 20
+        assert net.stats.per_process_sent[0] == 2
+        assert net.stats.per_process_received[1] == 1
+
+
+class TestJitter:
+    def test_no_jitter_deterministic(self):
+        assert NoJitter().sample(None) == 0.0
+
+    def test_exponential_jitter_positive(self):
+        sim = Simulator(seed=3)
+        j = ExponentialJitter(mean=1e-5)
+        samples = [j.sample(sim.rng) for _ in range(100)]
+        assert all(s >= 0 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(1e-5, rel=0.5)
+
+    def test_uniform_jitter_bounds(self):
+        sim = Simulator(seed=3)
+        j = UniformJitter(1e-6, 2e-6)
+        for _ in range(50):
+            s = j.sample(sim.rng)
+            assert 1e-6 <= s <= 2e-6
+
+    def test_jittered_network_still_delivers(self):
+        sim, net, inbox, attach = make_net(jitter=ExponentialJitter(5e-6))
+        attach(0)
+        attach(1)
+        net.send(0, 1, "x")
+        sim.run_until_idle()
+        assert inbox[1]
+        assert sim.now >= TCP_PARAMS.transmission_time()

@@ -1,0 +1,120 @@
+"""Metric collection: latency, throughput, timelines (§5 metrics)."""
+
+import math
+
+import pytest
+
+from repro.sim import DeliveryRecord, RoundTrace, median_and_ci, percentile
+
+
+def record(rnd, server, time, requests=1, nbytes=64, senders=1):
+    return DeliveryRecord(round=rnd, server=server, time=time,
+                          requests=requests, nbytes=nbytes, senders=senders)
+
+
+class TestPercentiles:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        vals = [5.0, 1.0, 9.0]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_median_and_ci_contains_median(self):
+        vals = [float(i) for i in range(100)]
+        med, lo, hi = median_and_ci(vals)
+        assert lo <= med <= hi
+
+    def test_median_and_ci_small_sample(self):
+        med, lo, hi = median_and_ci([2.0, 4.0])
+        assert (lo, hi) == (2.0, 4.0)
+        assert med == pytest.approx(3.0)
+
+
+class TestRoundTrace:
+    def test_round_start_keeps_earliest(self):
+        t = RoundTrace()
+        t.note_round_start(0, 5.0)
+        t.note_round_start(0, 3.0)
+        t.note_round_start(0, 7.0)
+        assert t.round_start[0] == 3.0
+
+    def test_latencies_relative_to_round_start(self):
+        t = RoundTrace()
+        t.note_round_start(0, 1.0)
+        t.record_delivery(record(0, 0, 1.5))
+        t.record_delivery(record(0, 1, 2.0))
+        assert sorted(t.round_latencies(0)) == [0.5, 1.0]
+        assert t.agreement_latency(0) == pytest.approx(0.75)
+
+    def test_unknown_round_raises(self):
+        t = RoundTrace()
+        with pytest.raises(ValueError):
+            t.round_latencies(3)
+        with pytest.raises(ValueError):
+            t.round_completion_time(3)
+
+    def test_rounds_listing(self):
+        t = RoundTrace()
+        t.record_delivery(record(1, 0, 2.0))
+        t.record_delivery(record(0, 0, 1.0))
+        assert t.rounds == [0, 1]
+
+    def test_completion_time_is_last_delivery(self):
+        t = RoundTrace()
+        t.record_delivery(record(0, 0, 1.0))
+        t.record_delivery(record(0, 1, 4.0))
+        assert t.round_completion_time(0) == 4.0
+
+    def test_agreement_throughput(self):
+        t = RoundTrace()
+        t.note_round_start(0, 0.0)
+        t.note_round_start(1, 1.0)
+        for rnd in (0, 1):
+            for server in (0, 1):
+                t.record_delivery(record(rnd, server, rnd + 1.0, nbytes=100))
+        # 200 bytes over 2 seconds
+        assert t.agreement_throughput() == pytest.approx(100.0)
+
+    def test_request_rate(self):
+        t = RoundTrace()
+        t.note_round_start(0, 0.0)
+        t.record_delivery(record(0, 0, 2.0, requests=10))
+        assert t.request_rate() == pytest.approx(5.0)
+
+    def test_skip_rounds_excludes_warmup(self):
+        t = RoundTrace()
+        t.note_round_start(0, 0.0)
+        t.note_round_start(1, 10.0)
+        t.record_delivery(record(0, 0, 9.0))
+        t.record_delivery(record(1, 0, 10.5))
+        all_lats = t.all_latencies()
+        warm = t.all_latencies(skip_rounds=1)
+        assert len(all_lats) == 2
+        assert warm == [0.5]
+
+    def test_empty_trace_throughput_zero(self):
+        t = RoundTrace()
+        assert t.agreement_throughput() == 0.0
+        assert t.request_rate() == 0.0
+
+    def test_throughput_timeline_bins(self):
+        t = RoundTrace()
+        t.note_round_start(0, 0.0)
+        t.record_delivery(record(0, 0, 0.05, requests=10))
+        t.record_delivery(record(1, 0, 0.25, requests=20))
+        timeline = t.throughput_timeline(0.1, until=0.3)
+        assert timeline[0] == (0.0, pytest.approx(100.0))
+        assert timeline[2] == (pytest.approx(0.2), pytest.approx(200.0))
+
+    def test_throughput_timeline_validation(self):
+        with pytest.raises(ValueError):
+            RoundTrace().throughput_timeline(0.0)

@@ -1,0 +1,114 @@
+"""Workload generators for the three application scenarios."""
+
+import pytest
+
+from repro.core import AllConcurConfig, ClusterOptions, SimCluster
+from repro.graphs import gs_digraph
+from repro.sim import IBV_PARAMS
+from repro.workloads import (
+    ApmWorkload,
+    ConstantRateWorkload,
+    FixedBatchWorkload,
+    GlobalRateWorkload,
+)
+
+
+def make_cluster(n=8, auto_advance=True):
+    graph = gs_digraph(n, 3)
+    return SimCluster(graph,
+                      config=AllConcurConfig(graph=graph,
+                                             auto_advance=auto_advance),
+                      options=ClusterOptions(params=IBV_PARAMS))
+
+
+class TestConstantRate:
+    def test_injects_expected_request_count(self):
+        cluster = make_cluster(auto_advance=False)
+        wl = ConstantRateWorkload(rate_per_server=10_000, request_nbytes=64,
+                                  injection_period=1e-4)
+        wl.install(cluster, duration=10e-3)
+        cluster.run(until=10e-3)
+        for pid in cluster.members:
+            pending = cluster.server(pid).queue.total_submitted
+            assert pending == pytest.approx(100, abs=2)
+
+    def test_fractional_rates_accumulate(self):
+        cluster = make_cluster(auto_advance=False)
+        wl = ConstantRateWorkload(rate_per_server=3.3, request_nbytes=40,
+                                  injection_period=0.1)
+        wl.install(cluster, duration=10.0)
+        cluster.run(until=10.0)
+        total = cluster.server(0).queue.total_submitted
+        assert total == pytest.approx(33, abs=1)
+
+    def test_zero_rate_injects_nothing(self):
+        cluster = make_cluster(auto_advance=False)
+        ConstantRateWorkload(0.0).install(cluster, duration=1.0)
+        cluster.run(until=1.0)
+        assert cluster.server(0).queue.total_submitted == 0
+
+    def test_negative_rate_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            ConstantRateWorkload(-1.0).install(cluster, duration=1.0)
+
+    def test_per_round_batch_estimate(self):
+        wl = ConstantRateWorkload(rate_per_server=1e6)
+        assert wl.per_round_batch(100e-6) == 100
+
+    def test_end_to_end_delivery_under_load(self):
+        cluster = make_cluster(auto_advance=True)
+        ConstantRateWorkload(rate_per_server=50_000, request_nbytes=64,
+                             injection_period=20e-6).install(
+            cluster, duration=2e-3)
+        cluster.start_all()
+        cluster.run_until_round(5)
+        assert cluster.verify_agreement()
+        assert cluster.trace.request_rate(skip_rounds=1) > 0
+
+
+class TestApmAndGlobalRate:
+    def test_apm_rate_conversion(self):
+        assert ApmWorkload(apm=200).rate_per_server == pytest.approx(200 / 60)
+        assert ApmWorkload(apm=400).request_nbytes == 40
+
+    def test_global_rate_split(self):
+        wl = GlobalRateWorkload(total_rate=1e6)
+        assert wl.per_server_rate(8) == pytest.approx(125_000)
+        with pytest.raises(ValueError):
+            wl.per_server_rate(0)
+
+    def test_apm_install_injects(self):
+        cluster = make_cluster(auto_advance=False)
+        ApmWorkload(apm=6000, injection_period=1e-3).install(
+            cluster, duration=0.1)   # 100 actions/s for 0.1 s => ~10
+        cluster.run(until=0.1)
+        assert cluster.server(0).queue.total_submitted == pytest.approx(10, abs=1)
+
+
+class TestFixedBatch:
+    def test_message_size(self):
+        wl = FixedBatchWorkload(batch_requests=2048, request_nbytes=8)
+        assert wl.message_nbytes == 16384
+
+    def test_each_round_carries_exactly_one_batch(self):
+        cluster = make_cluster(auto_advance=True)
+        FixedBatchWorkload(batch_requests=128, request_nbytes=8).install(
+            cluster, rounds=3)
+        cluster.start_all()
+        cluster.run_until_round(2)
+        for rnd in (0, 1, 2):
+            rec = cluster.trace.deliveries_for_round(rnd)[0]
+            assert rec.requests == 8 * 128
+            assert rec.nbytes == 8 * 128 * 8
+
+    def test_payload_fn_for_baselines(self):
+        wl = FixedBatchWorkload(batch_requests=16, request_nbytes=8)
+        batch = wl.payload_fn()(3)
+        assert batch.count == 16
+        assert batch.nbytes == 128
+
+    def test_rounds_validation(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            FixedBatchWorkload(10).install(cluster, rounds=0)
