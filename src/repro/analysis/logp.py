@@ -34,6 +34,7 @@ __all__ = [
     "depth_time",
     "single_request_latency",
     "round_time_estimate",
+    "round_interval_estimate",
     "agreement_throughput_estimate",
     "aggregated_throughput_estimate",
     "AllConcurModel",
@@ -100,6 +101,18 @@ def round_time_estimate(params: LogPParams, n: int, d: int, diameter: int,
     drop-off after the optimal batching factor observed in Figure 10 (the
     paper attributes it to TCP congestion control).
     """
+    work, depth = _round_components(params, n, d, diameter, message_nbytes,
+                                    congestion_threshold=congestion_threshold,
+                                    congestion_penalty=congestion_penalty)
+    return max(work, depth)
+
+
+def _round_components(params: LogPParams, n: int, d: int, diameter: int,
+                      message_nbytes: int = 0, *,
+                      congestion_threshold: int = 1 << 15,
+                      congestion_penalty: float = 0.35
+                      ) -> tuple[float, float]:
+    """The (work, depth) components of the round-time estimate."""
     per_msg = params.o + message_nbytes * params.G
     if message_nbytes > congestion_threshold:
         over = message_nbytes / congestion_threshold - 1.0
@@ -107,7 +120,27 @@ def round_time_estimate(params: LogPParams, n: int, d: int, diameter: int,
     work = 2.0 * (n - 1) * d * per_msg
     os_ = per_msg + (d - 1) / 2.0 * per_msg
     depth = 2.0 * (params.L + os_ + per_msg) * diameter
-    return max(work, depth)
+    return work, depth
+
+
+def round_interval_estimate(params: LogPParams, n: int, d: int, diameter: int,
+                            message_nbytes: int = 0, *,
+                            pipeline_depth: int = 1, **kwargs) -> float:
+    """Steady-state spacing between consecutive A-deliveries with a
+    ``pipeline_depth``-deep round pipeline.
+
+    The per-round CPU work serializes across rounds (every message of every
+    in-flight round still costs the receiver ``o``), but the dissemination
+    *depth* — the wire-latency component — overlaps: with ``k`` rounds in
+    flight, a delivery completes every ``depth/k`` while the pipeline is
+    full.  With ``pipeline_depth == 1`` this equals
+    :func:`round_time_estimate`.
+    """
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be at least 1")
+    work, depth = _round_components(params, n, d, diameter, message_nbytes,
+                                    **kwargs)
+    return max(work, depth / pipeline_depth)
 
 
 def agreement_throughput_estimate(params: LogPParams, n: int, d: int,
@@ -163,6 +196,13 @@ class AllConcurModel:
         return round_time_estimate(self.params, self.n, self.degree,
                                    self.diameter, message_nbytes, **kwargs)
 
+    def round_interval(self, message_nbytes: int = 0, *,
+                       pipeline_depth: int = 1, **kwargs) -> float:
+        return round_interval_estimate(self.params, self.n, self.degree,
+                                       self.diameter, message_nbytes,
+                                       pipeline_depth=pipeline_depth,
+                                       **kwargs)
+
     def agreement_throughput(self, message_nbytes: int, **kwargs) -> float:
         return agreement_throughput_estimate(
             self.params, self.n, self.degree, self.diameter, message_nbytes,
@@ -174,15 +214,21 @@ class AllConcurModel:
             **kwargs)
 
     def agreement_latency_for_rate(self, per_server_rate: float,
-                                   request_nbytes: int) -> float:
+                                   request_nbytes: int, *,
+                                   pipeline_depth: int = 1) -> float:
         """Steady-state agreement latency when each server generates
         *per_server_rate* requests/s of *request_nbytes* bytes (Figure 8).
 
         In steady state the batch carried by each round contains the
-        requests accumulated during the previous round, so the round time
-        satisfies ``T = round_time(rate · T · request_nbytes)``; we solve the
-        fixed point by iteration (it converges quickly because round_time is
-        affine in the batch size below the congestion threshold).
+        requests accumulated between consecutive deliveries, so the
+        delivery interval satisfies
+        ``I = round_interval(rate · I · request_nbytes)``; we solve the
+        fixed point by iteration (it converges quickly because the interval
+        is affine in the batch size below the congestion threshold).  With
+        ``pipeline_depth > 1`` deliveries are spaced closer than the full
+        round time (see :func:`round_interval_estimate`), so higher rates
+        stay stable; the returned latency is still the full duration of one
+        round at the converged batch size.
 
         If the offered load exceeds the agreement throughput the fixed point
         diverges — the instability described in §5 — and ``math.inf`` is
@@ -190,17 +236,23 @@ class AllConcurModel:
         """
         import math
 
-        latency = self.round_time(0)
+        interval = self.round_interval(0, pipeline_depth=pipeline_depth)
         # Divergence guard: no realistic deployment of the paper has rounds
         # longer than a minute; past that the queue grows without bound.
         horizon = 60.0
+        batch_bytes = 0
         for _ in range(200):
-            batch_bytes = int(per_server_rate * latency * request_nbytes)
-            new_latency = self.round_time(batch_bytes)
-            if not math.isfinite(new_latency) or new_latency > horizon:
+            batch_bytes = int(per_server_rate * interval * request_nbytes)
+            new_interval = self.round_interval(batch_bytes,
+                                               pipeline_depth=pipeline_depth)
+            if not math.isfinite(new_interval) or new_interval > horizon:
                 return math.inf
-            if abs(new_latency - latency) <= 1e-12 + 1e-9 * latency:
-                latency = new_latency
+            if abs(new_interval - interval) <= 1e-12 + 1e-9 * interval:
+                interval = new_interval
                 break
-            latency = new_latency
-        return latency
+            interval = new_interval
+        latency = self.round_time(batch_bytes)
+        # The horizon bounds the full round latency too: a pipeline can
+        # space deliveries inside the horizon while each round itself takes
+        # absurdly long — that is not a deployment worth reporting either.
+        return latency if latency <= horizon else math.inf

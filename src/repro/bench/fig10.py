@@ -43,14 +43,27 @@ REQUEST_BYTES = 8
 
 def throughput_point(system: str, n: int, batch: int, *,
                      params: LogPParams = TCP_PARAMS, rounds: int = 5,
-                     sim_limit: int = SIM_SIZE_LIMIT, seed: int = 1) -> dict:
-    """One (system, n, batch) point: agreement throughput in bytes/s."""
+                     sim_limit: int = SIM_SIZE_LIMIT, seed: int = 1,
+                     pipeline_depth: int = 1) -> dict:
+    """One (system, n, batch) point: agreement throughput in bytes/s.
+
+    ``pipeline_depth`` only applies to AllConcur (the baselines have no
+    round pipeline); the model estimate for very large n is depth-1 only.
+    """
+    if system != "allconcur" and pipeline_depth != 1:
+        raise ValueError(f"{system} has no pipeline-depth axis")
     if system == "allconcur":
         if n <= sim_limit:
             res = run_allconcur(n, params=params, rounds=rounds,
                                 batch_requests=batch,
-                                request_nbytes=REQUEST_BYTES, seed=seed)
+                                request_nbytes=REQUEST_BYTES, seed=seed,
+                                pipeline_depth=pipeline_depth)
         else:
+            if pipeline_depth != 1:
+                raise ValueError(
+                    f"n={n} exceeds the simulation limit ({sim_limit}) and "
+                    f"the LogP model estimate has no pipeline-depth axis; "
+                    f"only pipeline_depth=1 is valid here")
             res = allconcur_estimate(n, params=params, batch_requests=batch,
                                      request_nbytes=REQUEST_BYTES)
     elif system == "allgather":
@@ -67,9 +80,15 @@ def throughput_point(system: str, n: int, batch: int, *,
         "system": system,
         "n": n,
         "batch": batch,
+        "pipeline_depth": pipeline_depth,
         "agreement_throughput_Bps": res.agreement_throughput,
         "aggregated_throughput_Bps": res.agreement_throughput * n,
         "request_rate": res.request_rate,
+        # completion-anchored rate: pipelining pulls round *starts* earlier,
+        # so the start-anchored fields above understate depth > 1 — use the
+        # steady_* fields when comparing across pipeline depths
+        "steady_request_rate": res.steady_request_rate,
+        "steady_throughput_Bps": res.steady_request_rate * REQUEST_BYTES,
         "median_latency_s": res.median_latency,
         "source": res.source,
     }
@@ -80,13 +99,27 @@ def generate_fig10(sizes: Sequence[int] = DEFAULT_SIZES,
                    systems: Sequence[str] = ("allgather", "allconcur",
                                              "leader"),
                    *, rounds: int = 5,
-                   sim_limit: int = SIM_SIZE_LIMIT) -> list[dict]:
+                   sim_limit: int = SIM_SIZE_LIMIT,
+                   depths: Sequence[int] = (1,)) -> list[dict]:
+    """The Figure-10 sweep, with an optional pipeline-depth axis (*depths*,
+    AllConcur only) for throughput-vs-depth curves; the paper's figure is
+    the default ``depths=(1,)`` slice.  For cross-depth comparisons read
+    the ``steady_*`` fields of the rows — the classic throughput fields are
+    anchored at round starts, which pipelining shifts earlier."""
     rows = []
     for system in systems:
         for n in sizes:
+            # the depth axis only exists where AllConcur is packet-level
+            # simulated; baselines and the large-n model estimate are
+            # depth-1 only
+            row_depths = depths if system == "allconcur" and n <= sim_limit \
+                else (1,)
             for batch in batches:
-                rows.append(throughput_point(system, n, batch, rounds=rounds,
-                                             sim_limit=sim_limit))
+                for depth in row_depths:
+                    rows.append(throughput_point(system, n, batch,
+                                                 rounds=rounds,
+                                                 sim_limit=sim_limit,
+                                                 pipeline_depth=depth))
     return rows
 
 

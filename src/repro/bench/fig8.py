@@ -35,16 +35,20 @@ REQUEST_BYTES = 64
 
 def latency_for_rate(n: int, rate: float, *, params: LogPParams = IBV_PARAMS,
                      rounds: int = 8, simulate: bool = True,
-                     seed: int = 1) -> dict:
-    """Median agreement latency for one (n, rate) point."""
+                     seed: int = 1, pipeline_depth: int = 1) -> dict:
+    """Median agreement latency for one (n, rate, pipeline depth) point."""
     g = overlay_for(n)
     model = AllConcurModel(n=n, degree=g.degree,
                            diameter=graph_diameter(g), params=params)
-    model_latency = model.agreement_latency_for_rate(rate, REQUEST_BYTES)
+    # The instability gate is depth-aware: a rate the sequential protocol
+    # cannot sustain may still be stable with a deeper pipeline.
+    model_latency = model.agreement_latency_for_rate(
+        rate, REQUEST_BYTES, pipeline_depth=pipeline_depth)
     row = {
         "n": n,
         "transport": params.name,
         "rate_per_server": rate,
+        "pipeline_depth": pipeline_depth,
         "model_latency_s": model_latency,
     }
     import math
@@ -68,10 +72,12 @@ def latency_for_rate(n: int, rate: float, *, params: LogPParams = IBV_PARAMS,
             injection_period=max(model_latency / 4, 5e-6))
         result = run_allconcur(n, params=params, rounds=rounds,
                                workload=workload, duration=horizon,
-                               seed=seed, graph=g)
+                               seed=seed, graph=g,
+                               pipeline_depth=pipeline_depth)
         row.update({
             "median_latency_s": result.median_latency,
             "request_rate_agreed": result.request_rate,
+            "steady_request_rate": result.steady_request_rate,
             "source": "sim",
         })
     else:
@@ -87,14 +93,20 @@ def generate_fig8(sizes: Sequence[int] = DEFAULT_SIZES,
                   rates: Sequence[float] = DEFAULT_RATES,
                   *, transports: Sequence[LogPParams] = (IBV_PARAMS,
                                                          TCP_PARAMS),
-                  simulate: bool = True, rounds: int = 8) -> list[dict]:
+                  simulate: bool = True, rounds: int = 8,
+                  depths: Sequence[int] = (1,)) -> list[dict]:
+    """The Figure-8 sweep, with an optional pipeline-depth axis (*depths*)
+    for latency/throughput-vs-depth curves; the paper's figure is the
+    default ``depths=(1,)`` slice."""
     rows = []
     for params in transports:
         for n in sizes:
             for rate in rates:
-                rows.append(latency_for_rate(n, rate, params=params,
-                                             rounds=rounds,
-                                             simulate=simulate))
+                for depth in depths:
+                    rows.append(latency_for_rate(n, rate, params=params,
+                                                 rounds=rounds,
+                                                 simulate=simulate,
+                                                 pipeline_depth=depth))
     return rows
 
 

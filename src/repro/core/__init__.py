@@ -20,6 +20,7 @@ from .messages import (
     Message,
 )
 from .partition import PartitionGuard
+from .round_context import RoundContext
 from .server import AllConcurServer, RoundOutcome
 from .sim_node import SimNode
 from .tracking import MessageTracker, TrackingDigraph
@@ -27,6 +28,7 @@ from .tracking import MessageTracker, TrackingDigraph
 __all__ = [
     "AllConcurServer",
     "RoundOutcome",
+    "RoundContext",
     "AllConcurConfig",
     "FDMode",
     "MessageTracker",

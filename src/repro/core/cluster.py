@@ -130,12 +130,17 @@ class SimCluster:
     # Driving the protocol
     # ------------------------------------------------------------------ #
     def start_all(self, *, payloads: Optional[dict[int, Batch]] = None) -> None:
-        """Make every alive server A-broadcast its round-0 message."""
+        """Make every alive server A-broadcast its initial window of rounds.
+
+        With ``pipeline_depth == 1`` this is exactly one round-0 A-broadcast
+        per server; with a deeper pipeline every server fills all ``k``
+        window slots (an explicit *payload* goes to the first slot).
+        """
         payloads = payloads or {}
         for pid in self.members:
             node = self.nodes[pid]
             if node.alive:
-                node.start_round(payload=payloads.get(pid))
+                node.fill_window(payload=payloads.get(pid))
 
     def run(self, **kwargs) -> float:
         """Run the underlying simulator (same keyword arguments)."""

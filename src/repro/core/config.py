@@ -46,6 +46,16 @@ class AllConcurConfig:
         next batch) immediately after A-delivering round ``R`` — the
         steady-state behaviour of the throughput benchmarks.  Set to False
         for single-round experiments and unit tests.
+    pipeline_depth:
+        Number of rounds a server may have in flight concurrently (§3,
+        "Iterating AllConcur": messages are tagged with their round, so
+        multiple rounds can coexist).  With the default of 1 the server is
+        strictly sequential — round ``R+1`` starts only after round ``R``
+        A-delivered.  With ``k > 1`` a server may A-broadcast and track
+        rounds ``R .. R+k-1`` while round ``R`` is still completing;
+        A-delivery stays in round order and membership changes drain the
+        window before a new epoch starts (see
+        :class:`repro.core.server.AllConcurServer`).
     members:
         Initial membership; defaults to all vertices of ``graph``.
     """
@@ -54,6 +64,7 @@ class AllConcurConfig:
     f: Optional[int] = None
     fd_mode: str = FDMode.PERFECT
     auto_advance: bool = True
+    pipeline_depth: int = 1
     members: Optional[tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
@@ -61,6 +72,8 @@ class AllConcurConfig:
             raise ValueError(f"unknown fd_mode {self.fd_mode!r}")
         if self.f is not None and self.f < 0:
             raise ValueError("f must be non-negative")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be at least 1")
         if self.members is not None:
             bad = [m for m in self.members if not 0 <= m < self.graph.n]
             if bad:

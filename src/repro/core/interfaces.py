@@ -66,7 +66,12 @@ class Deliver:
 
 @dataclass(frozen=True)
 class RoundAdvance:
-    """The server moved on to a new round (diagnostic effect)."""
+    """The server's delivery frontier moved to *round* (diagnostic effect).
+
+    With round pipelining (``pipeline_depth > 1``) later rounds may already
+    be in flight when this is emitted; ``round`` is always the lowest
+    undelivered round and ``members`` the membership of the current epoch.
+    """
 
     round: int
     members: tuple[int, ...]

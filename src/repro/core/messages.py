@@ -16,7 +16,10 @@ the surviving-partition mechanism:
   ``G``.
 
 All messages carry the round number ``R`` in which they were first sent so
-that multiple rounds can coexist (§3, "Iterating AllConcur").
+that multiple rounds can coexist (§3, "Iterating AllConcur") — this is what
+lets a server keep a window of ``pipeline_depth`` rounds in flight
+concurrently: every message is routed to the
+:class:`~repro.core.round_context.RoundContext` of its round.
 """
 
 from __future__ import annotations

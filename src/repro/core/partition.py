@@ -25,10 +25,16 @@ __all__ = ["PartitionGuard"]
 
 @dataclass
 class PartitionGuard:
-    """Tracks FWD/BWD receipts for one round of one server."""
+    """Tracks FWD/BWD receipts for one round of one server.
+
+    Like the tracking digraphs, the guard is strictly round-scoped state —
+    it lives inside one :class:`~repro.core.round_context.RoundContext`, and
+    with round pipelining several guards are alive concurrently (``round``
+    records which round this one gates)."""
 
     owner: int
     majority: int
+    round: int = 0
     forward_from: set[int] = field(default_factory=set)
     backward_from: set[int] = field(default_factory=set)
     decided: bool = False

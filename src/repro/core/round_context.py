@@ -1,0 +1,90 @@
+"""Per-round protocol state of one AllConcur server.
+
+AllConcur iterates rounds, and §3 ("Iterating AllConcur") points out that
+because every message is tagged with its round number, *multiple rounds can
+coexist*.  :class:`RoundContext` is the unit that makes this concrete: it
+bundles **all** state that is scoped to a single round ``R`` of a single
+server ``p_i`` —
+
+* the known-message set ``M_i`` (``known``),
+* whether ``p_i`` has A-broadcast its own message for ``R``,
+* the tracking digraphs (:class:`~repro.core.tracking.MessageTracker`),
+* the surviving-partition guard for ◇P mode
+  (:class:`~repro.core.partition.PartitionGuard`),
+* the per-round dissemination dedup sets for FAIL, FWD and BWD messages,
+* the membership snapshot the round runs with.
+
+:class:`~repro.core.server.AllConcurServer` keeps a window of up to
+``pipeline_depth`` contexts alive concurrently (rounds ``R .. R+k-1`` while
+``R`` is the lowest undelivered round); everything *not* in a context —
+the request queue, the delivery log, carried-over failure notifications,
+ignored predecessors — is server-scoped and lives on the server itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .batching import Batch
+from .partition import PartitionGuard
+from .tracking import MessageTracker
+
+__all__ = ["RoundContext"]
+
+
+@dataclass
+class RoundContext:
+    """All round-scoped state of one server for one round."""
+
+    #: the round number this context belongs to
+    round: int
+    #: membership snapshot the round runs with (an epoch's rounds all share
+    #: the same membership; see the pipeline-barrier rule in server.py)
+    members: tuple[int, ...]
+    #: tracking digraphs g_i[*] plus the failure knowledge F_i
+    tracker: MessageTracker
+    #: FWD/BWD majority gate of §3.3.2 (only consulted in ◇P mode)
+    partition: PartitionGuard
+    #: the known-message set M_i: origin -> batch
+    known: dict[int, Batch] = field(default_factory=dict)
+    #: whether the owner already A-broadcast its message for this round
+    has_broadcast: bool = False
+    #: whether the round was A-delivered (a delivered context is retired)
+    delivered: bool = False
+    #: failure pairs already disseminated in this round (line 22 dedup)
+    disseminated_failures: set[tuple[int, int]] = field(default_factory=set)
+    #: origins whose FWD message was already forwarded this round
+    forwarded_fwd: set[int] = field(default_factory=set)
+    #: origins whose BWD message was already forwarded this round
+    forwarded_bwd: set[int] = field(default_factory=set)
+    #: ``set(members)``, precomputed once — membership tests sit on the
+    #: per-message hot path of the packet-level simulator
+    member_set: set[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.member_set = set(self.members)
+
+    @classmethod
+    def create(cls, round_no: int, owner: int, members: tuple[int, ...],
+               successors_fn: Callable[[int], tuple[int, ...]]
+               ) -> "RoundContext":
+        """A fresh context for *round_no* with the given membership."""
+        return cls(
+            round=round_no,
+            members=members,
+            tracker=MessageTracker(owner, members, successors_fn,
+                                   round=round_no),
+            partition=PartitionGuard(owner=owner,
+                                     majority=len(members) // 2 + 1,
+                                     round=round_no),
+        )
+
+    def tracking_complete(self) -> bool:
+        """True when every tracking digraph is empty (termination test)."""
+        return self.tracker.all_done()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RoundContext round={self.round} "
+                f"members={len(self.members)} known={len(self.known)} "
+                f"broadcast={self.has_broadcast} delivered={self.delivered}>")

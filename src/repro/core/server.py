@@ -25,18 +25,44 @@ Protocol summary (one round ``R``, executed by server ``p_i``):
 
 With ``fd_mode == "eventual"`` delivery is additionally gated by the
 surviving-partition mechanism (:mod:`repro.core.partition`).
+
+Round pipelining (§3, "Iterating AllConcur")
+--------------------------------------------
+
+All round-scoped state lives in :class:`~repro.core.round_context.
+RoundContext` objects, and the server keeps a *window* of up to
+``config.pipeline_depth`` (``k``) contexts alive concurrently: while the
+lowest undelivered round ``R`` (the *delivery frontier*) is still
+completing, the server may already A-broadcast and track rounds
+``R+1 .. R+k-1``.  Messages are round-tagged, so each context progresses
+independently; A-delivery remains strictly in round order (a context whose
+tracking completed early simply waits for the frontier to reach it).
+
+Membership changes act as a pipeline barrier.  Round outcomes are agreed,
+so every server observes the same first round ``r*`` with a non-empty
+``removed`` set; the current membership *epoch* then ends at round
+``r* + k - 1`` — the highest round any server could have started
+optimistically with the old membership (the window is anchored at the
+frontier, so no server broadcasts ``r* + k`` before delivering ``r*``).
+The in-flight rounds up to ``r* + k - 1`` drain with the old membership
+(early termination prunes the failed servers' messages), and the new epoch
+starts at ``r* + k`` with every server removed during the drained rounds
+excluded.  With ``pipeline_depth == 1`` this degenerates to the classic
+sequential behaviour: the epoch ends at ``r*`` itself and the next round
+immediately uses the shrunk membership.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from .batching import Batch, Request, RequestQueue
 from .config import AllConcurConfig, FDMode
 from .interfaces import Deliver, RoundAdvance, Send
 from .messages import Backward, Broadcast, FailureNotice, Forward, Message
 from .partition import PartitionGuard
+from .round_context import RoundContext
 from .tracking import MessageTracker
 
 __all__ = ["AllConcurServer", "RoundOutcome"]
@@ -65,10 +91,11 @@ class AllConcurServer:
         self.id = server_id
         self.config = config
         self.graph = config.graph
+        self.pipeline_depth = config.pipeline_depth
 
-        #: current round number
+        #: delivery frontier: the lowest round not yet A-delivered
         self.round = 0
-        #: membership of the current round
+        #: membership of the current epoch
         self.members: tuple[int, ...] = tuple(sorted(members))
         #: application requests awaiting the next batch
         self.queue = RequestQueue()
@@ -78,36 +105,82 @@ class AllConcurServer:
         self.ignored_predecessors: set[int] = set()
         #: failure pairs carried across rounds for re-broadcast (line 12)
         self._carryover_failures: set[tuple[int, int]] = set()
-        #: buffered messages for future rounds
+        #: buffered messages for rounds beyond the window, keyed by round
         self._future: dict[int, list[tuple[int, Message]]] = {}
         #: whether the server has crashed (the embedding stops driving it)
         self.failed = False
 
-        self._init_round_state()
+        #: active per-round contexts, keyed by round number
+        self._contexts: dict[int, RoundContext] = {}
+        #: rounds whose tracking state changed since the last termination
+        #: check (bounds the ◇P decide scan to touched contexts)
+        self._dirty: set[int] = set()
+        #: last round of the current epoch once a membership change is
+        #: pending (pipeline barrier); None while the membership is stable
+        self._epoch_end: Optional[int] = None
+        #: servers removed by rounds of the current epoch, applied when the
+        #: barrier drains
+        self._pending_removed: set[int] = set()
+
+        self._admit_window_rounds([], auto_broadcast=False)
 
     # ------------------------------------------------------------------ #
-    # Round state
+    # Round window management
     # ------------------------------------------------------------------ #
-    def _init_round_state(self) -> None:
-        self._known: dict[int, Batch] = {}
-        self._has_broadcast = False
-        self._delivered = False
-        self._disseminated_failures: set[tuple[int, int]] = set()
-        self._forwarded_fwd: set[int] = set()
-        self._forwarded_bwd: set[int] = set()
-        self.tracker = MessageTracker(
-            self.id, self.members, self._graph_successors)
-        self.partition = PartitionGuard(
-            owner=self.id,
-            majority=len(self.members) // 2 + 1,
-        )
+    def _window_max(self) -> int:
+        """Highest round the server may currently have in flight."""
+        cap = self.round + self.pipeline_depth - 1
+        if self._epoch_end is not None:
+            cap = min(cap, self._epoch_end)
+        return cap
+
+    def _new_context(self, round_no: int) -> RoundContext:
+        return RoundContext.create(round_no, self.id, self.members,
+                                   self._graph_successors)
 
     def _graph_successors(self, p: int) -> tuple[int, ...]:
         return self.graph.successors(p)
 
+    def _admit_window_rounds(self, effects: list, *,
+                             auto_broadcast: bool = True) -> None:
+        """Create contexts for every window round that lacks one.
+
+        A newly admitted round starts exactly like the sequential protocol's
+        next round: carried-over failure notifications are re-applied and
+        re-broadcast with the new round tag (Algorithm 1 lines 12-13), the
+        server's own message is A-broadcast if ``auto_advance`` is on
+        (*auto_broadcast* is False only during construction, where the
+        embedding starts the first rounds explicitly), and messages buffered
+        ahead of time for the round are replayed.
+        """
+        while True:
+            wmax = self._window_max()
+            round_no = next((r for r in range(self.round, wmax + 1)
+                             if r not in self._contexts), None)
+            if round_no is None:
+                return
+            ctx = self._new_context(round_no)
+            self._contexts[round_no] = ctx
+            self._dirty.add(round_no)
+            for (p, ps) in sorted(self._carryover_failures):
+                notice = FailureNotice(round=round_no, failed=p, reporter=ps)
+                self._disseminate_failure(ctx, notice, effects)
+                ctx.tracker.add_failure(p, ps)
+            if auto_broadcast and self.config.auto_advance:
+                self._abroadcast(ctx, self.queue.drain(), effects)
+            for src, message in self._future.pop(round_no, []):
+                self._dispatch(src, message, effects)
+
+    def _context_rounds(self) -> list[int]:
+        return sorted(self._contexts)
+
     # ------------------------------------------------------------------ #
     # Public read-only state
     # ------------------------------------------------------------------ #
+    @property
+    def _frontier(self) -> RoundContext:
+        return self._contexts[self.round]
+
     @property
     def successors(self) -> tuple[int, ...]:
         """This server's successors among the current members."""
@@ -122,22 +195,49 @@ class AllConcurServer:
 
     @property
     def has_broadcast(self) -> bool:
-        """True if the server already A-broadcast its message this round."""
-        return self._has_broadcast
+        """True if the server already A-broadcast its frontier-round
+        message."""
+        return self._frontier.has_broadcast
 
     @property
     def known_messages(self) -> dict[int, Batch]:
-        """The set ``M_i`` of known messages for the current round."""
-        return dict(self._known)
+        """The set ``M_i`` of known messages for the frontier round."""
+        return dict(self._frontier.known)
 
     @property
     def delivered_rounds(self) -> int:
         return len(self.history)
 
     @property
+    def broadcast_rounds(self) -> int:
+        """Number of rounds this server has A-broadcast in (a delivered
+        round always was; plus the broadcast slots of the window)."""
+        return len(self.history) + sum(
+            1 for ctx in self._contexts.values() if ctx.has_broadcast)
+
+    @property
     def failure_pairs(self) -> frozenset[tuple[int, int]]:
-        """The failure-notification set ``F_i`` of the current round."""
-        return frozenset(self.tracker.failure_pairs)
+        """The failure-notification set ``F_i`` of the frontier round."""
+        return frozenset(self._frontier.tracker.failure_pairs)
+
+    @property
+    def tracker(self) -> MessageTracker:
+        """The frontier round's tracking digraphs (round-scoped state)."""
+        return self._frontier.tracker
+
+    @property
+    def partition(self) -> PartitionGuard:
+        """The frontier round's surviving-partition guard."""
+        return self._frontier.partition
+
+    def round_context(self, round_no: int) -> Optional[RoundContext]:
+        """The active context for *round_no*, if it is in the window."""
+        return self._contexts.get(round_no)
+
+    @property
+    def active_rounds(self) -> tuple[int, ...]:
+        """Rounds currently in flight (the pipeline window)."""
+        return tuple(self._context_rounds())
 
     # ------------------------------------------------------------------ #
     # Application inputs
@@ -150,19 +250,47 @@ class AllConcurServer:
         """Queue synthetic requests (benchmark fast-path)."""
         self.queue.submit_synthetic(count, request_nbytes)
 
-    def start_round(self, *, payload: Optional[Batch] = None) -> list:
-        """A-broadcast this round's message (line 1 of Algorithm 1).
+    def _next_broadcast_slot(self) -> Optional[RoundContext]:
+        for r in range(self.round, self._window_max() + 1):
+            ctx = self._contexts.get(r)
+            if ctx is not None and not ctx.has_broadcast:
+                return ctx
+        return None
 
-        If *payload* is omitted, pending requests are drained into a batch
-        (which may be empty).  Idempotent: calling it again within the same
-        round is a no-op.
+    def start_round(self, *, payload: Optional[Batch] = None) -> list:
+        """A-broadcast a round's message (line 1 of Algorithm 1).
+
+        The message goes to the lowest window round the server has not yet
+        A-broadcast in; with ``pipeline_depth == 1`` that is always the
+        frontier round, and the call is idempotent within a round exactly
+        like the sequential protocol.  If *payload* is omitted, pending
+        requests are drained into a batch (which may be empty).  Returns
+        ``[]`` when every window slot has already been broadcast.
         """
-        if self.failed or self._has_broadcast:
+        if self.failed:
+            return []
+        ctx = self._next_broadcast_slot()
+        if ctx is None:
             return []
         effects: list = []
-        self._abroadcast(payload if payload is not None else self.queue.drain(),
-                         effects)
+        self._abroadcast(ctx, payload if payload is not None
+                         else self.queue.drain(), effects)
         self._check_termination(effects)
+        return effects
+
+    def fill_window(self, *, payload: Optional[Batch] = None) -> list:
+        """A-broadcast into every open window slot (pipelined round start).
+
+        *payload*, if given, goes to the first slot; later slots drain the
+        request queue.  With ``pipeline_depth == 1`` this is exactly one
+        :meth:`start_round`.
+        """
+        if self.failed:
+            return []
+        effects: list = []
+        while self._next_broadcast_slot() is not None:
+            effects += self.start_round(payload=payload)
+            payload = None
         return effects
 
     # ------------------------------------------------------------------ #
@@ -201,7 +329,9 @@ class AllConcurServer:
 
     def _dispatch(self, src: int, message: Message, effects: list) -> None:
         rnd = getattr(message, "round")
-        if rnd > self.round:
+        if rnd > self._window_max():
+            # Beyond the window (or beyond the epoch barrier): buffer until
+            # the round is admitted.
             self._future.setdefault(rnd, []).append((src, message))
             return
         if isinstance(message, Broadcast):
@@ -212,25 +342,31 @@ class AllConcurServer:
             # it except failure notifications (required for ◇P correctness).
             if src in self.ignored_predecessors:
                 return
-            self._process_broadcast(message, effects)
+            self._process_broadcast(self._contexts[rnd], message, effects)
         elif isinstance(message, FailureNotice):
-            # Failure notifications from earlier rounds are still meaningful:
-            # the failure persists; fold it into the current round (this is
-            # the automatic counterpart of the re-broadcast of line 12).
-            notice = message if rnd == self.round else \
+            # Notifications tagged below the frontier are still meaningful —
+            # the failure persists — and fold *up* into the frontier round
+            # (the automatic counterpart of the re-broadcast of line 12).
+            # Notifications tagged above the frontier apply only to their
+            # round and later ones: the pair's edge-removal semantics are
+            # round-specific (the reporter may well hold the *earlier*
+            # rounds' messages), and any server that advanced past a round
+            # did so on evidence that was R-broadcast with that round's tag,
+            # so earlier in-flight rounds terminate on their own evidence.
+            notice = message if rnd >= self.round else \
                 FailureNotice(round=self.round, failed=message.failed,
                               reporter=message.reporter)
             if notice.failed not in set(self.members):
-                return  # already tagged as failed in a previous round
+                return  # already tagged as failed in a previous epoch
             self._process_failure(notice, effects)
         elif isinstance(message, Forward):
             if rnd < self.round or src in self.ignored_predecessors:
                 return
-            self._process_forward(message, effects)
+            self._process_forward(self._contexts[rnd], message, effects)
         elif isinstance(message, Backward):
             if rnd < self.round or src in self.ignored_predecessors:
                 return
-            self._process_backward(message, effects)
+            self._process_backward(self._contexts[rnd], message, effects)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown message type {type(message)!r}")
         self._check_termination(effects)
@@ -238,60 +374,95 @@ class AllConcurServer:
     # ------------------------------------------------------------------ #
     # BCAST handling (lines 14-20)
     # ------------------------------------------------------------------ #
-    def _abroadcast(self, payload: Batch, effects: list) -> None:
-        self._has_broadcast = True
-        message = Broadcast(round=self.round, origin=self.id, payload=payload)
-        self._known[self.id] = payload
+    def _abroadcast(self, ctx: RoundContext, payload: Batch,
+                    effects: list) -> None:
+        ctx.has_broadcast = True
+        self._dirty.add(ctx.round)
+        message = Broadcast(round=ctx.round, origin=self.id, payload=payload)
+        ctx.known[self.id] = payload
         if self.successors:
             effects.append(Send(message=message, targets=self.successors))
 
-    def _process_broadcast(self, message: Broadcast, effects: list) -> None:
+    def _process_broadcast(self, ctx: RoundContext, message: Broadcast,
+                           effects: list) -> None:
         # A-broadcast own message, at the latest as a reaction to receiving
-        # someone else's (line 15).
-        if not self._has_broadcast and not self._delivered:
-            self._abroadcast(self.queue.drain(), effects)
+        # someone else's (line 15).  The reaction fills every open slot from
+        # the frontier up to the received round — never the received round
+        # alone — so pending requests always drain into the lowest open
+        # round and per-sender submission order survives pipelining.
+        if not ctx.has_broadcast:
+            for r in range(self.round, ctx.round + 1):
+                slot = self._contexts.get(r)
+                if slot is not None and not slot.has_broadcast:
+                    self._abroadcast(slot, self.queue.drain(), effects)
         origin = message.origin
-        if origin in self._known or origin not in set(self.members):
+        if origin in ctx.known or origin not in ctx.member_set:
             return
-        self._known[origin] = message.payload
+        ctx.known[origin] = message.payload
         # Forward every not-yet-sent message to the successors (line 17-18).
         if self.successors:
             effects.append(Send(message=message, targets=self.successors))
-        self.tracker.message_received(origin)
+        ctx.tracker.message_received(origin)
+        self._dirty.add(ctx.round)
 
     # ------------------------------------------------------------------ #
     # FAIL handling (lines 21-40)
     # ------------------------------------------------------------------ #
-    def _process_failure(self, notice: FailureNotice, effects: list) -> None:
+    def _disseminate_failure(self, ctx: RoundContext, notice: FailureNotice,
+                             effects: list) -> None:
+        """Disseminate each distinct notification once per round (line 22)."""
         pair = notice.pair
-        # Disseminate each distinct notification once per round (line 22).
-        if pair not in self._disseminated_failures:
-            self._disseminated_failures.add(pair)
+        if pair not in ctx.disseminated_failures:
+            ctx.disseminated_failures.add(pair)
             if self.successors:
                 effects.append(Send(message=notice, targets=self.successors))
+
+    def _process_failure(self, notice: FailureNotice, effects: list) -> None:
+        """Apply a failure notification to its round and every later active
+        round.
+
+        The notification's *home* round disseminates it (R-broadcast, with
+        per-round dedup).  A failure is permanent, so the pair also feeds
+        the tracking digraphs of every later in-flight round — with
+        ``pipeline_depth == 1`` there are none, and future rounds pick the
+        pair up from the carryover set when their context is created.
+        """
+        pair = notice.pair
+        home = notice.round
         self._carryover_failures.add(pair)
-        self.tracker.add_failure(notice.failed, notice.reporter)
+        for r in self._context_rounds():
+            if r < home:
+                continue
+            ctx = self._contexts[r]
+            if notice.failed not in ctx.member_set:
+                continue
+            if r == home:
+                self._disseminate_failure(ctx, notice, effects)
+            ctx.tracker.add_failure(notice.failed, notice.reporter)
+            self._dirty.add(r)
 
     # ------------------------------------------------------------------ #
     # FWD / BWD handling (§3.3.2)
     # ------------------------------------------------------------------ #
-    def _process_forward(self, message: Forward, effects: list) -> None:
+    def _process_forward(self, ctx: RoundContext, message: Forward,
+                         effects: list) -> None:
         if self.config.fd_mode != FDMode.EVENTUAL:
             return
-        if message.origin in self._forwarded_fwd:
+        if message.origin in ctx.forwarded_fwd:
             return
-        self._forwarded_fwd.add(message.origin)
-        self.partition.record_forward(message.origin)
+        ctx.forwarded_fwd.add(message.origin)
+        ctx.partition.record_forward(message.origin)
         if self.successors:
             effects.append(Send(message=message, targets=self.successors))
 
-    def _process_backward(self, message: Backward, effects: list) -> None:
+    def _process_backward(self, ctx: RoundContext, message: Backward,
+                          effects: list) -> None:
         if self.config.fd_mode != FDMode.EVENTUAL:
             return
-        if message.origin in self._forwarded_bwd:
+        if message.origin in ctx.forwarded_bwd:
             return
-        self._forwarded_bwd.add(message.origin)
-        self.partition.record_backward(message.origin)
+        ctx.forwarded_bwd.add(message.origin)
+        ctx.partition.record_backward(message.origin)
         # BWD messages travel over the transpose of G: send to predecessors.
         if self.predecessors:
             effects.append(Send(message=message, targets=self.predecessors))
@@ -299,66 +470,87 @@ class AllConcurServer:
     # ------------------------------------------------------------------ #
     # Termination, delivery and round transition (lines 5-13)
     # ------------------------------------------------------------------ #
-    def _check_termination(self, effects: list) -> None:
-        if self._delivered or not self._has_broadcast:
+    def _maybe_decide(self, ctx: RoundContext, effects: list) -> None:
+        """◇P mode: once a round's tracking completes, announce the decided
+        message set — FWD over G and BWD over G^T (§3.3.2).  Rounds decide
+        independently of delivery order."""
+        if ctx.partition.decided:
             return
-        if not self.tracker.all_done():
-            return
-        if self.config.fd_mode == FDMode.EVENTUAL:
-            if not self.partition.decided:
-                # Decided the set: announce FWD over G and BWD over G^T.
-                self.partition.mark_decided()
-                fwd = Forward(round=self.round, origin=self.id)
-                bwd = Backward(round=self.round, origin=self.id)
-                self._forwarded_fwd.add(self.id)
-                self._forwarded_bwd.add(self.id)
-                if self.successors:
-                    effects.append(Send(message=fwd, targets=self.successors))
-                if self.predecessors:
-                    effects.append(Send(message=bwd, targets=self.predecessors))
-            if not self.partition.can_deliver():
-                return
-        self._deliver(effects)
+        ctx.partition.mark_decided()
+        fwd = Forward(round=ctx.round, origin=self.id)
+        bwd = Backward(round=ctx.round, origin=self.id)
+        ctx.forwarded_fwd.add(self.id)
+        ctx.forwarded_bwd.add(self.id)
+        if self.successors:
+            effects.append(Send(message=fwd, targets=self.successors))
+        if self.predecessors:
+            effects.append(Send(message=bwd, targets=self.predecessors))
 
-    def _deliver(self, effects: list) -> None:
-        self._delivered = True
-        ordered = tuple(sorted(self._known.items(), key=lambda kv: kv[0]))
-        removed = tuple(p for p in self.members if p not in self._known)
-        outcome = RoundOutcome(round=self.round, messages=ordered,
+    def _check_termination(self, effects: list) -> None:
+        """Decide completed rounds and A-deliver from the frontier, in
+        strict round order."""
+        while True:
+            eventual = self.config.fd_mode == FDMode.EVENTUAL
+            if eventual:
+                # Only contexts whose tracking state changed since the last
+                # check can newly complete; already-decided ones are done.
+                # (Presence in _contexts implies undelivered: a delivered
+                # context is retired from the window immediately.)
+                for r in sorted(self._dirty):
+                    ctx = self._contexts.get(r)
+                    if ctx is None or not ctx.has_broadcast \
+                            or ctx.partition.decided:
+                        continue
+                    if ctx.tracking_complete():
+                        self._maybe_decide(ctx, effects)
+            self._dirty.clear()
+            ctx = self._contexts.get(self.round)
+            if ctx is None or not ctx.has_broadcast:
+                return
+            if not ctx.tracking_complete():
+                return
+            if eventual and not ctx.partition.can_deliver():
+                return
+            self._deliver(ctx, effects)
+
+    def _deliver(self, ctx: RoundContext, effects: list) -> None:
+        ctx.delivered = True
+        ordered = tuple(sorted(ctx.known.items(), key=lambda kv: kv[0]))
+        removed = tuple(p for p in ctx.members if p not in ctx.known)
+        outcome = RoundOutcome(round=ctx.round, messages=ordered,
                                removed=removed)
         self.history.append(outcome)
-        effects.append(Deliver(round=self.round, messages=ordered,
+        effects.append(Deliver(round=ctx.round, messages=ordered,
                                removed=removed))
-        self._advance_round(removed, effects)
+        self._advance_round(ctx, removed, effects)
 
-    def _advance_round(self, removed: tuple[int, ...], effects: list) -> None:
-        new_members = tuple(p for p in self.members if p not in removed)
+    def _advance_round(self, ctx: RoundContext, removed: tuple[int, ...],
+                       effects: list) -> None:
+        del self._contexts[ctx.round]
         self.round += 1
-        self.members = new_members
-        # Failure notifications about servers that are still members must be
-        # re-broadcast in the new round (line 12-13); notifications about
-        # removed servers are dropped.
-        carryover = {(p, ps) for (p, ps) in self._carryover_failures
-                     if p in set(new_members)}
-        self._carryover_failures = set(carryover)
-        self.ignored_predecessors &= set(new_members)
-        self._init_round_state()
-        effects.append(RoundAdvance(round=self.round, members=new_members))
-
-        # Re-apply and re-broadcast the carried-over failure notifications.
-        for (p, ps) in sorted(carryover):
-            notice = FailureNotice(round=self.round, failed=p, reporter=ps)
-            self._process_failure(notice, effects)
-
-        if self.config.auto_advance:
-            self._abroadcast(self.queue.drain(), effects)
-
-        # Replay any buffered messages that were ahead of us.
-        buffered = self._future.pop(self.round, [])
-        for src, message in buffered:
-            self._dispatch(src, message, effects)
-
-        self._check_termination(effects)
+        if removed:
+            # The round outcome is agreed, so every server engages the
+            # barrier at the same round: the epoch ends at the highest round
+            # anyone may have started with the old membership.
+            self._pending_removed.update(removed)
+            if self._epoch_end is None:
+                self._epoch_end = ctx.round + self.pipeline_depth - 1
+        if self._epoch_end is not None and self.round > self._epoch_end:
+            # Window drained: start the new membership epoch.  Failure
+            # notifications about servers that are no longer members are
+            # dropped (line 12-13); the rest stay in the carryover set and
+            # are re-broadcast into every newly admitted round.
+            new_members = tuple(p for p in self.members
+                                if p not in self._pending_removed)
+            self.members = new_members
+            self._carryover_failures = {
+                (p, ps) for (p, ps) in self._carryover_failures
+                if p in set(new_members)}
+            self.ignored_predecessors &= set(new_members)
+            self._epoch_end = None
+            self._pending_removed = set()
+        effects.append(RoundAdvance(round=self.round, members=self.members))
+        self._admit_window_rounds(effects)
 
     # ------------------------------------------------------------------ #
     def crash(self) -> None:
@@ -366,6 +558,10 @@ class AllConcurServer:
         self.failed = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ctx = self._contexts.get(self.round)
+        pending = ctx.tracker.pending_targets() if ctx is not None else []
         return (f"<AllConcurServer id={self.id} round={self.round} "
-                f"members={len(self.members)} known={len(self._known)} "
-                f"pending_tracking={self.tracker.pending_targets()}>")
+                f"window={self._context_rounds()} "
+                f"members={len(self.members)} "
+                f"known={len(ctx.known) if ctx else 0} "
+                f"pending_tracking={pending}>")

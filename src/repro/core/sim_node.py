@@ -54,10 +54,17 @@ class SimNode:
     # Inputs
     # ------------------------------------------------------------------ #
     def start_round(self, *, payload: Optional[Batch] = None) -> None:
-        """Drive the server to A-broadcast its message for the current round."""
+        """Drive the server to A-broadcast into its next open window slot."""
         if not self.alive:
             return
         self._execute(self.server.start_round(payload=payload))
+
+    def fill_window(self, *, payload: Optional[Batch] = None) -> None:
+        """Drive the server to A-broadcast into every open window slot
+        (all ``pipeline_depth`` rounds; one round when the depth is 1)."""
+        if not self.alive:
+            return
+        self._execute(self.server.fill_window(payload=payload))
 
     def submit(self, request: Request) -> None:
         if self.alive:

@@ -108,11 +108,18 @@ class MessageTracker:
     successors_fn:
         ``successors_fn(p)`` returns ``p``'s successors in the round's
         overlay ``G`` (restricted to *members*).
+    round:
+        The round number this tracker belongs to.  Purely diagnostic — a
+        tracker is round-scoped state (it lives inside one
+        :class:`~repro.core.round_context.RoundContext`), and with round
+        pipelining several trackers are alive at once.
     """
 
     def __init__(self, owner: int, members: Iterable[int],
-                 successors_fn: Callable[[int], tuple[int, ...]]) -> None:
+                 successors_fn: Callable[[int], tuple[int, ...]],
+                 *, round: int = 0) -> None:
         self.owner = owner
+        self.round = round
         self.members = set(members)
         if owner not in self.members:
             raise ValueError(f"owner {owner} must be a member")

@@ -119,17 +119,40 @@ class LocalCluster:
 
     async def run_rounds(self, rounds: int, *,
                          timeout: float = 30.0) -> list[dict[int, DeliveredRound]]:
-        """Run *rounds* full rounds: every node A-broadcasts, then we wait
-        for every node to deliver.  Returns, per round, the delivery record
-        of every node (they all agree; tests assert it)."""
+        """Run *rounds* full rounds and return, per round, the delivery
+        record of every node (they all agree; tests assert it).
+
+        Rounds are driven per window slot: up to ``pipeline_depth`` rounds
+        are A-broadcast before waiting for the oldest one to deliver, so a
+        deeper pipeline keeps later rounds in flight while earlier ones
+        complete.  With the default depth of 1 this is the classic
+        broadcast-then-wait lockstep.
+        """
         results: list[dict[int, DeliveredRound]] = []
-        for _ in range(rounds):
-            current = min(node.delivered_rounds for node in self.nodes.values())
-            await asyncio.gather(*(node.start_round()
-                                   for node in self.nodes.values()))
+        depth = self.config.pipeline_depth
+        base = min(node.delivered_rounds for node in self.nodes.values())
+        issued_base = min(node.broadcast_rounds
+                          for node in self.nodes.values())
+        for idx in range(rounds):
+            # Keep the window full: issue slots up to `depth` rounds ahead
+            # of the oldest round still awaited.  Progress is measured by
+            # rounds actually A-broadcast (a membership-change barrier can
+            # temporarily cap the window, making start_round a no-op; the
+            # slot is retried once the window drains and reopens).
+            while True:
+                issued = min(node.broadcast_rounds
+                             for node in self.nodes.values()) - issued_base
+                if issued >= min(rounds, idx + depth):
+                    break
+                await asyncio.gather(*(node.start_round()
+                                       for node in self.nodes.values()))
+                still = min(node.broadcast_rounds
+                            for node in self.nodes.values()) - issued_base
+                if still == issued:
+                    break        # window capped; retry after the next wait
             per_node = {}
             for pid, node in self.nodes.items():
-                per_node[pid] = await node.wait_for_round(current,
+                per_node[pid] = await node.wait_for_round(base + idx,
                                                           timeout=timeout)
             results.append(per_node)
         return results

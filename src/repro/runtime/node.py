@@ -121,9 +121,16 @@ class RuntimeNode:
             self.server.submit(request)
 
     async def start_round(self, *, payload: Optional[Batch] = None) -> None:
-        """A-broadcast the current round's message."""
+        """A-broadcast into the next open window slot (with the default
+        ``pipeline_depth`` of 1: the current round's message)."""
         async with self._lock:
             await self._execute(self.server.start_round(payload=payload))
+
+    async def fill_window(self, *, payload: Optional[Batch] = None) -> None:
+        """A-broadcast into every open window slot — all ``pipeline_depth``
+        rounds the server may run concurrently."""
+        async with self._lock:
+            await self._execute(self.server.fill_window(payload=payload))
 
     def on_deliver(self, callback: Callable[[DeliveredRound], None]) -> None:
         """Register a callback invoked on every A-delivered round."""
@@ -132,6 +139,11 @@ class RuntimeNode:
     @property
     def delivered_rounds(self) -> int:
         return len(self.delivered)
+
+    @property
+    def broadcast_rounds(self) -> int:
+        """Number of rounds this node's server has A-broadcast in."""
+        return self.server.broadcast_rounds
 
     async def wait_for_round(self, round_no: int, *,
                              timeout: float = 30.0) -> DeliveredRound:

@@ -153,6 +153,32 @@ class RoundTrace:
             return 0.0
         return total_bytes / (t1 - t0)
 
+    def steady_request_rate(self, *, skip_rounds: int = 1) -> float:
+        """Requests agreed per second, anchored at round *completion* times.
+
+        :meth:`request_rate` measures from the first considered round's
+        start; with round pipelining a round is A-broadcast up to ``k-1``
+        rounds before the frontier reaches it, which pulls round starts
+        earlier and understates the steady-state rate.  Anchoring both ends
+        of the window at completion times (the end of the warmup round to
+        the end of the last round) measures the actual delivery cadence and
+        is comparable across pipeline depths.
+        """
+        if skip_rounds < 1:
+            raise ValueError("skip_rounds must be at least 1 (the anchor)")
+        rounds = self.rounds
+        if len(rounds) <= skip_rounds:
+            return 0.0
+        total_requests = 0
+        for rnd in rounds[skip_rounds:]:
+            recs = self.deliveries_for_round(rnd)
+            total_requests += max(r.requests for r in recs)
+        t0 = self.round_completion_time(rounds[skip_rounds - 1])
+        t1 = self.round_completion_time(rounds[-1])
+        if t1 <= t0:
+            return 0.0
+        return total_requests / (t1 - t0)
+
     def request_rate(self, *, skip_rounds: int = 0) -> float:
         """Requests agreed upon per second."""
         rounds = self.rounds[skip_rounds:]

@@ -116,13 +116,15 @@ class FixedBatchWorkload:
 
     def install(self, cluster: SimCluster, *, rounds: int) -> None:
         """Pre-load every server's queue so that the next *rounds* rounds
-        each carry exactly one full batch."""
+        each carry exactly one full batch (plus slack for the warmup and
+        for every concurrently in-flight round of the pipeline window)."""
         if rounds < 1:
             raise ValueError("rounds must be positive")
+        slack = 2 + cluster.config.pipeline_depth
         for pid in cluster.members:
             server = cluster.server(pid)
             server.queue.max_batch = self.batch_requests
-            server.submit_synthetic(self.batch_requests * (rounds + 2),
+            server.submit_synthetic(self.batch_requests * (rounds + slack),
                                     self.request_nbytes)
 
     def payload_fn(self):

@@ -1,0 +1,319 @@
+"""Round pipelining: per-round state isolation, the k-deep window, future
+and stale message handling, and the membership-change barrier."""
+
+import pytest
+
+from repro.core import (
+    AllConcurConfig,
+    AllConcurServer,
+    Batch,
+    Broadcast,
+    ClusterOptions,
+    Deliver,
+    FailureNotice,
+    RoundContext,
+    Send,
+    SimCluster,
+)
+from repro.graphs import complete_digraph, gs_digraph
+
+
+def config(graph=None, depth=2, **kwargs):
+    graph = graph if graph is not None else complete_digraph(3)
+    kwargs.setdefault("auto_advance", False)
+    return AllConcurConfig(graph=graph, pipeline_depth=depth, **kwargs)
+
+
+def sends(effects):
+    return [e for e in effects if isinstance(e, Send)]
+
+
+def delivers(effects):
+    return [e for e in effects if isinstance(e, Deliver)]
+
+
+def bcast(rnd, origin):
+    return Broadcast(round=rnd, origin=origin, payload=Batch.empty())
+
+
+class TestConfigAndWindow:
+    def test_depth_defaults_to_sequential(self):
+        cfg = AllConcurConfig(graph=gs_digraph(6, 3))
+        assert cfg.pipeline_depth == 1
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            AllConcurConfig(graph=gs_digraph(6, 3), pipeline_depth=0)
+
+    def test_initial_window(self):
+        assert AllConcurServer(0, config(depth=1)).active_rounds == (0,)
+        assert AllConcurServer(0, config(depth=3)).active_rounds == (0, 1, 2)
+
+    def test_round_contexts_are_isolated(self):
+        server = AllConcurServer(0, config(depth=2))
+        c0, c1 = server.round_context(0), server.round_context(1)
+        assert isinstance(c0, RoundContext) and isinstance(c1, RoundContext)
+        assert c0.round == 0 and c1.round == 1
+        assert c0.tracker is not c1.tracker
+        assert c0.partition is not c1.partition
+        server.handle_message(1, bcast(0, 1))
+        assert 1 in c0.known and 1 not in c1.known
+
+    def test_start_round_fills_slots_in_order(self):
+        server = AllConcurServer(0, config(depth=2))
+        (s0,) = sends(server.start_round())
+        assert s0.message.round == 0
+        (s1,) = sends(server.start_round())
+        assert s1.message.round == 1
+        assert server.start_round() == []        # window full
+
+    def test_fill_window_broadcasts_every_slot(self):
+        server = AllConcurServer(0, config(depth=3))
+        effects = server.fill_window(payload=Batch.synthetic(2, 8))
+        rounds = [s.message.round for s in sends(effects)]
+        assert rounds == [0, 1, 2]
+        # the explicit payload goes to the first slot only
+        assert sends(effects)[0].message.payload.count == 2
+        assert sends(effects)[1].message.payload.count == 0
+
+
+class TestFutureAndStaleMessages:
+    def test_message_beyond_window_buffered(self):
+        """A broadcast k rounds ahead of the frontier must be buffered, for
+        any depth."""
+        for depth in (1, 2):
+            server = AllConcurServer(0, config(depth=depth))
+            assert server.handle_message(1, bcast(depth, 1)) == []
+            for ctx_round in server.active_rounds:
+                assert 1 not in server.round_context(ctx_round).known
+
+    def test_message_k_plus_one_rounds_ahead_replayed_on_admission(self):
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        # round 2 is one past the window: buffered
+        assert server.handle_message(1, bcast(2, 1)) == []
+        # complete round 0 -> round 2 admitted -> buffered message replayed
+        server.handle_message(1, bcast(0, 1))
+        server.handle_message(2, bcast(0, 2))
+        assert server.round == 1
+        assert server.active_rounds == (1, 2)
+        assert 1 in server.round_context(2).known
+
+    def test_window_round_message_processed_immediately(self):
+        server = AllConcurServer(0, config(depth=2))
+        effects = server.handle_message(1, bcast(1, 1))
+        assert 1 in server.round_context(1).known
+        # line 15: the reaction fills every open slot up to the received
+        # round (0 then 1) and forwards the received message
+        own = [s.message.round for s in sends(effects)
+               if isinstance(s.message, Broadcast) and s.message.origin == 0]
+        assert own == [0, 1]
+        assert any(s.message.origin == 1 for s in sends(effects))
+
+    def test_reaction_preserves_per_sender_fifo(self):
+        """Pending requests must drain into the *lowest* open round even
+        when the triggering broadcast is for a later window round, so a
+        sender's requests are A-delivered in submission order."""
+        from repro.core import Request
+
+        server = AllConcurServer(0, config(depth=2))
+        server.submit(Request(origin=0, seq=0, nbytes=8, data="first"))
+        server.handle_message(1, bcast(1, 1))   # round-1 message arrives early
+        assert server.round_context(0).known[0].count == 1
+        assert server.round_context(0).known[0].requests[0].data == "first"
+        assert server.round_context(1).known[0].is_empty
+
+    def test_stale_broadcast_from_delivered_round_ignored(self):
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        server.handle_message(1, bcast(0, 1))
+        server.handle_message(2, bcast(0, 2))
+        assert server.round == 1                 # round 0 delivered
+        # a round-0 duplicate from a confused peer: no new information
+        effects = server.handle_message(1, bcast(0, 1))
+        assert not sends(effects)
+        assert not delivers(effects)
+
+    def test_stale_broadcast_while_later_round_in_flight(self):
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        server.handle_message(1, bcast(1, 1))    # round 1 progressing
+        server.handle_message(1, bcast(0, 1))
+        server.handle_message(2, bcast(0, 2))
+        assert server.round == 1
+        effects = server.handle_message(2, bcast(0, 2))
+        assert not sends(effects)
+
+
+class TestInOrderDelivery:
+    def test_round_completing_early_waits_for_frontier(self):
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        e1 = server.handle_message(1, bcast(1, 1))
+        e2 = server.handle_message(2, bcast(1, 2))
+        # round 1 has every message, but round 0 has not delivered yet
+        assert server.round_context(1).tracking_complete()
+        assert not delivers(e1 + e2)
+        assert server.delivered_rounds == 0
+
+    def test_delivery_cascades_in_round_order(self):
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        server.handle_message(1, bcast(1, 1))
+        server.handle_message(2, bcast(1, 2))
+        server.handle_message(1, bcast(0, 1))
+        effects = server.handle_message(2, bcast(0, 2))
+        assert [d.round for d in delivers(effects)] == [0, 1]
+        assert [h.round for h in server.history] == [0, 1]
+        assert server.round == 2
+        assert server.active_rounds == (2, 3)
+
+
+class TestCarryoverAcrossWindow:
+    def test_carryover_failure_rebroadcast_into_admitted_round(self):
+        """A failure pair recorded in round 0 (whose target's message was
+        still delivered) must be re-broadcast into the round admitted at the
+        far end of the window while round 1 is still in flight."""
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        server.handle_message(1, bcast(0, 1))
+        server.handle_message(1, FailureNotice(round=0, failed=2, reporter=1))
+        # the pair feeds every later in-flight round, not only round 0
+        assert (2, 1) in server.round_context(1).tracker.failure_pairs
+        effects = server.handle_message(2, bcast(0, 2))
+        (deliver,) = delivers(effects)
+        assert deliver.round == 0 and deliver.removed == ()
+        # round 2 was admitted (round 1 still undelivered) and the pair was
+        # re-announced with the new round tag
+        assert server.active_rounds == (1, 2)
+        renotified = [s for s in sends(effects)
+                      if isinstance(s.message, FailureNotice)
+                      and s.message.round == 2 and s.message.pair == (2, 1)]
+        assert renotified
+
+
+class TestMembershipBarrier:
+    def test_removal_drains_window_before_new_epoch(self):
+        server = AllConcurServer(0, config(depth=2))
+        server.fill_window()
+        server.handle_message(1, bcast(0, 1))
+        server.notify_failure(2)
+        effects = server.handle_message(
+            1, FailureNotice(round=0, failed=2, reporter=1))
+        (deliver,) = delivers(effects)
+        assert deliver.round == 0 and deliver.removed == (2,)
+        # barrier engaged: the drain round keeps the old membership and no
+        # round beyond the epoch is admitted
+        assert server.round == 1
+        assert server.members == (0, 1, 2)
+        assert server.active_rounds == (1,)
+        assert server.round_context(1).members == (0, 1, 2)
+        # messages for the next epoch are buffered during the drain
+        assert server.handle_message(1, bcast(2, 1)) == []
+        # the drain round completes (2's round-1 message is pruned by the
+        # failure evidence already applied to its tracker); the epoch
+        # change admits round 2 with the new membership, replays the
+        # buffered round-2 broadcast — and that reaction completes round 2
+        # in the same cascade (line 15)
+        effects = server.handle_message(1, bcast(1, 1))
+        dels = delivers(effects)
+        assert [d.round for d in dels] == [1, 2]
+        assert dels[0].removed == (2,)
+        assert dels[1].removed == ()
+        assert dels[1].messages[0][0] == 0 and dels[1].messages[1][0] == 1
+        # epoch change: new membership, fresh window
+        assert server.members == (0, 1)
+        assert server.active_rounds == (3, 4)
+        assert server.round_context(3).members == (0, 1)
+        # failure pairs about the removed server are dropped, not re-sent
+        stale = [s for s in sends(effects)
+                 if isinstance(s.message, FailureNotice)
+                 and s.message.round >= 2]
+        assert not stale
+
+    def test_depth1_epoch_change_is_immediate(self):
+        """With pipeline_depth=1 the barrier degenerates to the sequential
+        behaviour: the round after a removal already uses the shrunk
+        membership."""
+        server = AllConcurServer(0, config(depth=1))
+        server.start_round()
+        server.handle_message(1, bcast(0, 1))
+        server.notify_failure(2)
+        server.handle_message(1, FailureNotice(round=0, failed=2, reporter=1))
+        assert server.round == 1
+        assert server.members == (0, 1)
+        assert server.round_context(1).members == (0, 1)
+
+
+class TestPipelinedSimulation:
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_failure_free_pipelined_rounds_agree(self, depth):
+        graph = gs_digraph(8, 3)
+        cfg = AllConcurConfig(graph=graph, auto_advance=True,
+                              pipeline_depth=depth)
+        cluster = SimCluster(graph, config=cfg)
+        for pid in cluster.members:
+            cluster.server(pid).submit_synthetic(50, 8)
+        cluster.start_all()
+        cluster.run_until_round(5)
+        assert cluster.min_delivered_rounds() >= 6
+        assert cluster.verify_agreement()
+
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_pipelined_rounds_with_failures_agree(self, depth):
+        cluster = SimCluster(
+            gs_digraph(8, 3),
+            config=AllConcurConfig(graph=gs_digraph(8, 3), auto_advance=True,
+                                   pipeline_depth=depth),
+            options=ClusterOptions(detection_delay=30e-6))
+        cluster.fail_server(3)
+        cluster.fail_after_sends(5, 1)
+        cluster.start_all()
+        cluster.run_until_round(4, max_events=10_000_000)
+        alive = cluster.alive_members
+        assert all(cluster.server(p).delivered_rounds >= 5 for p in alive)
+        assert cluster.verify_agreement()
+        for pid in alive:
+            assert 3 not in cluster.server(pid).members
+            assert 5 not in cluster.server(pid).members
+
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_eventual_fd_mode_with_pipelined_rounds(self, depth):
+        """◇P mode at depth > 1: every in-flight round must decide (FWD/BWD
+        majority) independently, and frontier delivery still waits for the
+        surviving-partition gate — with and without a real failure."""
+        from repro.core import FDMode
+
+        graph = gs_digraph(8, 3)
+        cfg = AllConcurConfig(graph=graph, fd_mode=FDMode.EVENTUAL,
+                              auto_advance=True, pipeline_depth=depth)
+        cluster = SimCluster(graph, config=cfg,
+                             options=ClusterOptions(detection_delay=30e-6))
+        for pid in cluster.members:
+            cluster.server(pid).submit_synthetic(30, 8)
+        cluster.fail_server(4)
+        cluster.start_all()
+        cluster.run_until_round(3, max_events=10_000_000)
+        alive = cluster.alive_members
+        assert all(cluster.server(p).delivered_rounds >= 4 for p in alive)
+        assert cluster.verify_agreement()
+        for pid in alive:
+            assert 4 not in cluster.server(pid).members
+
+    def test_pipelined_faster_than_sequential(self):
+        """Completing the same number of fixed-batch rounds takes less
+        simulated time with a deeper pipeline (the whole point)."""
+        def completion_time(depth):
+            graph = gs_digraph(8, 3)
+            cfg = AllConcurConfig(graph=graph, auto_advance=True,
+                                  pipeline_depth=depth)
+            cluster = SimCluster(graph, config=cfg)
+            for pid in cluster.members:
+                cluster.server(pid).queue.max_batch = 64
+                cluster.server(pid).submit_synthetic(64 * 30, 8)
+            cluster.start_all()
+            cluster.run_until_round(15)
+            assert cluster.verify_agreement()
+            return cluster.trace.round_completion_time(15)
+
+        assert completion_time(4) < completion_time(1)

@@ -33,11 +33,12 @@ def failure_scenarios(draw):
     return list(zip(victims, modes, budgets, times)), seed
 
 
-def run_scenario(scenario, seed):
+def run_scenario(scenario, seed, pipeline_depth=1):
     graph = gs_digraph(N, DEGREE)
     cluster = SimCluster(
         graph,
-        config=AllConcurConfig(graph=graph, auto_advance=False),
+        config=AllConcurConfig(graph=graph, auto_advance=False,
+                               pipeline_depth=pipeline_depth),
         options=ClusterOptions(params=IBV_PARAMS, seed=seed,
                                detection_delay=20e-6))
     for victim, mode, budget, at in scenario:
@@ -94,3 +95,39 @@ class TestAtomicBroadcastProperties:
         for pid in cluster.alive_members:
             outcome = cluster.server(pid).history[0]
             assert pid in outcome.origins
+
+
+class TestPipelinedAtomicBroadcastProperties:
+    """The same safety invariants with a k-deep round pipeline: several
+    rounds are in flight concurrently (all ``pipeline_depth`` window slots
+    are A-broadcast up front), under random failure injection."""
+
+    @given(failure_scenarios(), st.sampled_from([2, 3]))
+    @settings(max_examples=20, deadline=None)
+    def test_termination_and_agreement(self, scenario_seed, depth):
+        scenario, seed = scenario_seed
+        cluster = run_scenario(scenario, seed, pipeline_depth=depth)
+        alive = cluster.alive_members
+        # every window round terminates at every alive server
+        assert all(cluster.server(p).delivered_rounds >= depth
+                   for p in alive)
+        # Agreement + total order across all concurrently-run rounds.
+        assert cluster.verify_agreement()
+
+    @given(failure_scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_delivery_strictly_in_round_order(self, scenario_seed):
+        scenario, seed = scenario_seed
+        cluster = run_scenario(scenario, seed, pipeline_depth=3)
+        for pid in cluster.alive_members:
+            history = cluster.server(pid).history
+            assert [h.round for h in history] == list(range(len(history)))
+
+    @given(failure_scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_own_message_delivered_in_every_window_round(self, scenario_seed):
+        scenario, seed = scenario_seed
+        cluster = run_scenario(scenario, seed, pipeline_depth=2)
+        for pid in cluster.alive_members:
+            for outcome in cluster.server(pid).history[:2]:
+                assert pid in outcome.origins

@@ -109,3 +109,26 @@ class TestLocalCluster:
             assert seen == [0]
 
         asyncio.run(scenario())
+
+    def test_pipelined_rounds_over_tcp(self):
+        """pipeline_depth > 1 drives several window slots before waiting:
+        the same sans-IO pipelining works over real sockets."""
+        from repro.core import AllConcurConfig
+
+        async def scenario():
+            graph = gs_digraph(6, 3)
+            config = AllConcurConfig(graph=graph, auto_advance=False,
+                                     pipeline_depth=2)
+            async with LocalCluster(graph, config=config,
+                                    enable_failure_detector=False) as cluster:
+                await cluster.submit(0, "early")
+                rounds = await cluster.run_rounds(4, timeout=20)
+                assert len(rounds) == 4
+                assert cluster.agreement_holds()
+                node = cluster.nodes[0]
+                assert [d.round for d in node.delivered] == [0, 1, 2, 3]
+                data = [req.data for _o, b in rounds[0][0].messages
+                        for req in b.requests]
+                assert data == ["early"]
+
+        asyncio.run(scenario())
