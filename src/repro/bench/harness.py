@@ -147,7 +147,9 @@ def run_allconcur(n: int, *, params: LogPParams = TCP_PARAMS,
                   workload=None, duration: Optional[float] = None,
                   graph: Optional[Digraph] = None,
                   pipeline_depth: int = 1,
-                  max_batch: Optional[int] = None) -> RunResult:
+                  max_batch: Optional[int] = None,
+                  data_plane: str = "bitmask",
+                  coalesce: bool = True) -> RunResult:
     """Run *rounds* rounds of AllConcur over the Table-3 overlay for ``n``.
 
     ``batch_requests``/``request_nbytes`` produce a fixed batch per server
@@ -157,12 +159,16 @@ def run_allconcur(n: int, *, params: LogPParams = TCP_PARAMS,
     is the number of concurrent rounds each server keeps in flight
     (``AllConcurConfig.pipeline_depth``; 1 = the sequential protocol) and
     ``max_batch`` optionally bounds the per-round batch size (the paper's §5
-    suggestion for keeping a loaded system stable).
+    suggestion for keeping a loaded system stable).  ``data_plane`` and
+    ``coalesce`` select the hot-path implementation (bitmask plane and
+    per-edge event coalescing by default; the legacy combination is the
+    baseline of :mod:`repro.bench.perf`).
     """
     g = graph if graph is not None else overlay_for(n, degree=degree)
     cluster = SimCluster(
-        g, config=AllConcurConfig(graph=g, pipeline_depth=pipeline_depth),
-        options=ClusterOptions(params=params, seed=seed))
+        g, config=AllConcurConfig(graph=g, pipeline_depth=pipeline_depth,
+                                  data_plane=data_plane),
+        options=ClusterOptions(params=params, seed=seed, coalesce=coalesce))
     if workload is not None:
         horizon = duration if duration is not None else 1.0
         workload.install(cluster, duration=horizon)

@@ -19,11 +19,17 @@ from .messages import (
     Forward,
     Message,
 )
+from .membership import MembershipIndex, bits_tuple, iter_bits, mask_of
 from .partition import PartitionGuard
 from .round_context import RoundContext
 from .server import AllConcurServer, RoundOutcome
 from .sim_node import SimNode
-from .tracking import MessageTracker, TrackingDigraph
+from .tracking import (
+    BitmaskMessageTracker,
+    BitmaskTrackingDigraph,
+    MessageTracker,
+    TrackingDigraph,
+)
 
 __all__ = [
     "AllConcurServer",
@@ -31,8 +37,14 @@ __all__ = [
     "RoundContext",
     "AllConcurConfig",
     "FDMode",
+    "MembershipIndex",
+    "mask_of",
+    "iter_bits",
+    "bits_tuple",
     "MessageTracker",
     "TrackingDigraph",
+    "BitmaskMessageTracker",
+    "BitmaskTrackingDigraph",
     "PartitionGuard",
     "Batch",
     "Request",

@@ -50,6 +50,9 @@ class ClusterOptions:
 
     params: LogPParams = TCP_PARAMS
     seed: int = 1
+    #: per-edge same-instant event coalescing in the network model (only
+    #: active on deterministic wires; see :class:`repro.sim.network.Network`)
+    coalesce: bool = True
     #: failure detector: "perfect" or "heartbeat"
     detector: str = "perfect"
     detection_delay: float = 20e-6
@@ -69,7 +72,8 @@ class SimCluster:
         self.config = config or AllConcurConfig(graph=graph)
         self.graph = self.config.graph
         self.sim = Simulator(seed=self.options.seed)
-        self.network = Network(self.sim, self.options.params)
+        self.network = Network(self.sim, self.options.params,
+                               coalesce=self.options.coalesce)
         self.injector = FailureInjector(self.sim)
         self.trace = RoundTrace()
         #: traces of earlier membership epochs (filled by :meth:`reconfigure`)
@@ -77,10 +81,20 @@ class SimCluster:
         self.nodes: dict[int, SimNode] = {}
         self.detector = self._make_detector()
         self._pending_joins: list[int] = []
+        #: pids run_until_round is still waiting on (None when not watching)
+        self._round_watch: Optional[set[int]] = None
         self._build_nodes(self.config.initial_members)
         # when a server fails, tell the network so its in-flight sends stop
-        self.injector.subscribe(
-            lambda ev: self.network.mark_failed(ev.pid))
+        self.injector.subscribe(self._on_failure_event)
+
+    def _on_failure_event(self, ev) -> None:
+        self.network.mark_failed(ev.pid)
+        watch = self._round_watch
+        if watch is not None:
+            # a failed server will never deliver; stop waiting on it
+            watch.discard(ev.pid)
+            if not watch:
+                self.sim.request_stop()
 
     # ------------------------------------------------------------------ #
     def _make_detector(self) -> FailureDetectorBase:
@@ -120,6 +134,11 @@ class SimCluster:
         return tuple(pid for pid in self.members
                      if not self.injector.is_failed(pid))
 
+    @property
+    def alive_servers(self) -> list[AllConcurServer]:
+        """Servers of the currently alive members."""
+        return [self.nodes[pid].server for pid in self.alive_members]
+
     def node(self, pid: int) -> SimNode:
         return self.nodes[pid]
 
@@ -149,13 +168,35 @@ class SimCluster:
     def run_until_round(self, round_no: int, *,
                         max_events: int = 50_000_000) -> float:
         """Run until every alive server has delivered *round_no* (or the
-        event queue drains)."""
+        event queue drains).
 
-        def done() -> bool:
-            return all(self.nodes[pid].server.delivered_rounds > round_no
-                       for pid in self.alive_members)
+        Event-driven stop: instead of a predicate evaluated after every
+        simulator event (which dominated large-n runs), each node's
+        delivery hook removes its pid from a watch set and the last one
+        asks the simulator to stop (:meth:`Simulator.request_stop`).
+        Failures prune the watch set through the injector event stream.
+        """
+        remaining = {pid for pid in self.alive_members
+                     if self.nodes[pid].server.delivered_rounds <= round_no}
+        if not remaining:
+            return self.sim.now
+        sim = self.sim
 
-        return self.sim.run(max_events=max_events, stop_when=done)
+        def watch(pid: int, effect) -> None:
+            if effect.round >= round_no and pid in remaining:
+                remaining.discard(pid)
+                if not remaining:
+                    sim.request_stop()
+
+        self._round_watch = remaining
+        for node in self.nodes.values():
+            node.on_deliver = watch
+        try:
+            return sim.run(max_events=max_events)
+        finally:
+            self._round_watch = None
+            for node in self.nodes.values():
+                node.on_deliver = None
 
     def min_delivered_rounds(self) -> int:
         """Number of rounds completed by every alive server."""
@@ -222,8 +263,8 @@ class SimCluster:
         members = tuple(sorted(set(self.alive_members) | set(add)))
         old_queues = {pid: node.server.queue
                       for pid, node in self.nodes.items()}
-        for pid in list(self.nodes):
-            self.network.detach(pid)
+        for node in self.nodes.values():
+            node.close()   # detach from network + injector (no leaks)
         from dataclasses import replace as dc_replace
 
         self.config = dc_replace(self.config, members=members)
@@ -238,8 +279,8 @@ class SimCluster:
             if pid in old_queues:
                 node.server.queue = old_queues[pid]
         # a fresh detector is subscribed for the new node set; the old one
-        # keeps running but its suspicions target nodes that validate
-        # membership themselves, so it is harmless.
+        # is closed so it stops observing failures (and is released).
+        self.detector.close()
         self.detector = self._make_detector()
 
     def delivered_sets(self, round_no: int) -> dict[int, tuple[int, ...]]:

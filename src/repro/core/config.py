@@ -56,6 +56,14 @@ class AllConcurConfig:
         A-delivery stays in round order and membership changes drain the
         window before a new epoch starts (see
         :class:`repro.core.server.AllConcurServer`).
+    data_plane:
+        Hot-path data representation: ``"bitmask"`` (default — integer
+        bitmask tracking digraphs and O(1) membership/termination tests via
+        :class:`~repro.core.membership.MembershipIndex`) or ``"set"`` (the
+        legacy per-round set/dict plane, kept as the differential-testing
+        oracle).  The two planes are behaviourally identical; ``"set"``
+        exists for equivalence testing and as the pre-optimisation baseline
+        of ``bench/perf.py``.
     members:
         Initial membership; defaults to all vertices of ``graph``.
     """
@@ -65,11 +73,14 @@ class AllConcurConfig:
     fd_mode: str = FDMode.PERFECT
     auto_advance: bool = True
     pipeline_depth: int = 1
+    data_plane: str = "bitmask"
     members: Optional[tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.fd_mode not in (FDMode.PERFECT, FDMode.EVENTUAL):
             raise ValueError(f"unknown fd_mode {self.fd_mode!r}")
+        if self.data_plane not in ("bitmask", "set"):
+            raise ValueError(f"unknown data_plane {self.data_plane!r}")
         if self.f is not None and self.f < 0:
             raise ValueError("f must be non-negative")
         if self.pipeline_depth < 1:

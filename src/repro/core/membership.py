@@ -1,0 +1,108 @@
+"""Bitmask membership index — the fast data plane's id↔bit mapping.
+
+The hot paths of the protocol core are dominated by small-set membership
+operations: "is ``origin`` one of this round's members?", "which successors
+of ``p`` are still members?", "is every tracking digraph empty?".  The seed
+implementation answered these with per-round ``set``/``dict`` churn, which
+allocates and hashes on every message of the packet-level simulator.
+
+Server ids are already dense integers ``0 .. n-1`` (vertices of the overlay
+digraph), so every set of servers can be a Python ``int`` used as a bitmask:
+bit ``i`` set ⇔ server ``i`` in the set.  Python's arbitrary-precision ints
+make this exact for any ``n``, and the CPython primitives involved
+(``&``/``|``/``~``, ``int.bit_count``, shifts) run in C, turning membership
+tests, intersections and cardinalities into O(1)-ish word operations instead
+of hash-table walks.
+
+:class:`MembershipIndex` precomputes, once per overlay digraph, the
+successor and predecessor adjacency masks of every vertex.  It is immutable
+and shared: one index per :class:`~repro.graphs.digraph.Digraph` serves
+every server, every round and every pipeline window slot (per-round
+membership restriction is a single ``& member_mask``).
+
+The module also provides the small mask-manipulation vocabulary
+(:func:`mask_of`, :func:`iter_bits`, :func:`bits_tuple`) used by the bitmask
+tracking plane (:mod:`repro.core.tracking`) and the round context.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..graphs.digraph import Digraph
+
+__all__ = ["MembershipIndex", "mask_of", "iter_bits", "bits_tuple"]
+
+
+def mask_of(ids: Iterable[int]) -> int:
+    """Bitmask with bit ``i`` set for every ``i`` in *ids*."""
+    m = 0
+    for i in ids:
+        m |= 1 << i
+    return m
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of *mask* in increasing order.
+
+    Uses the two's-complement identity ``mask & -mask`` (lowest set bit), so
+    the cost is proportional to the popcount, not to ``n``.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def bits_tuple(mask: int) -> tuple[int, ...]:
+    """The set bit positions of *mask* as a sorted tuple."""
+    return tuple(iter_bits(mask))
+
+
+class MembershipIndex:
+    """Precomputed bitmask adjacency of one overlay digraph.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices (= bit positions) of the overlay.
+    succ_mask:
+        ``succ_mask[p]`` is the bitmask of ``p``'s successors in ``G``.
+    pred_mask:
+        ``pred_mask[p]`` is the bitmask of ``p``'s predecessors in ``G``.
+    all_mask:
+        Bitmask with every vertex bit set (``(1 << n) - 1``).
+    """
+
+    __slots__ = ("graph", "n", "succ_mask", "pred_mask", "all_mask")
+
+    #: index cache, one entry per distinct Digraph object/value (Digraph is
+    #: hashable and immutable-by-convention; overlays live for a whole run)
+    _cache: dict[Digraph, "MembershipIndex"] = {}
+
+    def __init__(self, graph: Digraph) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.succ_mask, self.pred_mask = graph.adjacency_masks()
+        self.all_mask = (1 << graph.n) - 1
+
+    @classmethod
+    def for_graph(cls, graph: Digraph) -> "MembershipIndex":
+        """The (cached) index of *graph*; every server of a deployment and
+        every round context share the same instance."""
+        idx = cls._cache.get(graph)
+        if idx is None:
+            idx = cls._cache[graph] = cls(graph)
+        return idx
+
+    # ------------------------------------------------------------------ #
+    def successors_in(self, p: int, member_mask: int) -> tuple[int, ...]:
+        """``p``'s successors restricted to *member_mask*, as a tuple."""
+        return bits_tuple(self.succ_mask[p] & member_mask)
+
+    def predecessors_in(self, p: int, member_mask: int) -> tuple[int, ...]:
+        """``p``'s predecessors restricted to *member_mask*, as a tuple."""
+        return bits_tuple(self.pred_mask[p] & member_mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MembershipIndex n={self.n} graph={self.graph.name!r}>"

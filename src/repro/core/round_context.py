@@ -6,12 +6,17 @@ coexist*.  :class:`RoundContext` is the unit that makes this concrete: it
 bundles **all** state that is scoped to a single round ``R`` of a single
 server ``p_i`` —
 
-* the known-message set ``M_i`` (``known``),
+* the known-message set ``M_i`` (``known`` for the payloads, ``known_mask``
+  for the O(1) membership test),
 * whether ``p_i`` has A-broadcast its own message for ``R``,
-* the tracking digraphs (:class:`~repro.core.tracking.MessageTracker`),
+* the tracking digraphs (:class:`~repro.core.tracking.BitmaskMessageTracker`
+  on the default bitmask data plane, :class:`~repro.core.tracking.
+  MessageTracker` on the legacy set plane kept as a differential-testing
+  oracle — selected by ``AllConcurConfig.data_plane``),
 * the surviving-partition guard for ◇P mode
   (:class:`~repro.core.partition.PartitionGuard`),
-* the per-round dissemination dedup sets for FAIL, FWD and BWD messages,
+* the per-round dissemination dedup state for FAIL, FWD and BWD messages
+  (bitmask-based: these sit on the per-message hot path),
 * the membership snapshot the round runs with.
 
 :class:`~repro.core.server.AllConcurServer` keeps a window of up to
@@ -24,11 +29,12 @@ ignored predecessors — is server-scoped and lives on the server itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional, Union
 
 from .batching import Batch
+from .membership import MembershipIndex, mask_of
 from .partition import PartitionGuard
-from .tracking import MessageTracker
+from .tracking import BitmaskMessageTracker, MessageTracker
 
 __all__ = ["RoundContext"]
 
@@ -43,42 +49,66 @@ class RoundContext:
     #: the same membership; see the pipeline-barrier rule in server.py)
     members: tuple[int, ...]
     #: tracking digraphs g_i[*] plus the failure knowledge F_i
-    tracker: MessageTracker
+    tracker: Union[BitmaskMessageTracker, MessageTracker]
     #: FWD/BWD majority gate of §3.3.2 (only consulted in ◇P mode)
     partition: PartitionGuard
     #: the known-message set M_i: origin -> batch
     known: dict[int, Batch] = field(default_factory=dict)
+    #: bitmask mirror of ``known``'s keys (hot-path membership test)
+    known_mask: int = 0
     #: whether the owner already A-broadcast its message for this round
     has_broadcast: bool = False
     #: whether the round was A-delivered (a delivered context is retired)
     delivered: bool = False
-    #: failure pairs already disseminated in this round (line 22 dedup)
-    disseminated_failures: set[tuple[int, int]] = field(default_factory=set)
-    #: origins whose FWD message was already forwarded this round
-    forwarded_fwd: set[int] = field(default_factory=set)
-    #: origins whose BWD message was already forwarded this round
-    forwarded_bwd: set[int] = field(default_factory=set)
-    #: ``set(members)``, precomputed once — membership tests sit on the
-    #: per-message hot path of the packet-level simulator
+    #: failure pairs already disseminated in this round (line 22 dedup):
+    #: failed server id -> bitmask of reporters
+    disseminated_failures: dict[int, int] = field(default_factory=dict)
+    #: bitmask of origins whose FWD message was already forwarded this round
+    forwarded_fwd: int = 0
+    #: bitmask of origins whose BWD message was already forwarded this round
+    forwarded_bwd: int = 0
+    #: ``set(members)``, precomputed once (kept for diagnostics/back-compat)
     member_set: set[int] = field(init=False, repr=False)
+    #: bitmask of ``members`` — membership tests sit on the per-message hot
+    #: path of the packet-level simulator
+    member_mask: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.member_set = set(self.members)
+        self.member_mask = mask_of(self.members)
 
     @classmethod
     def create(cls, round_no: int, owner: int, members: tuple[int, ...],
-               successors_fn: Callable[[int], tuple[int, ...]]
-               ) -> "RoundContext":
-        """A fresh context for *round_no* with the given membership."""
+               successors_fn: Callable[[int], tuple[int, ...]], *,
+               index: Optional[MembershipIndex] = None,
+               data_plane: str = "bitmask") -> "RoundContext":
+        """A fresh context for *round_no* with the given membership.
+
+        With ``data_plane == "bitmask"`` (the default) and a
+        :class:`~repro.core.membership.MembershipIndex`, the round runs on
+        the bitmask tracking plane; otherwise it falls back to the legacy
+        set-based :class:`~repro.core.tracking.MessageTracker` (the
+        differential-testing oracle).
+        """
+        if data_plane == "bitmask" and index is not None:
+            tracker: Union[BitmaskMessageTracker, MessageTracker] = \
+                BitmaskMessageTracker(owner, members, index, round=round_no)
+        else:
+            tracker = MessageTracker(owner, members, successors_fn,
+                                     round=round_no)
         return cls(
             round=round_no,
             members=members,
-            tracker=MessageTracker(owner, members, successors_fn,
-                                   round=round_no),
+            tracker=tracker,
             partition=PartitionGuard(owner=owner,
                                      majority=len(members) // 2 + 1,
                                      round=round_no),
         )
+
+    def record_known(self, origin: int, payload: Batch) -> None:
+        """Store ``m_origin`` in ``M_i`` (dict and mask stay in lockstep)."""
+        self.known[origin] = payload
+        self.known_mask |= 1 << origin
 
     def tracking_complete(self) -> bool:
         """True when every tracking digraph is empty (termination test)."""

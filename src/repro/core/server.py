@@ -60,10 +60,11 @@ from typing import Optional
 from .batching import Batch, Request, RequestQueue
 from .config import AllConcurConfig, FDMode
 from .interfaces import Deliver, RoundAdvance, Send
+from .membership import MembershipIndex, bits_tuple, mask_of
 from .messages import Backward, Broadcast, FailureNotice, Forward, Message
 from .partition import PartitionGuard
 from .round_context import RoundContext
-from .tracking import MessageTracker
+from .tracking import BitmaskMessageTracker, MessageTracker
 
 __all__ = ["AllConcurServer", "RoundOutcome"]
 
@@ -92,11 +93,15 @@ class AllConcurServer:
         self.config = config
         self.graph = config.graph
         self.pipeline_depth = config.pipeline_depth
+        self.data_plane = config.data_plane
+        #: shared bitmask adjacency of the overlay (one instance per graph)
+        self._index = MembershipIndex.for_graph(config.graph)
 
         #: delivery frontier: the lowest round not yet A-delivered
         self.round = 0
         #: membership of the current epoch
         self.members: tuple[int, ...] = tuple(sorted(members))
+        self._refresh_membership_caches()
         #: application requests awaiting the next batch
         self.queue = RequestQueue()
         #: log of completed rounds
@@ -122,21 +127,47 @@ class AllConcurServer:
         #: barrier drains
         self._pending_removed: set[int] = set()
 
+        #: cached :meth:`_window_max` — consulted on every received message;
+        #: changes only when the frontier advances or the epoch barrier moves
+        self._window_hi = 0
+        self._update_window_hi()
         self._admit_window_rounds([], auto_broadcast=False)
+
+    # ------------------------------------------------------------------ #
+    # Epoch-scoped membership caches
+    # ------------------------------------------------------------------ #
+    def _refresh_membership_caches(self) -> None:
+        """Recompute the per-epoch membership mask and neighbour tuples.
+
+        Membership only changes at an epoch boundary, but the successor /
+        predecessor lists are consulted on every send — caching them (and
+        the membership bitmask) takes an O(n) set build off the per-message
+        hot path.
+        """
+        self._member_mask = mask_of(self.members)
+        self._successors = bits_tuple(
+            self._index.succ_mask[self.id] & self._member_mask)
+        self._predecessors = bits_tuple(
+            self._index.pred_mask[self.id] & self._member_mask)
 
     # ------------------------------------------------------------------ #
     # Round window management
     # ------------------------------------------------------------------ #
     def _window_max(self) -> int:
         """Highest round the server may currently have in flight."""
+        return self._window_hi
+
+    def _update_window_hi(self) -> None:
         cap = self.round + self.pipeline_depth - 1
-        if self._epoch_end is not None:
-            cap = min(cap, self._epoch_end)
-        return cap
+        if self._epoch_end is not None and self._epoch_end < cap:
+            cap = self._epoch_end
+        self._window_hi = cap
 
     def _new_context(self, round_no: int) -> RoundContext:
         return RoundContext.create(round_no, self.id, self.members,
-                                   self._graph_successors)
+                                   self._graph_successors,
+                                   index=self._index,
+                                   data_plane=self.data_plane)
 
     def _graph_successors(self, p: int) -> tuple[int, ...]:
         return self.graph.successors(p)
@@ -183,15 +214,15 @@ class AllConcurServer:
 
     @property
     def successors(self) -> tuple[int, ...]:
-        """This server's successors among the current members."""
-        alive = set(self.members)
-        return tuple(s for s in self.graph.successors(self.id) if s in alive)
+        """This server's successors among the current members (cached per
+        membership epoch — consulted on every send)."""
+        return self._successors
 
     @property
     def predecessors(self) -> tuple[int, ...]:
-        """This server's predecessors among the current members."""
-        alive = set(self.members)
-        return tuple(p for p in self.graph.predecessors(self.id) if p in alive)
+        """This server's predecessors among the current members (cached per
+        membership epoch)."""
+        return self._predecessors
 
     @property
     def has_broadcast(self) -> bool:
@@ -221,7 +252,7 @@ class AllConcurServer:
         return frozenset(self._frontier.tracker.failure_pairs)
 
     @property
-    def tracker(self) -> MessageTracker:
+    def tracker(self) -> "BitmaskMessageTracker | MessageTracker":
         """The frontier round's tracking digraphs (round-scoped state)."""
         return self._frontier.tracker
 
@@ -303,12 +334,12 @@ class AllConcurServer:
             return []
         if suspect == self.id:
             raise ValueError("a server cannot suspect itself")
-        if suspect not in set(self.graph.predecessors(self.id)):
+        if not self._index.pred_mask[self.id] >> suspect & 1:
             raise ValueError(
                 f"server {self.id} does not monitor {suspect}; the FD only "
                 f"watches predecessors in G")
         effects: list = []
-        if suspect in set(self.members):
+        if self._member_mask >> suspect & 1:
             self.ignored_predecessors.add(suspect)
             notice = FailureNotice(round=self.round, failed=suspect,
                                    reporter=self.id)
@@ -328,8 +359,8 @@ class AllConcurServer:
         return effects
 
     def _dispatch(self, src: int, message: Message, effects: list) -> None:
-        rnd = getattr(message, "round")
-        if rnd > self._window_max():
+        rnd = message.round
+        if rnd > self._window_hi:
             # Beyond the window (or beyond the epoch barrier): buffer until
             # the round is admitted.
             self._future.setdefault(rnd, []).append((src, message))
@@ -356,7 +387,7 @@ class AllConcurServer:
             notice = message if rnd >= self.round else \
                 FailureNotice(round=self.round, failed=message.failed,
                               reporter=message.reporter)
-            if notice.failed not in set(self.members):
+            if not self._member_mask >> notice.failed & 1:
                 return  # already tagged as failed in a previous epoch
             self._process_failure(notice, effects)
         elif isinstance(message, Forward):
@@ -369,7 +400,8 @@ class AllConcurServer:
             self._process_backward(self._contexts[rnd], message, effects)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown message type {type(message)!r}")
-        self._check_termination(effects)
+        if self._dirty:
+            self._check_termination(effects)
 
     # ------------------------------------------------------------------ #
     # BCAST handling (lines 14-20)
@@ -379,9 +411,9 @@ class AllConcurServer:
         ctx.has_broadcast = True
         self._dirty.add(ctx.round)
         message = Broadcast(round=ctx.round, origin=self.id, payload=payload)
-        ctx.known[self.id] = payload
-        if self.successors:
-            effects.append(Send(message=message, targets=self.successors))
+        ctx.record_known(self.id, payload)
+        if self._successors:
+            effects.append(Send(message=message, targets=self._successors))
 
     def _process_broadcast(self, ctx: RoundContext, message: Broadcast,
                            effects: list) -> None:
@@ -396,12 +428,13 @@ class AllConcurServer:
                 if slot is not None and not slot.has_broadcast:
                     self._abroadcast(slot, self.queue.drain(), effects)
         origin = message.origin
-        if origin in ctx.known or origin not in ctx.member_set:
+        obit = 1 << origin
+        if ctx.known_mask & obit or not ctx.member_mask & obit:
             return
-        ctx.known[origin] = message.payload
+        ctx.record_known(origin, message.payload)
         # Forward every not-yet-sent message to the successors (line 17-18).
-        if self.successors:
-            effects.append(Send(message=message, targets=self.successors))
+        if self._successors:
+            effects.append(Send(message=message, targets=self._successors))
         ctx.tracker.message_received(origin)
         self._dirty.add(ctx.round)
 
@@ -411,11 +444,12 @@ class AllConcurServer:
     def _disseminate_failure(self, ctx: RoundContext, notice: FailureNotice,
                              effects: list) -> None:
         """Disseminate each distinct notification once per round (line 22)."""
-        pair = notice.pair
-        if pair not in ctx.disseminated_failures:
-            ctx.disseminated_failures.add(pair)
-            if self.successors:
-                effects.append(Send(message=notice, targets=self.successors))
+        seen = ctx.disseminated_failures.get(notice.failed, 0)
+        rbit = 1 << notice.reporter
+        if not seen & rbit:
+            ctx.disseminated_failures[notice.failed] = seen | rbit
+            if self._successors:
+                effects.append(Send(message=notice, targets=self._successors))
 
     def _process_failure(self, notice: FailureNotice, effects: list) -> None:
         """Apply a failure notification to its round and every later active
@@ -434,7 +468,7 @@ class AllConcurServer:
             if r < home:
                 continue
             ctx = self._contexts[r]
-            if notice.failed not in ctx.member_set:
+            if not ctx.member_mask >> notice.failed & 1:
                 continue
             if r == home:
                 self._disseminate_failure(ctx, notice, effects)
@@ -448,24 +482,28 @@ class AllConcurServer:
                          effects: list) -> None:
         if self.config.fd_mode != FDMode.EVENTUAL:
             return
-        if message.origin in ctx.forwarded_fwd:
+        obit = 1 << message.origin
+        if ctx.forwarded_fwd & obit:
             return
-        ctx.forwarded_fwd.add(message.origin)
+        ctx.forwarded_fwd |= obit
         ctx.partition.record_forward(message.origin)
-        if self.successors:
-            effects.append(Send(message=message, targets=self.successors))
+        self._dirty.add(ctx.round)
+        if self._successors:
+            effects.append(Send(message=message, targets=self._successors))
 
     def _process_backward(self, ctx: RoundContext, message: Backward,
                           effects: list) -> None:
         if self.config.fd_mode != FDMode.EVENTUAL:
             return
-        if message.origin in ctx.forwarded_bwd:
+        obit = 1 << message.origin
+        if ctx.forwarded_bwd & obit:
             return
-        ctx.forwarded_bwd.add(message.origin)
+        ctx.forwarded_bwd |= obit
         ctx.partition.record_backward(message.origin)
+        self._dirty.add(ctx.round)
         # BWD messages travel over the transpose of G: send to predecessors.
-        if self.predecessors:
-            effects.append(Send(message=message, targets=self.predecessors))
+        if self._predecessors:
+            effects.append(Send(message=message, targets=self._predecessors))
 
     # ------------------------------------------------------------------ #
     # Termination, delivery and round transition (lines 5-13)
@@ -479,16 +517,25 @@ class AllConcurServer:
         ctx.partition.mark_decided()
         fwd = Forward(round=ctx.round, origin=self.id)
         bwd = Backward(round=ctx.round, origin=self.id)
-        ctx.forwarded_fwd.add(self.id)
-        ctx.forwarded_bwd.add(self.id)
-        if self.successors:
-            effects.append(Send(message=fwd, targets=self.successors))
-        if self.predecessors:
-            effects.append(Send(message=bwd, targets=self.predecessors))
+        ctx.forwarded_fwd |= 1 << self.id
+        ctx.forwarded_bwd |= 1 << self.id
+        if self._successors:
+            effects.append(Send(message=fwd, targets=self._successors))
+        if self._predecessors:
+            effects.append(Send(message=bwd, targets=self._predecessors))
 
     def _check_termination(self, effects: list) -> None:
         """Decide completed rounds and A-deliver from the frontier, in
-        strict round order."""
+        strict round order.
+
+        Fast exit: every state change that can make a round newly
+        deliverable (received message, failure evidence, own broadcast,
+        FWD/BWD receipt, context admission) marks its round dirty, so a
+        clean dirty set — the common case for duplicate copies of an
+        already-known message — means nothing to do.
+        """
+        if not self._dirty:
+            return
         while True:
             eventual = self.config.fd_mode == FDMode.EVENTUAL
             if eventual:
@@ -516,7 +563,8 @@ class AllConcurServer:
     def _deliver(self, ctx: RoundContext, effects: list) -> None:
         ctx.delivered = True
         ordered = tuple(sorted(ctx.known.items(), key=lambda kv: kv[0]))
-        removed = tuple(p for p in ctx.members if p not in ctx.known)
+        removed = tuple(p for p in ctx.members
+                        if not ctx.known_mask >> p & 1)
         outcome = RoundOutcome(round=ctx.round, messages=ordered,
                                removed=removed)
         self.history.append(outcome)
@@ -549,6 +597,8 @@ class AllConcurServer:
             self.ignored_predecessors &= set(new_members)
             self._epoch_end = None
             self._pending_removed = set()
+            self._refresh_membership_caches()
+        self._update_window_hi()
         effects.append(RoundAdvance(round=self.round, members=self.members))
         self._admit_window_rounds(effects)
 

@@ -39,7 +39,27 @@ class SimNode:
         self.network = network
         self.injector = injector
         self.trace = trace
+        #: optional per-delivery hook ``on_deliver(pid, effect)`` — used by
+        #: the cluster's run_until_round watcher
+        self.on_deliver = None
+        # Liveness is consulted on every received message, so it is a plain
+        # attribute maintained from the failure-injector event stream
+        # rather than a per-message injector query.
+        self._alive = not server.failed and not injector.is_failed(server.id)
+        injector.subscribe(self._on_failure_event)
         network.attach(server.id, self._on_network_message)
+
+    def _on_failure_event(self, ev) -> None:
+        if ev.pid == self.server.id:
+            self._alive = False
+
+    def close(self) -> None:
+        """Detach this node from the shared infrastructure (network
+        receiver + injector listener).  Called when a membership change
+        replaces the node set; a closed node is inert."""
+        self._alive = False
+        self.injector.unsubscribe(self._on_failure_event)
+        self.network.detach(self.server.id)
 
     # ------------------------------------------------------------------ #
     @property
@@ -48,7 +68,7 @@ class SimNode:
 
     @property
     def alive(self) -> bool:
-        return not self.server.failed and not self.injector.is_failed(self.id)
+        return self._alive and not self.server.failed
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -86,10 +106,16 @@ class SimNode:
     # Network receive path
     # ------------------------------------------------------------------ #
     def _on_network_message(self, src: int, dst: int, message) -> None:
-        assert dst == self.id
-        if not self.alive:
+        # Per-message hot path: inlined handle_message (same semantics —
+        # the server's own `failed` guard plus dispatch) so the common
+        # duplicate-copy case costs no effect-interpretation pass.
+        server = self.server
+        if not self._alive or server.failed:
             return
-        self._execute(self.server.handle_message(src, message))
+        effects: list = []
+        server._dispatch(src, message, effects)
+        if effects:
+            self._execute(effects)
 
     # ------------------------------------------------------------------ #
     # Effect interpretation
@@ -103,6 +129,8 @@ class SimNode:
                     break
             elif isinstance(effect, Deliver):
                 self._record_delivery(effect)
+                if self.on_deliver is not None:
+                    self.on_deliver(self.server.id, effect)
             elif isinstance(effect, RoundAdvance):
                 continue
             else:  # pragma: no cover - defensive
@@ -111,17 +139,23 @@ class SimNode:
     def _do_send(self, effect: Send) -> None:
         message = effect.message
         nbytes = effect.nbytes
-        if isinstance(message, Broadcast) and message.origin == self.id \
+        pid = self.server.id
+        if isinstance(message, Broadcast) and message.origin == pid \
                 and self.trace is not None:
             self.trace.note_round_start(message.round, self.sim.now)
+        if not self.injector.has_send_budget(pid):
+            # Common case: no partial-send failure armed for this server.
+            self.network.send_burst(pid, effect.targets, message, nbytes)
+            return
+        send = self.network.send
         for target in effect.targets:
-            if not self.injector.consume_send_budget(self.id):
+            if not self.injector.consume_send_budget(pid):
                 # Fail-stop in the middle of the burst (§2.3 scenario).
-                self.injector.fail_now(self.id, reason="send budget exhausted")
-                self.network.mark_failed(self.id)
+                self.injector.fail_now(pid, reason="send budget exhausted")
+                self.network.mark_failed(pid)
                 self.server.crash()
                 return
-            self.network.send(self.id, target, message, nbytes=nbytes)
+            send(pid, target, message, nbytes)
 
     def _record_delivery(self, effect: Deliver) -> None:
         if self.trace is None:

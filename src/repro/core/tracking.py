@@ -31,7 +31,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional
 
-__all__ = ["TrackingDigraph", "MessageTracker"]
+from .membership import MembershipIndex, bits_tuple, iter_bits, mask_of
+
+__all__ = [
+    "TrackingDigraph",
+    "MessageTracker",
+    "BitmaskTrackingDigraph",
+    "BitmaskMessageTracker",
+]
 
 
 @dataclass
@@ -211,3 +218,247 @@ class MessageTracker:
         """Total number of stored vertices and edges across all tracking
         digraphs — the quantity bounded by O(f²·d) in Table 2."""
         return sum(len(g.vertices) + len(g.edges) for g in self.graphs.values())
+
+
+# ---------------------------------------------------------------------- #
+# Bitmask data plane
+# ---------------------------------------------------------------------- #
+class BitmaskTrackingDigraph:
+    """Bitmask representation of one tracking digraph ``g_i[target]``.
+
+    Vertices are a single int bitmask; edges are an out-adjacency map
+    ``out[a] = bitmask of b with (a, b) ∈ E``.  Only digraphs that a failure
+    notification has *expanded* are ever materialised — the common
+    single-vertex initial state ``({target}, ∅)`` is represented implicitly
+    by :class:`BitmaskMessageTracker` (one bit in its ``active_mask``).
+    """
+
+    __slots__ = ("target", "vertex_mask", "out")
+
+    def __init__(self, target: int) -> None:
+        self.target = target
+        self.vertex_mask = 1 << target
+        #: out-adjacency: vertex -> bitmask of its successors in the digraph
+        self.out: dict[int, int] = {}
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vertex_mask
+
+    @property
+    def vertices(self) -> set[int]:
+        """Set view (diagnostics / differential tests; not on the hot path)."""
+        return set(iter_bits(self.vertex_mask))
+
+    @property
+    def edges(self) -> set[tuple[int, int]]:
+        """Set view (diagnostics / differential tests; not on the hot path)."""
+        return {(a, b) for a, m in self.out.items() for b in iter_bits(m)}
+
+    def clear(self) -> None:
+        self.vertex_mask = 0
+        self.out.clear()
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return bool(self.out.get(a, 0) >> b & 1)
+
+    def discard_edge(self, a: int, b: int) -> None:
+        m = self.out.get(a)
+        if m is not None:
+            m &= ~(1 << b)
+            if m:
+                self.out[a] = m
+            else:
+                del self.out[a]
+
+    def reachable_mask(self) -> int:
+        """Bitmask of vertices reachable from the target (mask-based BFS)."""
+        if not self.vertex_mask >> self.target & 1:
+            return 0
+        reach = 1 << self.target
+        frontier = reach
+        while frontier:
+            nxt = 0
+            for v in iter_bits(frontier):
+                nxt |= self.out.get(v, 0)
+            frontier = nxt & self.vertex_mask & ~reach
+            reach |= frontier
+        return reach
+
+    def prune(self, failed_mask: int) -> None:
+        """Mask-based equivalent of :meth:`TrackingDigraph.prune`."""
+        if not self.vertex_mask:
+            return
+        reach = self.reachable_mask()
+        if reach != self.vertex_mask:
+            self.vertex_mask &= reach
+            for a in list(self.out):
+                if not self.vertex_mask >> a & 1:
+                    del self.out[a]
+                else:
+                    m = self.out[a] & self.vertex_mask
+                    if m:
+                        self.out[a] = m
+                    else:
+                        del self.out[a]
+        if self.vertex_mask and not self.vertex_mask & ~failed_mask:
+            self.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BitmaskTrackingDigraph target={self.target} "
+                f"vertices={sorted(self.vertices)}>")
+
+
+class BitmaskMessageTracker:
+    """Bitmask data-plane equivalent of :class:`MessageTracker`.
+
+    Behaviourally identical to the set-based tracker (the hypothesis
+    differential test in ``tests/core/test_data_plane_equivalence.py``
+    asserts this), but built for the simulator's hot path:
+
+    * the termination test :meth:`all_done` — evaluated after **every**
+      received message — is ``active_mask == 0`` instead of an O(n) scan of
+      digraph objects;
+    * the ``n - 1`` initial single-vertex digraphs are one bitmask, not
+      ``n - 1`` allocations per round per server;
+    * digraph expansion/pruning (failure handling) runs on adjacency masks
+      precomputed by :class:`~repro.core.membership.MembershipIndex`.
+    """
+
+    def __init__(self, owner: int, members: Iterable[int],
+                 index: MembershipIndex, *, round: int = 0) -> None:
+        self.owner = owner
+        self.round = round
+        self.index = index
+        self.member_mask = mask_of(members)
+        if not self.member_mask >> owner & 1:
+            raise ValueError(f"owner {owner} must be a member")
+        #: targets whose tracking digraph is non-empty (bit per server)
+        self.active_mask = self.member_mask & ~(1 << owner)
+        #: expanded digraphs only; non-expanded active targets are implicit
+        self._graphs: dict[int, BitmaskTrackingDigraph] = {}
+        #: F_i as (failed, reporter) tuples (API/diagnostic compatibility)
+        self.failure_pairs: set[tuple[int, int]] = set()
+        #: F_i as masks: failed -> bitmask of reporters
+        self._reporters_of: dict[int, int] = {}
+        #: servers known (suspected) to have failed, as a bitmask
+        self.failed_mask = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def members(self) -> set[int]:
+        """Set view of the round's membership (diagnostics)."""
+        return set(iter_bits(self.member_mask))
+
+    @property
+    def failed_servers(self) -> set[int]:
+        """Set view of the suspected-failed servers (diagnostics)."""
+        return set(iter_bits(self.failed_mask))
+
+    def round_successors(self, p: int) -> tuple[int, ...]:
+        """Successors of *p* restricted to the round's membership."""
+        return bits_tuple(self.index.succ_mask[p] & self.member_mask)
+
+    def is_tracking(self, target: int) -> bool:
+        return bool(self.active_mask >> target & 1)
+
+    def all_done(self) -> bool:
+        """O(1) termination test: no digraph has any vertex left."""
+        return not self.active_mask
+
+    def pending_targets(self) -> list[int]:
+        return list(iter_bits(self.active_mask))
+
+    # ------------------------------------------------------------------ #
+    def message_received(self, origin: int) -> None:
+        """``p_i`` received ``m_origin``: stop tracking it (line 19)."""
+        self.active_mask &= ~(1 << origin)
+        self._graphs.pop(origin, None)
+
+    def _materialise(self, target: int) -> BitmaskTrackingDigraph:
+        g = self._graphs.get(target)
+        if g is None:
+            g = self._graphs[target] = BitmaskTrackingDigraph(target)
+        return g
+
+    def _has_pair(self, failed: int, reporter: int) -> bool:
+        return bool(self._reporters_of.get(failed, 0) >> reporter & 1)
+
+    def _expand(self, g: BitmaskTrackingDigraph, failed: int,
+                reporter: int) -> None:
+        """Lines 24-33: expand *g* with the successors of *failed* (they may
+        hold the tracked message), transitively through already-failed
+        servers, skipping successors whose notification about the expanded
+        server was already received."""
+        reported = self._reporters_of.get(failed, 0)
+        first = self.index.succ_mask[failed] & self.member_mask \
+            & ~(1 << reporter) & ~reported
+        queue: deque[tuple[int, int]] = deque(
+            (failed, p) for p in iter_bits(first))
+        while queue:
+            pp, p = queue.popleft()
+            pbit = 1 << p
+            if not g.vertex_mask & pbit:
+                g.vertex_mask |= pbit
+                if self.failed_mask & pbit:
+                    succ = self.index.succ_mask[p] & self.member_mask \
+                        & ~self._reporters_of.get(p, 0)
+                    queue.extend((p, ps) for ps in iter_bits(succ))
+            g.out[pp] = g.out.get(pp, 0) | pbit
+
+    def add_failure(self, failed: int, reporter: int) -> bool:
+        """Process ``<FAIL, failed, reporter>`` (lines 22-40 of Algorithm 1)
+        for every tracking digraph.  Returns True if the pair was new."""
+        new_pair = not self._has_pair(failed, reporter)
+        if new_pair:
+            self.failure_pairs.add((failed, reporter))
+            self._reporters_of[failed] = \
+                self._reporters_of.get(failed, 0) | (1 << reporter)
+        self.failed_mask |= 1 << failed
+        fbit = 1 << failed
+        # The digraphs containing `failed`: the implicit single-vertex one
+        # tracking failed's own message (materialised here, then picked up
+        # by the scan below exactly once), plus any expanded digraph whose
+        # vertex mask covers it.  (The legacy plane scans all n-1 digraphs.)
+        if self.active_mask & fbit and failed not in self._graphs:
+            self._materialise(failed)
+        touched = [g for g in self._graphs.values()
+                   if g.vertex_mask & fbit]
+        for g in touched:
+            if not g.out.get(failed, 0):
+                # First relevant notification: expand with the successors.
+                self._expand(g, failed, reporter)
+            elif g.has_edge(failed, reporter):
+                # Subsequent notification: the reporter did *not* receive
+                # the tracked message from `failed` — drop that edge.
+                g.discard_edge(failed, reporter)
+            g.prune(self.failed_mask)
+            if not g.vertex_mask:
+                self.active_mask &= ~(1 << g.target)
+                del self._graphs[g.target]
+        return new_pair
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Mapping[int, tuple[frozenset[int],
+                                             frozenset[tuple[int, int]]]]:
+        """Immutable view of every tracking digraph, in the same shape as
+        :meth:`MessageTracker.snapshot` (the differential-test oracle
+        compares the two directly)."""
+        out: dict[int, tuple[frozenset[int], frozenset[tuple[int, int]]]] = {}
+        for p in iter_bits(self.member_mask & ~(1 << self.owner)):
+            g = self._graphs.get(p)
+            if g is not None:
+                out[p] = (frozenset(g.vertices), frozenset(g.edges))
+            elif self.active_mask >> p & 1:
+                out[p] = (frozenset((p,)), frozenset())
+            else:
+                out[p] = (frozenset(), frozenset())
+        return out
+
+    def storage_size(self) -> int:
+        """Same storage metric as :meth:`MessageTracker.storage_size`."""
+        implicit = (self.active_mask & ~mask_of(self._graphs)).bit_count()
+        return implicit + sum(
+            g.vertex_mask.bit_count()
+            + sum(m.bit_count() for m in g.out.values())
+            for g in self._graphs.values())

@@ -201,6 +201,20 @@ class Digraph:
     # ------------------------------------------------------------------ #
     # Matrix views
     # ------------------------------------------------------------------ #
+    def adjacency_masks(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Successor and predecessor adjacency as integer bitmasks.
+
+        Returns ``(succ_masks, pred_masks)`` where bit ``j`` of
+        ``succ_masks[i]`` is set iff ``(i, j) ∈ E`` (and transposed for the
+        predecessor masks).  This is the raw material of the bitmask data
+        plane (:class:`repro.core.membership.MembershipIndex`): with
+        vertices being dense ints, a vertex set is an int and neighbour
+        queries restricted to a membership are single ``&`` operations.
+        """
+        succ = tuple(sum(1 << v for v in s) for s in self._succ)
+        pred = tuple(sum(1 << u for u in p) for p in self._pred)
+        return succ, pred
+
     def adjacency_matrix(self) -> np.ndarray:
         """Dense boolean adjacency matrix ``A[u, v] == True`` iff ``(u,v) ∈ E``."""
         a = np.zeros((self._n, self._n), dtype=bool)

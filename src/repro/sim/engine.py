@@ -9,10 +9,12 @@ InfiniBand Verbs) are expressed in the same unit.
 
 from __future__ import annotations
 
+import heapq
 import random
 from typing import Callable, Optional
 
 from .events import EventHandle, EventQueue
+from .events import _CANCELLABLE
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -39,6 +41,7 @@ class Simulator:
         self._seed = seed
         self._events_processed = 0
         self._running = False
+        self._stop_requested = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -80,6 +83,29 @@ class Simulator:
                 f"cannot schedule at {time} < now ({self._now})")
         return self._queue.push(time, callback, args, priority)
 
+    def post(self, time: float, callback: Callable[..., None],
+             args: tuple = (), priority: int = 0) -> None:
+        """Fast-path scheduling at absolute *time*: no cancel handle.  This
+        is the hot path of the network and workload layers — the
+        overwhelming majority of events are never cancelled, so the
+        :class:`~repro.sim.events.EventHandle` allocation of
+        :meth:`schedule_at` is pure overhead there."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} < now ({self._now})")
+        self._queue.push_fast(time, callback, args, priority)
+
+    def request_stop(self) -> None:
+        """Ask a :meth:`run` in progress to stop before the next event.
+
+        Callbacks (e.g. a cluster's delivery watcher) use this instead of a
+        ``stop_when`` predicate when the stop condition is event-driven:
+        the flag costs one attribute check per loop iteration, whereas a
+        predicate costs a Python call after every event.  The request is
+        consumed by the run loop (or, if none is active, by the next one).
+        """
+        self._stop_requested = True
+
     # ------------------------------------------------------------------ #
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
@@ -106,7 +132,8 @@ class Simulator:
             Stop after this many events (guard against runaways).
         stop_when:
             Predicate evaluated after every event; the run stops as soon as
-            it returns True.
+            it returns True.  (For event-driven stop conditions prefer
+            :meth:`request_stop`, which avoids the per-event call.)
 
         Returns
         -------
@@ -114,16 +141,36 @@ class Simulator:
             The virtual time at which the run stopped.
         """
         processed = 0
+        # The loop iterates over the raw heap entries (see events.py for
+        # the two entry shapes) so that the per-event cost is a handful of
+        # C-level operations: no pop()/peek_time() calls, no Event
+        # materialisation for fast entries.
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        remaining = -1 if max_events is None else max_events
         while True:
-            if max_events is not None and processed >= max_events:
+            if self._stop_requested:
+                self._stop_requested = False
                 break
-            nxt = self._queue.peek_time()
-            if nxt is None:
+            if processed == remaining:
                 break
-            if until is not None and nxt > until:
+            while heap and heap[0][4] is _CANCELLABLE \
+                    and heap[0][3].cancelled:
+                heappop(heap)
+            if not heap:
+                break
+            entry = heap[0]
+            if until is not None and entry[0] > until:
                 self._now = until
                 break
-            self.step()
+            heappop(heap)
+            self._now = entry[0]
+            self._events_processed += 1
+            x = entry[3]
+            if entry[4] is _CANCELLABLE:
+                x.callback(*x.args)
+            else:
+                x(*entry[4])
             processed += 1
             if stop_when is not None and stop_when():
                 break

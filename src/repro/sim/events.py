@@ -7,32 +7,74 @@ parameters, and failures are injected deterministically.  Determinism is a
 hard requirement — every experiment and property-based test must be exactly
 replayable from a seed — so events are ordered by ``(time, priority, seq)``
 where ``seq`` is a monotonically increasing tie-breaker.
+
+Hot-path design
+---------------
+
+The event queue is the single busiest structure of a packet-level run
+(hundreds of thousands of heap operations per simulated round), so it is
+built to keep every comparison — and, for the common case, every
+allocation — in C:
+
+* heap entries are plain 5-tuples ``(time, priority, seq, x, y)``; ``seq``
+  is unique, so ``heapq``'s tuple comparisons never look past it and never
+  call back into Python;
+* the common event — priority 0 or 1/2, never cancelled: network
+  deliveries, workload injections — is stored **without** an
+  :class:`Event` object: ``x`` is the callback and ``y`` its argument
+  tuple (:meth:`EventQueue.push_fast`);
+* only cancellable events (:meth:`EventQueue.push`, which returns an
+  :class:`EventHandle`) allocate an :class:`Event`; their entries carry the
+  sentinel ``y is _CANCELLABLE`` so the queue can tell the two shapes
+  apart without an ``isinstance`` check.
+
+:class:`~repro.sim.engine.Simulator.run` iterates over the raw entry list
+(`EventQueue._heap`) for the same reason; :meth:`EventQueue.pop` remains
+the object-level API (used by ``Simulator.step`` and the tests) and
+materialises an :class:`Event` view of fast entries on demand.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 __all__ = ["Event", "EventQueue", "EventHandle"]
 
+#: marks a heap entry whose 4th element is a (cancellable) Event object
+_CANCELLABLE = object()
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
-    Ordering is by ``(time, priority, seq)``; the callback and its arguments
-    do not participate in comparisons.
+    Ordering is by the precomputed ``sort_key == (time, priority, seq)``;
+    the callback and its arguments do not participate in comparisons.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "sort_key")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., None], args: tuple = (),
+                 cancelled: bool = False) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self.sort_key = (time, priority, seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "Event") -> bool:
+        return self.sort_key <= other.sort_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Event t={self.time} prio={self.priority} seq={self.seq} "
+                f"cancelled={self.cancelled}>")
 
 
 class EventHandle:
@@ -57,36 +99,64 @@ class EventHandle:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of scheduled callbacks.
+
+    See the module docstring for the two entry shapes.  The heap list
+    itself (``_heap``) is deliberately exposed to
+    :class:`~repro.sim.engine.Simulator`'s run loop.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        #: (time, priority, seq, callback, args) fast entries mixed with
+        #: (time, priority, seq, Event, _CANCELLABLE) cancellable entries
+        self._heap: list[tuple] = []
+        self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, time: float, callback: Callable[..., None],
              args: tuple = (), priority: int = 0) -> EventHandle:
-        """Schedule *callback(*args)* at *time*."""
-        ev = Event(time=time, priority=priority, seq=next(self._counter),
-                   callback=callback, args=args)
-        heapq.heappush(self._heap, ev)
+        """Schedule *callback(*args)* at *time*; returns a cancel handle."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        ev = Event(time, priority, seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, seq, ev, _CANCELLABLE))
         return EventHandle(ev)
 
+    def push_fast(self, time: float, callback: Callable[..., None],
+                  args: tuple = (), priority: int = 0) -> None:
+        """Fast path for the common never-cancelled event: no
+        :class:`Event` and no :class:`EventHandle` are allocated."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, callback, args))
+
     def pop(self) -> Optional[Event]:
-        """Pop the earliest non-cancelled event, or None if empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if not ev.cancelled:
-                return ev
+        """Pop the earliest non-cancelled event, or None if empty.
+
+        Fast entries are materialised into an :class:`Event` view (this is
+        the object-level API for ``Simulator.step`` and tests; bulk
+        execution goes through the raw heap in ``Simulator.run``).
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[4] is _CANCELLABLE:
+                ev = entry[3]
+                if not ev.cancelled:
+                    return ev
+            else:
+                return Event(entry[0], entry[1], entry[2],
+                             entry[3], entry[4])
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event (without removing it)."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][4] is _CANCELLABLE and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
         self._heap.clear()

@@ -62,6 +62,15 @@ class FailureDetectorBase:
         """Register ``callback(observer, suspect)``."""
         self._subscribers.append(callback)
 
+    def close(self) -> None:
+        """Stop observing failures (deregisters from the injector).
+
+        Membership changes replace the detector; the old one must not keep
+        scheduling suspicions (or keep itself alive through the injector's
+        listener list) for the new epoch."""
+        self.injector.unsubscribe(self._on_failure)
+        self._subscribers.clear()
+
     def has_suspected(self, observer: int, suspect: int) -> bool:
         return (observer, suspect) in self._suspected
 

@@ -54,6 +54,17 @@ class FailureInjector:
         """Register a callback invoked at the moment a server fails."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[FailureEvent], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent).
+
+        Long-lived injectors outlive individual nodes (membership changes
+        rebuild the node set), so nodes must deregister their liveness
+        listeners when they are replaced."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def is_failed(self, pid: int) -> bool:
         return pid in self._failed
 

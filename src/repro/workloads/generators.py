@@ -144,16 +144,22 @@ def _install_rate(cluster: SimCluster, pid: int, rate: float,
     """
     state = {"carry": 0.0}
 
+    sim = cluster.sim
+    per_tick = rate * period
+
     def inject() -> None:
-        if cluster.sim.now > duration:
+        now = sim.now
+        if now > duration:
             return
-        amount = rate * period + state["carry"]
+        amount = per_tick + state["carry"]
         whole = int(amount)
         state["carry"] = amount - whole
         if whole > 0:
+            # flattened node.submit_synthetic (injection ticks outnumber
+            # protocol messages at fine injection periods)
             node = cluster.nodes.get(pid)
-            if node is not None and node.alive:
-                node.submit_synthetic(whole, request_nbytes)
-        cluster.sim.schedule(period, inject)
+            if node is not None and node._alive and not node.server.failed:
+                node.server.queue.submit_synthetic(whole, request_nbytes)
+        sim.post(now + period, inject)
 
-    cluster.sim.schedule(period, inject)
+    sim.post(sim.now + period, inject)

@@ -1,0 +1,113 @@
+"""bench/perf.py: schema, plumbing and floor-check logic."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    PERF_BENCH_PATH,
+    SMOKE_TOLERANCE,
+    load_committed,
+    perf_point,
+    perf_sweep,
+    smoke,
+)
+
+ROW_KEYS = {
+    "n", "overlay", "degree", "transport", "workload", "pipeline_depth",
+    "data_plane", "coalesce", "rounds", "wall_s", "events",
+    "events_per_sec", "events_coalesced", "messages_sent", "sim_time_s",
+    "median_latency_s", "steady_request_rate", "peak_rss_kib", "repeats",
+}
+
+
+class TestPerfPoint:
+    def test_row_schema_and_sanity(self):
+        row = perf_point(8, depth=1, rounds=3)
+        assert ROW_KEYS <= set(row)
+        assert row["n"] == 8
+        assert row["overlay"].startswith("GS(8,")
+        assert row["events"] > 0
+        assert row["wall_s"] > 0
+        assert row["events_per_sec"] > 0
+        assert row["peak_rss_kib"] > 0
+        assert row["steady_request_rate"] > 0
+        assert row["data_plane"] == "bitmask"
+        assert row["coalesce"] is True
+
+    def test_legacy_configuration_runs(self):
+        row = perf_point(8, depth=1, rounds=3, data_plane="set",
+                         coalesce=False)
+        assert row["data_plane"] == "set"
+        assert row["coalesce"] is False
+        assert row["events_coalesced"] == 0
+
+    def test_coalescing_reduces_events(self):
+        fast = perf_point(8, depth=1, rounds=4)
+        slow = perf_point(8, depth=1, rounds=4, data_plane="set",
+                          coalesce=False)
+        assert fast["events_coalesced"] > 0
+        assert fast["events"] < slow["events"]
+        # both configurations agree on the protocol outcome up to the
+        # documented coalescing refinement of receive-slot contention
+        assert fast["steady_request_rate"] == \
+            pytest.approx(slow["steady_request_rate"], rel=0.05)
+        assert fast["median_latency_s"] > 0
+
+    def test_pipeline_depth_recorded(self):
+        row = perf_point(8, depth=2, rounds=4)
+        assert row["pipeline_depth"] == 2
+
+    def test_run_allconcur_data_plane_plumbing(self):
+        """harness.run_allconcur exposes the same data-plane switches; the
+        two planes agree on the protocol outcome."""
+        from repro.bench.harness import run_allconcur
+
+        fast = run_allconcur(8, rounds=4, batch_requests=16,
+                             skip_rounds=1, seed=3)
+        slow = run_allconcur(8, rounds=4, batch_requests=16,
+                             skip_rounds=1, seed=3,
+                             data_plane="set", coalesce=False)
+        assert fast.rounds == slow.rounds
+        # coalescing coarsens receive contention (documented in
+        # sim/network.py), shifting timing metrics by up to ~10%
+        assert fast.steady_request_rate == \
+            pytest.approx(slow.steady_request_rate, rel=0.10)
+
+
+class TestSweepAndSmoke:
+    def test_mini_sweep_payload(self, tmp_path):
+        path = str(tmp_path / "BENCH_perf.json")
+        payload = perf_sweep(sizes=(8,), depths=(1,), path=path,
+                             baseline_sizes=(8,),
+                             reference={"depth1": {"pre_pr_wall_s": 1.0}})
+        assert payload["sizes"] == [8]
+        assert {r["data_plane"] for r in payload["rows"]} == \
+            {"bitmask", "set"}
+        assert "floors" in payload
+        assert payload["floors"]["smoke_gs8_events_per_sec"] > 0
+        with open(path) as fh:
+            assert json.load(fh) == payload
+
+    def test_committed_trajectory_has_speedup_claim(self):
+        committed = load_committed(PERF_BENCH_PATH)
+        assert committed is not None, "BENCH_perf.json must be committed"
+        sizes = {row["n"] for row in committed["rows"]}
+        # the scale sweep reaches beyond the figure modules' size limit
+        assert {16, 32, 64, 128, 256} <= sizes
+        anchor = committed["summary"]["GS(16,4)/fig8/depth1"]
+        assert anchor["speedup_vs_pre_pr"] >= 5.0
+        assert committed["floors"]["smoke_gs8_events_per_sec"] > 0
+
+    def test_smoke_against_committed_floor(self):
+        result = smoke(cap_wall_s=5.0)
+        assert result["events"] > 0
+        assert result["floor"] is not None
+        assert result["ok"], (
+            f"events/sec {result['events_per_sec']:,.0f} fell more than "
+            f"{SMOKE_TOLERANCE:.0%} below floor {result['floor']}")
+
+    def test_smoke_fails_without_committed_file(self, tmp_path):
+        result = smoke(cap_wall_s=0.5, path=str(tmp_path / "missing.json"))
+        assert result["floor"] is None
+        assert result["ok"] is False

@@ -200,3 +200,23 @@ class TestMembershipReconfiguration:
         cluster.server(0).submit_synthetic(7, 64)
         cluster.reconfigure(add=())
         assert cluster.server(0).queue.pending_requests == 7
+
+
+class TestReconfigureResourceHygiene:
+    def test_reconfigure_does_not_leak_injector_listeners(self):
+        from repro.core import AllConcurConfig, SimCluster
+        from repro.graphs import gs_digraph
+
+        g = gs_digraph(8, 3)
+        cluster = SimCluster(g, config=AllConcurConfig(graph=g))
+        cluster.start_all()
+        cluster.run_until_round(0)
+        baseline = len(cluster.injector._listeners)
+        for _ in range(3):
+            cluster.reconfigure()
+            cluster.start_all()
+            cluster.run_until_round(0)
+        # old node generations deregistered; only the fresh node set (and
+        # the cluster/detector listeners) remain subscribed
+        assert len(cluster.injector._listeners) <= baseline
+        assert cluster.verify_agreement()

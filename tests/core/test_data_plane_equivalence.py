@@ -1,0 +1,157 @@
+"""Differential tests: the bitmask data plane is behaviourally identical to
+the legacy set plane.
+
+Two oracles:
+
+* **operation level** — the same randomized sequence of tracker operations
+  (failure notifications, message receipts) drives a legacy
+  :class:`~repro.core.tracking.MessageTracker` and a
+  :class:`~repro.core.tracking.BitmaskMessageTracker`; after every single
+  operation the full digraph snapshots must coincide;
+* **system level** — the same randomized failure script (silent crashes,
+  §2.3-style partial sends, timed crashes) runs through two complete
+  packet-level clusters that differ only in ``AllConcurConfig.data_plane``;
+  the A-delivery sequences (rounds, ordered message sets, removal sets),
+  the surviving trackers and the failure knowledge must be identical at
+  every alive server.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AllConcurConfig,
+    BitmaskMessageTracker,
+    ClusterOptions,
+    MembershipIndex,
+    MessageTracker,
+    SimCluster,
+)
+from repro.graphs import gs_digraph
+from repro.sim import IBV_PARAMS
+
+N = 8
+DEGREE = 3
+GRAPH = gs_digraph(N, DEGREE)
+
+
+# --------------------------------------------------------------------- #
+# Operation-level differential
+# --------------------------------------------------------------------- #
+@st.composite
+def tracker_ops(draw):
+    """A random interleaving of message receipts and failure notices."""
+    count = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(["recv", "fail"]))
+        if kind == "recv":
+            ops.append(("recv", draw(st.integers(0, N - 1)), 0))
+        else:
+            failed = draw(st.integers(0, N - 1))
+            reporters = GRAPH.successors(failed)
+            reporter = draw(st.sampled_from(list(reporters)))
+            ops.append(("fail", failed, reporter))
+    return ops
+
+
+class TestTrackerOpEquivalence:
+    @given(tracker_ops(), st.integers(0, N - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_same_state_after_every_op(self, ops, owner):
+        legacy = MessageTracker(owner, range(N), GRAPH.successors)
+        bitmask = BitmaskMessageTracker(owner, range(N),
+                                        MembershipIndex.for_graph(GRAPH))
+        assert dict(legacy.snapshot()) == dict(bitmask.snapshot())
+        for kind, a, b in ops:
+            if kind == "recv":
+                legacy.message_received(a)
+                bitmask.message_received(a)
+            else:
+                assert legacy.add_failure(a, b) == bitmask.add_failure(a, b)
+            assert dict(legacy.snapshot()) == dict(bitmask.snapshot())
+            assert legacy.all_done() == bitmask.all_done()
+            assert legacy.pending_targets() == bitmask.pending_targets()
+            assert legacy.failure_pairs == bitmask.failure_pairs
+            assert legacy.failed_servers == bitmask.failed_servers
+            assert legacy.storage_size() == bitmask.storage_size()
+
+    @given(st.integers(0, N - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_round_successors_match(self, p):
+        legacy = MessageTracker(0, range(N), GRAPH.successors)
+        bitmask = BitmaskMessageTracker(0, range(N),
+                                        MembershipIndex.for_graph(GRAPH))
+        assert legacy.round_successors(p) == bitmask.round_successors(p)
+
+
+# --------------------------------------------------------------------- #
+# System-level differential
+# --------------------------------------------------------------------- #
+@st.composite
+def failure_scenarios(draw):
+    """Up to k-1 failures, each either silent, partial-send or time-based."""
+    count = draw(st.integers(min_value=0, max_value=DEGREE - 1))
+    victims = draw(st.lists(st.integers(0, N - 1), min_size=count,
+                            max_size=count, unique=True))
+    modes = draw(st.lists(st.sampled_from(["silent", "partial", "timed"]),
+                          min_size=count, max_size=count))
+    budgets = draw(st.lists(st.integers(0, 6), min_size=count,
+                            max_size=count))
+    times = draw(st.lists(st.floats(1e-6, 2e-4), min_size=count,
+                          max_size=count))
+    seed = draw(st.integers(0, 2 ** 16))
+    depth = draw(st.sampled_from([1, 2, 3]))
+    return list(zip(victims, modes, budgets, times)), seed, depth
+
+
+def run_plane(data_plane, scenario, seed, depth):
+    cluster = SimCluster(
+        GRAPH,
+        config=AllConcurConfig(graph=GRAPH, auto_advance=False,
+                               pipeline_depth=depth, data_plane=data_plane),
+        options=ClusterOptions(params=IBV_PARAMS, seed=seed,
+                               detection_delay=20e-6))
+    for victim, mode, budget, at in scenario:
+        if mode == "silent":
+            cluster.fail_server(victim)
+        elif mode == "partial":
+            cluster.fail_after_sends(victim, budget)
+        else:
+            cluster.fail_server(victim, at=at)
+    for pid in cluster.members:
+        cluster.server(pid).submit_synthetic(1, 64)
+    cluster.start_all()
+    cluster.run(max_events=5_000_000)
+    return cluster
+
+
+class TestClusterEquivalence:
+    @given(failure_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_identical_deliveries_and_tracker_state(self, scenario_seed):
+        scenario, seed, depth = scenario_seed
+        a = run_plane("bitmask", scenario, seed, depth)
+        b = run_plane("set", scenario, seed, depth)
+        assert a.alive_members == b.alive_members
+        for pid in a.alive_members:
+            sa, sb = a.server(pid), b.server(pid)
+            # identical A-delivery sequences: rounds, ordered message
+            # sets and removal sets
+            ha = [(o.round, o.messages, o.removed) for o in sa.history]
+            hb = [(o.round, o.messages, o.removed) for o in sb.history]
+            assert ha == hb
+            # identical frontier-round tracker state and failure knowledge
+            assert dict(sa.tracker.snapshot()) == dict(sb.tracker.snapshot())
+            assert sa.failure_pairs == sb.failure_pairs
+            assert sa.known_messages == sb.known_messages
+            assert sa.round == sb.round
+            assert sa.members == sb.members
+
+    @given(failure_scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_bitmask_plane_is_the_default(self, scenario_seed):
+        scenario, seed, depth = scenario_seed
+        cluster = run_plane("bitmask", scenario, seed, depth)
+        for pid in cluster.alive_members:
+            assert isinstance(cluster.server(pid).tracker,
+                              BitmaskMessageTracker)

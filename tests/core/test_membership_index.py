@@ -1,0 +1,63 @@
+"""MembershipIndex and bitmask helper tests."""
+
+import pytest
+
+from repro.core import MembershipIndex, bits_tuple, iter_bits, mask_of
+from repro.graphs import binomial_graph, complete_digraph, gs_digraph
+
+
+class TestMaskHelpers:
+    def test_mask_of_roundtrip(self):
+        ids = (0, 3, 7, 12)
+        assert bits_tuple(mask_of(ids)) == ids
+
+    def test_mask_of_empty(self):
+        assert mask_of(()) == 0
+        assert bits_tuple(0) == ()
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b101101)) == [0, 2, 3, 5]
+
+    def test_iter_bits_large_positions(self):
+        mask = (1 << 200) | (1 << 3)
+        assert list(iter_bits(mask)) == [3, 200]
+
+    def test_popcount_matches(self):
+        mask = mask_of(range(0, 50, 3))
+        assert mask.bit_count() == len(range(0, 50, 3))
+
+
+class TestMembershipIndex:
+    def test_succ_and_pred_masks_match_graph(self):
+        g = gs_digraph(16, 4)
+        idx = MembershipIndex.for_graph(g)
+        for v in g.vertices():
+            assert bits_tuple(idx.succ_mask[v]) == g.successors(v)
+            assert bits_tuple(idx.pred_mask[v]) == g.predecessors(v)
+
+    def test_all_mask(self):
+        g = binomial_graph(9)
+        idx = MembershipIndex.for_graph(g)
+        assert idx.all_mask == (1 << 9) - 1
+        assert bits_tuple(idx.all_mask) == tuple(range(9))
+
+    def test_cache_shares_instances(self):
+        g = gs_digraph(8, 3)
+        assert MembershipIndex.for_graph(g) is MembershipIndex.for_graph(g)
+
+    def test_membership_restriction(self):
+        g = complete_digraph(6)
+        idx = MembershipIndex.for_graph(g)
+        members = mask_of((0, 1, 2, 3))
+        assert idx.successors_in(1, members) == (0, 2, 3)
+        assert idx.predecessors_in(0, members) == (1, 2, 3)
+
+    def test_restriction_matches_set_filter(self):
+        g = gs_digraph(22, 4)
+        idx = MembershipIndex.for_graph(g)
+        members = (0, 2, 5, 7, 9, 13, 17, 21)
+        mmask = mask_of(members)
+        alive = set(members)
+        for v in g.vertices():
+            expected = tuple(s for s in g.successors(v) if s in alive)
+            assert idx.successors_in(v, mmask) == expected

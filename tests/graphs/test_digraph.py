@@ -184,3 +184,23 @@ class TestMatrixAndTraversal:
 
     def test_single_vertex_is_strongly_connected(self):
         assert Digraph(1).is_strongly_connected()
+
+
+class TestAdjacencyMasks:
+    def test_masks_match_adjacency(self):
+        from repro.graphs import gs_digraph
+
+        g = gs_digraph(16, 4)
+        succ, pred = g.adjacency_masks()
+        for v in g.vertices():
+            assert succ[v] == sum(1 << s for s in g.successors(v))
+            assert pred[v] == sum(1 << p for p in g.predecessors(v))
+
+    def test_masks_transpose_consistent(self):
+        from repro.graphs import binomial_graph
+
+        g = binomial_graph(9)
+        succ, pred = g.adjacency_masks()
+        for u, v in g.edges():
+            assert succ[u] >> v & 1
+            assert pred[v] >> u & 1

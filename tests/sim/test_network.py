@@ -15,9 +15,9 @@ from repro.sim import (
 )
 
 
-def make_net(params=TCP_PARAMS, jitter=None):
+def make_net(params=TCP_PARAMS, jitter=None, coalesce=True):
     sim = Simulator(seed=1)
-    net = Network(sim, params, jitter=jitter)
+    net = Network(sim, params, jitter=jitter, coalesce=coalesce)
     inbox = {}
 
     def attach(pid):
@@ -153,6 +153,126 @@ class TestDelivery:
         assert net.stats.bytes_sent == 20
         assert net.stats.per_process_sent[0] == 2
         assert net.stats.per_process_received[1] == 1
+
+
+class TestCoalescing:
+    """Per-edge event coalescing: same-edge sends share one arrival event
+    while their batch is in flight, with per-logical-message accounting."""
+
+    def test_same_edge_burst_coalesces(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        for i in range(4):
+            net.send(0, 1, f"m{i}")
+        sim.run_until_idle()
+        assert inbox[1] == [(0, f"m{i}") for i in range(4)]
+        assert net.stats.events_coalesced == 3
+        # one arrival event + one receive-completion per message
+        assert sim.events_processed == 1 + 4
+
+    def test_uncoalesced_network_schedules_per_message(self):
+        sim, net, inbox, attach = make_net(coalesce=False)
+        attach(0)
+        attach(1)
+        for i in range(4):
+            net.send(0, 1, f"m{i}")
+        sim.run_until_idle()
+        assert inbox[1] == [(0, f"m{i}") for i in range(4)]
+        assert net.stats.events_coalesced == 0
+        assert sim.events_processed == 4 + 4
+
+    def test_coalesced_timing_matches_uncoalesced(self):
+        """Single-sender timing is exactly the per-message LogP model:
+        sends serialise at o per copy, the last copy completes at
+        k*o + L + o."""
+        results = {}
+        for coalesce in (False, True):
+            sim, net, inbox, attach = make_net(coalesce=coalesce)
+            attach(0)
+            attach(1)
+            for i in range(3):
+                net.send(0, 1, i)
+            sim.run_until_idle()
+            results[coalesce] = (sim.now, inbox[1])
+        assert results[True] == results[False]
+        expected = 3 * TCP_PARAMS.o + TCP_PARAMS.L + TCP_PARAMS.o
+        assert results[True][0] == pytest.approx(expected)
+
+    def test_messages_and_bytes_counted_per_logical_message(self):
+        sim, net, _inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        for _ in range(5):
+            net.send(0, 1, "m", nbytes=10)
+        sim.run_until_idle()
+        assert net.stats.messages_sent == 5
+        assert net.stats.bytes_sent == 50
+        assert net.stats.messages_delivered == 5
+        assert net.stats.per_process_sent[0] == 5
+        assert net.stats.per_process_received[1] == 5
+        assert net.stats.events_coalesced == 4
+
+    def test_batches_are_per_edge(self):
+        sim, net, inbox, attach = make_net()
+        for pid in range(3):
+            attach(pid)
+        net.send(0, 1, "a")
+        net.send(0, 2, "b")
+        sim.run_until_idle()
+        assert net.stats.events_coalesced == 0
+        assert inbox[1] == [(0, "a")]
+        assert inbox[2] == [(0, "b")]
+
+    def test_send_after_batch_fired_starts_new_batch(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        net.send(0, 1, "first")
+        sim.run_until_idle()
+        net.send(0, 1, "second")
+        sim.run_until_idle()
+        assert inbox[1] == [(0, "first"), (0, "second")]
+        assert net.stats.events_coalesced == 0
+
+    def test_jittered_wire_disables_coalescing(self):
+        sim, net, inbox, attach = make_net(jitter=ExponentialJitter(5e-6))
+        attach(0)
+        attach(1)
+        assert net.coalesce is False
+        for i in range(3):
+            net.send(0, 1, i)
+        sim.run_until_idle()
+        # jitter may reorder arrivals; all three copies are delivered
+        assert sorted(m for _s, m in inbox[1]) == [0, 1, 2]
+        assert net.stats.events_coalesced == 0
+
+    def test_receiver_failing_mid_batch_drops_whole_batch(self):
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        for i in range(3):
+            net.send(0, 1, i)
+        net.mark_failed(1)
+        sim.run_until_idle()
+        assert inbox[1] == []
+        assert net.stats.messages_dropped == 3
+
+    def test_receiver_failing_mid_flight_drops_unreceived_copies(self):
+        """Fail-stop: copies whose receive had not completed when the
+        destination failed are dropped, not delivered."""
+        sim, net, inbox, attach = make_net()
+        attach(0)
+        attach(1)
+        for i in range(4):
+            net.send(0, 1, i)
+        # first copy completes at o + L + o; fail just after that
+        fail_at = TCP_PARAMS.o + TCP_PARAMS.L + TCP_PARAMS.o + 1e-9
+        sim.schedule_at(fail_at, net.mark_failed, 1, priority=-1)
+        sim.run_until_idle()
+        assert [m for _s, m in inbox[1]] == [0]
+        assert net.stats.messages_delivered == 1
+        assert net.stats.messages_dropped == 3
 
 
 class TestJitter:
