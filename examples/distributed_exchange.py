@@ -12,6 +12,13 @@ global stream of 40-byte orders, the totally ordered stream drives a toy
 limit-order book, and — because every server applies the same deterministic
 order — all books end up identical.
 
+It drives the simulator directly through :class:`repro.core.SimCluster`
+for fine-grained control over the injected workload; see
+``examples/travel_reservation.py`` and ``examples/quickstart.py`` for the
+transport-agnostic :mod:`repro.api` facade that runs one scenario on both
+the simulator and the TCP runtime (this order book would slot straight
+into :class:`repro.api.ReplicatedStateMachine`).
+
 Run::
 
     python examples/distributed_exchange.py

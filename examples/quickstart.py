@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: agree on a handful of requests with AllConcur.
+"""Quickstart: agree on a handful of requests through the unified API.
 
-This example exercises the two ways of running the protocol:
+One scenario function, written against the transport-agnostic
+:class:`repro.api.Deployment` facade, runs on both backends:
 
-1. the **discrete-event simulator** (the substrate behind every benchmark) —
-   instant, deterministic, LogP-parameterised;
-2. the **asyncio/TCP runtime** — the same protocol core over real sockets on
-   localhost.
+1. the **discrete-event simulator** (``SimDeployment`` — the substrate
+   behind every benchmark): instant, deterministic, LogP-parameterised;
+2. the **asyncio/TCP runtime** (``TcpDeployment``): the same protocol core
+   over real sockets on localhost, driven by its own event loop behind the
+   same blocking calls.
+
+``deployment.submit`` returns a :class:`~repro.api.RequestHandle` that
+resolves when the request's round is A-delivered at its origin server —
+the end-to-end request lifecycle an application actually observes.
 
 Run it with::
 
@@ -15,66 +21,42 @@ Run it with::
 
 from __future__ import annotations
 
-import asyncio
-
-from repro.core import AllConcurConfig, Batch, ClusterOptions, Request, SimCluster
+from repro.api import Deployment, create_deployment
 from repro.graphs import gs_digraph
-from repro.runtime import LocalCluster
-from repro.sim import TCP_PARAMS
 
 
-def simulated_quickstart() -> None:
-    """Eight servers, GS(8,3) overlay, one round of agreement (simulated)."""
-    print("=== simulated deployment (8 servers, GS(8,3), TCP LogP) ===")
-    graph = gs_digraph(8, 3)
-    cluster = SimCluster(
-        graph,
-        config=AllConcurConfig(graph=graph, auto_advance=False),
-        options=ClusterOptions(params=TCP_PARAMS),
-    )
-
+def scenario(deployment: Deployment) -> None:
+    """Eight servers, GS(8,3) overlay, one round of agreement."""
     # Two servers have something to say; the other six A-broadcast empty
     # messages (the "empty message" rule that makes early termination work).
-    for origin, text in ((0, "reserve seat 12A"), (5, "reserve seat 30C")):
-        cluster.server(origin).submit(
-            Request(origin=origin, seq=0, nbytes=64, data=text))
+    h1 = deployment.submit("reserve seat 12A", at=0, nbytes=64)
+    h2 = deployment.submit("reserve seat 30C", at=5, nbytes=64)
 
-    cluster.start_all()
-    cluster.run_until_round(0)
+    events = deployment.run_rounds(1)
 
-    assert cluster.verify_agreement(), "all servers must deliver the same set"
-    outcome = cluster.server(0).history[0]
-    print(f"round 0 delivered {len(outcome.messages)} messages "
-          f"(origins {outcome.origins}) after "
-          f"{cluster.sim.now * 1e6:.1f} simulated microseconds")
-    for origin, batch in outcome.messages:
-        for req in batch.requests:
-            print(f"  server {origin}: {req.data!r}")
-    print()
-
-
-async def runtime_quickstart() -> None:
-    """Six servers over real localhost TCP sockets."""
-    print("=== asyncio/TCP deployment (6 servers, GS(6,3), localhost) ===")
-    graph = gs_digraph(6, 3)
-    async with LocalCluster(graph, enable_failure_detector=False) as cluster:
-        await cluster.submit(0, "transfer 10 credits to bob", nbytes=40)
-        await cluster.submit(4, "transfer 3 credits to alice", nbytes=40)
-        rounds = await cluster.run_rounds(1)
-        assert cluster.agreement_holds()
-        delivered = rounds[0][0]
-        print(f"round 0 delivered at every server; origins: "
-              f"{[o for o, _ in delivered.messages]}")
-        for origin, batch in delivered.messages:
-            for req in batch.requests:
-                print(f"  server {origin}: {req.data!r}")
+    assert deployment.check_agreement(), "all servers deliver the same set"
+    assert h1.done and h2.done, "both requests are acked"
+    event = events[0]
+    print(f"round {event.round} delivered {len(event.messages)} messages "
+          f"(origins {event.origins})")
+    print(f"request acks: {h1.key} -> round {h1.round}, "
+          f"{h2.key} -> round {h2.round}")
+    for request in event.requests():
+        print(f"  server {request.origin}: {request.data!r}")
     print()
 
 
 def main() -> None:
-    simulated_quickstart()
-    asyncio.run(runtime_quickstart())
-    print("quickstart finished — both deployments reached agreement.")
+    graph = gs_digraph(8, 3)
+    for backend in ("sim", "tcp"):
+        label = ("simulated deployment (8 servers, GS(8,3), TCP LogP)"
+                 if backend == "sim"
+                 else "asyncio/TCP deployment (8 servers, GS(8,3), localhost)")
+        print(f"=== {label} ===")
+        with create_deployment(backend, graph) as deployment:
+            scenario(deployment)
+    print("quickstart finished — both deployments reached agreement "
+          "through one API.")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,11 @@ possible whereabouts of ``m0`` and ``m1`` via its tracking digraphs
 can prove that no non-faulty server holds ``m0`` and safely terminate the
 round without it.
 
+This walkthrough works at the protocol layer (:class:`repro.core.
+MessageTracker`) below every deployment; the application-facing entry
+points are the :mod:`repro.api` facade (``examples/quickstart.py``) and
+the scenario examples built on it.
+
 Run::
 
     python examples/tracking_walkthrough.py

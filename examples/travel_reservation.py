@@ -1,91 +1,113 @@
 #!/usr/bin/env python3
-"""Travel reservation scenario (§1.1, Figure 8) — reads scale out, writes
-stay strongly consistent.
+"""Travel reservation scenario (§1.1, Figure 8) on the unified API — reads
+scale out, writes stay strongly consistent, and the *same scenario code*
+runs on the simulator and over real TCP sockets.
 
 Reservation systems serve many queries per update (clients browse many
 flights before booking).  AllConcur distributes the queries over all servers
-— each server holds the full agreed state — while bookings (updates) are
-atomically broadcast, so no two clients can buy the last seat of the same
-flight, and a locally answered query is never more than one round stale.
+— each server holds a full replica of the agreed state — while bookings
+(updates) are atomically broadcast, so no two clients can buy the last seat
+of the same flight.
 
-The example runs a fleet of servers that process interleaved queries
-(answered locally, never broadcast) and bookings (atomically broadcast);
-at the end, every server holds exactly the same seat map and no seat was
-double-sold even though conflicting bookings entered at different servers.
+This example is written once against :class:`repro.api.Deployment`:
+
+* a ``ReservationDesk`` state machine (book a seat if any is left) replayed
+  by :class:`~repro.api.ReplicatedStateMachine` into one replica per server;
+* conflicting bookings entered at *different* servers via
+  ``deployment.submit`` — each returns a :class:`~repro.api.RequestHandle`
+  that acks when the booking's round is A-delivered;
+* the identical end state is asserted across every replica *and across both
+  backends*.
 
 Run::
 
-    python examples/travel_reservation.py
+    python examples/travel_reservation.py           # both backends
+    python examples/travel_reservation.py sim       # simulator only
+    python examples/travel_reservation.py tcp       # TCP runtime only
 """
 
 from __future__ import annotations
 
-from repro.core import AllConcurConfig, ClusterOptions, Request, SimCluster
+import sys
+
+from repro.api import Deployment, ReplicatedStateMachine, create_deployment
 from repro.graphs import gs_digraph
-from repro.sim import TCP_PARAMS
 
 FLIGHTS = {"LH100": 3, "UA42": 2, "AF7": 1}   # flight -> seats available
 
+#: conflicting bookings arriving at different servers: five clients race
+#: for AF7, which has a single seat
+BOOKINGS = [
+    (0, "LH100"), (1, "AF7"), (2, "AF7"), (3, "UA42"), (4, "AF7"),
+    (5, "LH100"), (6, "AF7"), (7, "UA42"), (0, "AF7"), (2, "LH100"),
+]
 
-def apply_booking(state: dict[str, int], flight: str) -> bool:
+
+class ReservationDesk:
     """Deterministic state machine: book one seat if any is left."""
-    if state.get(flight, 0) > 0:
-        state[flight] -= 1
-        return True
-    return False
+
+    def __init__(self) -> None:
+        self.seats = dict(FLIGHTS)
+        self.accepted: list[tuple[int, int, str]] = []
+
+    def apply(self, round_no: int, origin: int, request) -> bool:
+        flight = request.data
+        if self.seats.get(flight, 0) > 0:
+            self.seats[flight] -= 1
+            self.accepted.append((request.origin, request.seq, flight))
+            return True
+        return False
+
+    def snapshot(self) -> tuple:
+        return (tuple(sorted(self.seats.items())), tuple(self.accepted))
 
 
-def main(n: int = 8) -> None:
-    print(f"=== travel reservation across {n} servers ===")
-    graph = gs_digraph(n, 3)
-    cluster = SimCluster(
-        graph,
-        config=AllConcurConfig(graph=graph, auto_advance=False),
-        options=ClusterOptions(params=TCP_PARAMS),
-    )
+def scenario(deployment: Deployment) -> tuple:
+    """The backend-agnostic scenario: runs unmodified on sim and TCP."""
+    desks = ReplicatedStateMachine(deployment, ReservationDesk)
 
-    # Conflicting bookings arrive at *different* servers: five clients try to
-    # book AF7, which has a single seat.
-    bookings = [
-        (0, "LH100"), (1, "AF7"), (2, "AF7"), (3, "UA42"), (4, "AF7"),
-        (5, "LH100"), (6, "AF7"), (7, "UA42"), (0, "AF7"), (2, "LH100"),
-    ]
-    seq = {pid: 0 for pid in cluster.members}
-    for pid, flight in bookings:
-        cluster.server(pid).submit(Request(origin=pid, seq=seq[pid],
-                                           nbytes=64, data=flight))
-        seq[pid] += 1
+    handles = [deployment.submit(flight, at=pid) for pid, flight in BOOKINGS]
 
-    # Queries are answered locally from each server's replica of the state —
-    # they never enter the broadcast (that is the whole point of the design).
-    queries_answered = n * 1000
+    # Queries are answered locally from each server's replica — they never
+    # enter the broadcast (that is the whole point of the design).
+    queries_answered = deployment.n * 1000
 
-    cluster.start_all()
-    cluster.run_until_round(0)
-    assert cluster.verify_agreement()
+    deployment.run_rounds(1)
 
-    # Replay the agreed, deterministically ordered bookings everywhere.
-    states = {}
-    accepted = {}
-    for pid in cluster.members:
-        state = dict(FLIGHTS)
-        ok = []
-        for _origin, batch in cluster.server(pid).history[0].messages:
-            for req in batch.requests:
-                if apply_booking(state, req.data):
-                    ok.append((req.origin, req.seq, req.data))
-        states[pid] = state
-        accepted[pid] = ok
+    assert deployment.check_agreement(), "Lemma 3.5 must hold"
+    assert all(h.done for h in handles), "every booking must be acked"
+    assert {h.round for h in handles} == {0}
+    snapshot = desks.assert_convergence()   # identical on every replica
 
-    identical = len({tuple(sorted(s.items())) for s in states.values()}) == 1
-    sold_af7 = FLIGHTS["AF7"] - states[cluster.members[0]]["AF7"]
-    print(f"seat maps identical on all servers: {identical}")
-    print(f"AF7 had 1 seat, {sold_af7} booking accepted "
+    seats, accepted = dict(snapshot[0]), snapshot[1]
+    sold_af7 = FLIGHTS["AF7"] - seats["AF7"]
+    accepted_flags = desks.results()
+    print(f"  bookings acked (origin, seq, round): "
+          f"{[(h.origin, h.seq, h.round) for h in handles[:3]]} ...")
+    print(f"  seat maps identical on all {deployment.n} replicas: True")
+    print(f"  AF7 had 1 seat, {sold_af7} booking accepted "
           f"(the other AF7 attempts were rejected deterministically)")
-    print(f"accepted bookings: {accepted[cluster.members[0]]}")
-    print(f"queries answered locally (no broadcast): {queries_answered}")
-    print(f"agreement latency: {cluster.trace.agreement_latency(0) * 1e6:.1f} us")
+    print(f"  accepted bookings: {list(accepted)}")
+    print(f"  rejected bookings: {accepted_flags.count(False)}")
+    print(f"  queries answered locally (no broadcast): {queries_answered}")
+    return snapshot
+
+
+def main(backends: list[str], n: int = 8) -> None:
+    graph = gs_digraph(n, 3)
+    end_states = {}
+    for backend in backends:
+        print(f"=== travel reservation across {n} servers "
+              f"[{backend} backend] ===")
+        with create_deployment(backend, graph) as deployment:
+            end_states[backend] = scenario(deployment)
+        print()
+    if len(end_states) > 1:
+        states = list(end_states.values())
+        assert all(s == states[0] for s in states[1:]), end_states
+        print(f"end states identical across backends "
+              f"({', '.join(end_states)}): True")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:] or ["sim", "tcp"])

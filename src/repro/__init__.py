@@ -25,6 +25,10 @@ Subpackages
     Experiment harness regenerating every table and figure of §5.
 ``repro.runtime``
     A real asyncio/TCP deployment of the same protocol core.
+``repro.api``
+    The unified deployment API: a transport-agnostic facade (simulator or
+    TCP behind one vocabulary), request futures and replicated state
+    machines.
 
 The subpackages are imported lazily on attribute access to keep
 ``import repro`` cheap.
@@ -37,6 +41,7 @@ __version__ = "1.0.0"
 
 _SUBPACKAGES = (
     "analysis",
+    "api",
     "baselines",
     "bench",
     "core",

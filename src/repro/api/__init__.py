@@ -1,0 +1,81 @@
+"""Unified deployment API: one transport-agnostic application surface.
+
+This package is the seam between AllConcur-as-a-protocol and
+AllConcur-as-a-service.  Applications speak one vocabulary —
+``submit(data, at=pid) -> RequestHandle``, ``run_rounds(k)``,
+``deliveries()`` / ``on_deliver``, ``fail`` / ``join``,
+``check_agreement()`` — and pick a transport by choosing (or being handed)
+a backend:
+
+* :class:`SimDeployment` — the packet-level discrete-event simulator
+  (virtual time, deterministic, supports ``join``);
+* :class:`TcpDeployment` — the asyncio/TCP runtime on localhost sockets
+  (owns its event loop; handles also expose awaitable futures).
+
+On top sits the replicated-state-machine layer (:class:`StateMachine`,
+:class:`ReplicatedStateMachine`, :class:`ReplicatedKVStore`): per-node
+replicas fed by the agreed delivery order, with convergence assertions.
+
+>>> from repro.api import create_deployment, ReplicatedStateMachine
+>>> from repro.graphs import gs_digraph
+>>> graph = gs_digraph(6, 3)
+>>> for backend in ("sim", "tcp"):
+...     with create_deployment(backend, graph) as dep:
+...         handle = dep.submit(("set", "k", 1), at=0)
+...         dep.run_rounds(1)
+...         assert handle.done and dep.check_agreement()
+"""
+
+from __future__ import annotations
+
+from ..graphs.digraph import Digraph
+from .deployment import (
+    DeliveryEvent,
+    Deployment,
+    RequestCancelled,
+    RequestHandle,
+    UnsupportedOperation,
+)
+from .sim_backend import SimDeployment
+from .state_machine import (
+    ReplicatedKVStore,
+    ReplicatedStateMachine,
+    StateMachine,
+)
+from .tcp_backend import TcpDeployment
+
+__all__ = [
+    "Deployment",
+    "DeliveryEvent",
+    "RequestHandle",
+    "RequestCancelled",
+    "UnsupportedOperation",
+    "SimDeployment",
+    "TcpDeployment",
+    "StateMachine",
+    "ReplicatedStateMachine",
+    "ReplicatedKVStore",
+    "create_deployment",
+    "BACKENDS",
+]
+
+#: registry of backend constructors, keyed by their ``name``
+BACKENDS = {
+    SimDeployment.name: SimDeployment,
+    TcpDeployment.name: TcpDeployment,
+}
+
+
+def create_deployment(backend: str, graph: Digraph,
+                      **kwargs) -> Deployment:
+    """Instantiate a deployment by backend name (``"sim"`` or ``"tcp"``).
+
+    Keyword arguments are forwarded to the backend constructor; scenario
+    scripts use this to stay backend-agnostic end to end.
+    """
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"available: {sorted(BACKENDS)}") from None
+    return cls(graph, **kwargs)

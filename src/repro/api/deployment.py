@@ -1,0 +1,415 @@
+"""Transport-agnostic deployment facade — one vocabulary for every backend.
+
+Historically this repository exposed two divergent driver APIs: the
+simulator's :class:`~repro.core.cluster.SimCluster` (synchronous:
+``server(pid).submit`` / ``start_all`` / ``run_until_round`` /
+``verify_agreement``) and the TCP runtime's
+:class:`~repro.runtime.cluster.LocalCluster` (asyncio: ``cluster.submit`` /
+``run_rounds`` / ``agreement_holds``).  Every example and test was welded to
+one backend, and neither could answer the question an application actually
+asks: *when was my request A-delivered?*
+
+:class:`Deployment` is the single application-facing surface:
+
+``submit(data, at=pid) -> RequestHandle``
+    Enter a request at a server; the handle resolves when the round
+    carrying the request is A-delivered at its origin server.
+``run_rounds(k)``
+    Drive *k* agreement rounds to completion (blocking on every backend —
+    the TCP adapter owns its event loop).
+``deliveries()`` / ``on_deliver(cb)``
+    The totally ordered stream of :class:`DeliveryEvent` records.
+``fail(pid)`` / ``join(pid)``
+    Membership operations (``join`` only where the transport supports it —
+    see :meth:`Deployment.capabilities`).
+``check_agreement()``
+    The Lemma 3.5 cross-replica check.
+
+Backends are adapters over the existing clusters:
+:class:`~repro.api.sim_backend.SimDeployment` (discrete-event simulator) and
+:class:`~repro.api.tcp_backend.TcpDeployment` (asyncio/TCP runtime).  One
+scenario script written against :class:`Deployment` runs unmodified on
+either — see ``examples/travel_reservation.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from ..core.batching import Batch, Request
+from ..runtime.framing import canonical_payload
+
+__all__ = [
+    "DeliveryEvent",
+    "RequestHandle",
+    "RequestCancelled",
+    "UnsupportedOperation",
+    "Deployment",
+]
+
+
+class UnsupportedOperation(RuntimeError):
+    """The backend's transport cannot perform the requested operation
+    (e.g. ``join`` on the TCP runtime, which has no reconfiguration
+    protocol yet).  :meth:`Deployment.capabilities` lists what works."""
+
+
+class RequestCancelled(RuntimeError):
+    """The request's origin server failed before its round was
+    A-delivered at the origin; the request may or may not have been agreed
+    elsewhere (check :meth:`Deployment.deliveries`)."""
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """One A-delivered round, normalised across backends.
+
+    ``epoch`` counts membership reconfigurations on backends whose round
+    numbering restarts per epoch (the simulator's ``reconfigure``); the TCP
+    runtime numbers rounds continuously, so its epoch is always 0.  The
+    total delivery order is ``(epoch, round)``.
+    """
+
+    epoch: int
+    round: int
+    #: deterministically ordered ``(origin, batch)`` pairs (by origin id)
+    messages: tuple[tuple[int, Batch], ...]
+    #: servers whose messages were not delivered (excluded from the next
+    #: round's membership, §3)
+    removed: tuple[int, ...] = ()
+
+    @property
+    def origins(self) -> tuple[int, ...]:
+        return tuple(o for o, _b in self.messages)
+
+    @property
+    def request_count(self) -> int:
+        return sum(batch.count for _o, batch in self.messages)
+
+    def requests(self) -> Iterator[Request]:
+        """All explicit requests of the round, in the agreed deterministic
+        order (origin-major, submission order within a batch)."""
+        for _origin, batch in self.messages:
+            yield from batch.requests
+
+
+class RequestHandle:
+    """The future of one submitted request, keyed on ``(origin, seq)``.
+
+    The handle resolves when the round that carried the request is
+    A-delivered at the request's **origin** server — the first moment the
+    submitting application can know its request is agreed.  Resolution is
+    observable three ways:
+
+    * **poll** — :attr:`done` / :attr:`round` / :attr:`delivery`;
+    * **callback** — :meth:`add_done_callback` (fires immediately when
+      already resolved);
+    * **block** — :meth:`result`, which *drives the deployment* until the
+      handle resolves (runs the simulator / the TCP event loop).
+
+    On the TCP backend the handle additionally wraps an
+    :class:`asyncio.Future` (see ``TcpDeployment.future_of``) so async
+    callers can ``await`` it.
+    """
+
+    def __init__(self, deployment: "Deployment", request: Request) -> None:
+        self._deployment = deployment
+        self.request = request
+        self._event: Optional[DeliveryEvent] = None
+        self._cancelled = False
+        self._callbacks: list[Callable[["RequestHandle"], None]] = []
+
+    # -- identity ------------------------------------------------------ #
+    @property
+    def origin(self) -> int:
+        return self.request.origin
+
+    @property
+    def seq(self) -> int:
+        return self.request.seq
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The globally unique ``(origin, seq)`` request id."""
+        return (self.request.origin, self.request.seq)
+
+    # -- state --------------------------------------------------------- #
+    @property
+    def done(self) -> bool:
+        return self._event is not None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def round(self) -> Optional[int]:
+        """The round the request was agreed in (None while pending)."""
+        return self._event.round if self._event is not None else None
+
+    @property
+    def delivery(self) -> Optional[DeliveryEvent]:
+        """The delivery event that resolved the handle (None while
+        pending)."""
+        return self._event
+
+    def add_done_callback(
+            self, callback: Callable[["RequestHandle"], None]) -> None:
+        """Call ``callback(handle)`` once the request is agreed (now, if it
+        already is)."""
+        if self._event is not None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def result(self, timeout: Optional[float] = None) -> DeliveryEvent:
+        """Block until the request is agreed and return its delivery event.
+
+        Drives the deployment forward: on the simulator this runs rounds
+        until the handle resolves or no progress is possible; on TCP it
+        runs the event loop (*timeout* in wall-clock seconds).  Raises
+        :class:`RequestCancelled` if the origin server failed first and
+        :class:`TimeoutError` if the deadline expires or the deployment
+        cannot make progress.
+        """
+        if self._cancelled:
+            raise RequestCancelled(
+                f"request {self.key} cancelled: origin {self.origin} failed")
+        if self._event is None:
+            self._deployment._drive_until_done(self, timeout)
+        if self._cancelled:
+            raise RequestCancelled(
+                f"request {self.key} cancelled: origin {self.origin} failed")
+        if self._event is None:
+            raise TimeoutError(f"request {self.key} not agreed "
+                               f"(deployment made no further progress)")
+        return self._event
+
+    # -- backend plumbing ---------------------------------------------- #
+    def _resolve(self, event: DeliveryEvent) -> None:
+        if self._event is not None or self._cancelled:
+            return
+        self._event = event
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _cancel(self) -> None:
+        if self._event is None:
+            self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (f"round={self.round}" if self.done
+                 else "cancelled" if self.cancelled else "pending")
+        return f"<RequestHandle {self.key} {state}>"
+
+
+class Deployment(abc.ABC):
+    """Abstract deployment: the one vocabulary every backend speaks.
+
+    Subclasses adapt a concrete cluster (simulated or TCP) by implementing
+    the ``_do_*`` hooks and feeding every per-node A-delivery into
+    :meth:`_observe`; all request bookkeeping (sequence numbers, handle
+    resolution, the delivery log, subscriber dispatch) lives here and is
+    therefore identical across transports.
+    """
+
+    #: short backend name ("sim", "tcp"), shown by examples and reports
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self._seq: dict[int, int] = {}
+        self._handles: dict[tuple[int, int], RequestHandle] = {}
+        self._log: list[DeliveryEvent] = []
+        self._events: dict[tuple[int, int], DeliveryEvent] = {}
+        self._subscribers: list[Callable[[DeliveryEvent], None]] = []
+        self._node_subscribers: list[
+            Callable[[int, DeliveryEvent], None]] = []
+        self._epoch = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Bring the deployment up (idempotent)."""
+        if not self._started:
+            self._do_start()
+            self._started = True
+
+    def stop(self) -> None:
+        """Tear the deployment down (idempotent)."""
+        if self._started:
+            self._do_stop()
+            self._started = False
+
+    def __enter__(self) -> "Deployment":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def members(self) -> tuple[int, ...]:
+        """All member server ids (including failed ones)."""
+
+    @property
+    @abc.abstractmethod
+    def alive_members(self) -> tuple[int, ...]:
+        """Member ids not known to have failed."""
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def epoch(self) -> int:
+        """Current membership epoch (see :class:`DeliveryEvent`)."""
+        return self._epoch
+
+    @classmethod
+    def capabilities(cls) -> frozenset:
+        """Operations this backend supports beyond the core vocabulary.
+
+        ``"join"`` — membership additions via :meth:`join`;
+        ``"time"`` — virtual time (deterministic, free to advance).
+        """
+        return frozenset()
+
+    # ------------------------------------------------------------------ #
+    # The unified vocabulary
+    # ------------------------------------------------------------------ #
+    def submit(self, data: Any, *, at: int = 0,
+               nbytes: int = 64) -> RequestHandle:
+        """Enter an application request at server *at*; returns the handle
+        that resolves when the request's round is A-delivered.
+
+        *data* must be a JSON value and is normalised to its JSON image
+        (tuples become lists, dict keys become strings) **on every
+        backend**, so the same scenario delivers byte-identical payloads
+        on the simulator and over TCP — cross-backend end-state
+        comparisons would otherwise report false divergence.  (Arbitrary
+        Python payloads remain possible at the protocol layer via
+        ``SimCluster`` directly.)
+        """
+        if at not in self.alive_members:
+            raise ValueError(f"server {at} is not an alive member")
+        seq = self._next_seq(at)
+        request = Request(origin=at, seq=seq, nbytes=nbytes,
+                          data=canonical_payload(data))
+        handle = RequestHandle(self, request)
+        self._handles[handle.key] = handle
+        self._do_submit(request)
+        return handle
+
+    def _next_seq(self, at: int) -> int:
+        """Allocate the next per-origin sequence number (backends with
+        their own sequencer override this to keep one source of truth)."""
+        seq = self._seq.get(at, 0)
+        self._seq[at] = seq + 1
+        return seq
+
+    @abc.abstractmethod
+    def run_rounds(self, k: int, *,
+                   timeout: float = 30.0) -> list[DeliveryEvent]:
+        """Drive *k* agreement rounds to completion at every alive server;
+        returns the delivery events that became visible during the call."""
+
+    def deliveries(self) -> tuple[DeliveryEvent, ...]:
+        """Every round delivered so far, in ``(epoch, round)`` order."""
+        return tuple(self._log)
+
+    def on_deliver(self, callback: Callable[..., None], *,
+                   per_node: bool = False) -> None:
+        """Subscribe to the delivery stream.
+
+        With ``per_node=False`` (default) ``callback(event)`` fires once
+        per round, at its first A-delivery anywhere (agreement makes every
+        later observation identical).  With ``per_node=True``
+        ``callback(pid, event)`` fires for every server's own delivery —
+        the feed a replicated state machine consumes.
+        """
+        if per_node:
+            self._node_subscribers.append(callback)
+        else:
+            self._subscribers.append(callback)
+
+    @abc.abstractmethod
+    def fail(self, pid: int) -> None:
+        """Fail-stop server *pid*; its pending request handles are
+        cancelled."""
+
+    def join(self, pid: int) -> None:
+        """Re-admit server *pid* (a vertex of the overlay) at a round
+        boundary.  Only on backends advertising the ``"join"``
+        capability."""
+        raise UnsupportedOperation(
+            f"{type(self).__name__} does not support join "
+            f"(capabilities: {sorted(self.capabilities())})")
+
+    @abc.abstractmethod
+    def check_agreement(self) -> bool:
+        """Lemma 3.5: every pair of alive servers delivered identical
+        ordered message sets for every round both completed."""
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _do_start(self) -> None: ...
+
+    @abc.abstractmethod
+    def _do_stop(self) -> None: ...
+
+    @abc.abstractmethod
+    def _do_submit(self, request: Request) -> None: ...
+
+    @abc.abstractmethod
+    def _drive_until_done(self, handle: RequestHandle,
+                          timeout: Optional[float]) -> None:
+        """Advance the deployment until *handle* resolves (or progress is
+        exhausted / the timeout expires) — backs
+        :meth:`RequestHandle.result`."""
+
+    def _observe(self, pid: int, round_no: int,
+                 messages: tuple[tuple[int, Batch], ...],
+                 removed: tuple[int, ...]) -> None:
+        """Feed one server's A-delivery into the shared bookkeeping.
+
+        First observation of an ``(epoch, round)`` appends to the delivery
+        log and notifies round subscribers; every observation notifies
+        per-node subscribers; the origin server's own observation resolves
+        its request handles.
+        """
+        key = (self._epoch, round_no)
+        event = self._events.get(key)
+        if event is None:
+            event = DeliveryEvent(epoch=self._epoch, round=round_no,
+                                  messages=messages, removed=removed)
+            self._events[key] = event
+            self._log.append(event)
+            for callback in self._subscribers:
+                callback(event)
+        for callback in self._node_subscribers:
+            callback(pid, event)
+        if self._handles:
+            for origin, batch in messages:
+                if origin != pid:
+                    continue     # handles ack at their origin's delivery
+                for request in batch.requests:
+                    handle = self._handles.pop(
+                        (request.origin, request.seq), None)
+                    if handle is not None:
+                        handle._resolve(event)
+
+    def _cancel_handles_at(self, pid: int) -> None:
+        """Cancel the pending handles whose origin server failed."""
+        for key in [k for k in self._handles if k[0] == pid]:
+            self._handles.pop(key)._cancel()

@@ -1,0 +1,144 @@
+"""Deployment adapter over the discrete-event simulator.
+
+:class:`SimDeployment` wraps :class:`~repro.core.cluster.SimCluster` behind
+the transport-agnostic :class:`~repro.api.deployment.Deployment` vocabulary.
+Time is virtual: ``run_rounds`` executes instantly in wall-clock terms, and
+request handles resolve synchronously during the call that delivers their
+round (poll or callback style — no event loop involved).
+
+The underlying cluster stays reachable as :attr:`SimDeployment.cluster` for
+benchmark-grade instrumentation (the LogP trace, event counts, failure
+injection with virtual-time stamps); scenario code should not need it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.batching import Request
+from ..core.cluster import ClusterOptions, SimCluster
+from ..core.config import AllConcurConfig
+from ..core.interfaces import Deliver
+from ..graphs.digraph import Digraph
+from .deployment import Deployment, DeliveryEvent, RequestHandle
+
+__all__ = ["SimDeployment"]
+
+
+class SimDeployment(Deployment):
+    """An AllConcur deployment running on the packet-level simulator."""
+
+    name = "sim"
+
+    def __init__(self, graph: Digraph, *,
+                 config: Optional[AllConcurConfig] = None,
+                 options: Optional[ClusterOptions] = None) -> None:
+        super().__init__()
+        self.cluster = SimCluster(
+            graph,
+            config=config or AllConcurConfig(graph=graph,
+                                             auto_advance=False),
+            options=options)
+        #: next undelivered round index within the current epoch (the
+        #: simulator restarts round numbering at every reconfiguration)
+        self._epoch_round = 0
+        self._wire()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def capabilities(cls) -> frozenset:
+        return frozenset({"join", "time"})
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return self.cluster.members
+
+    @property
+    def alive_members(self) -> tuple[int, ...]:
+        return self.cluster.alive_members
+
+    @property
+    def trace(self):
+        """The current epoch's :class:`~repro.sim.trace.RoundTrace`."""
+        return self.cluster.trace
+
+    @property
+    def sim(self):
+        """The underlying :class:`~repro.sim.engine.Simulator`."""
+        return self.cluster.sim
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+    def _wire(self) -> None:
+        """Subscribe to every node's delivery stream (re-run after a
+        reconfiguration replaces the node set)."""
+        for node in self.cluster.nodes.values():
+            node.subscribe_deliveries(self._on_node_deliver)
+
+    def _on_node_deliver(self, pid: int, effect: Deliver) -> None:
+        self._observe(pid, effect.round, effect.messages, effect.removed)
+
+    def _do_start(self) -> None:
+        pass    # the simulated cluster is live from construction
+
+    def _do_stop(self) -> None:
+        pass
+
+    def _do_submit(self, request: Request) -> None:
+        self.cluster.node(request.origin).submit(request)
+
+    def _drive_until_done(self, handle: RequestHandle,
+                          timeout: Optional[float]) -> None:
+        # Virtual time: run rounds until the handle resolves or the
+        # deployment stops making progress (drained event queue).
+        while not handle.done and not handle.cancelled:
+            before = len(self._log)
+            self.run_rounds(1)
+            if len(self._log) == before:
+                return
+
+    # ------------------------------------------------------------------ #
+    # The unified vocabulary
+    # ------------------------------------------------------------------ #
+    def run_rounds(self, k: int, *,
+                   timeout: float = 30.0) -> list[DeliveryEvent]:
+        """Drive *k* rounds: fill every alive server's broadcast window,
+        then run the simulator until the round is delivered everywhere.
+        *timeout* is accepted for vocabulary parity; virtual time needs no
+        deadline."""
+        self.start()
+        mark = len(self._log)
+        for _ in range(k):
+            if not self.alive_members:
+                break
+            for pid in self.alive_members:
+                self.cluster.node(pid).fill_window()
+            self.cluster.run_until_round(self._epoch_round)
+            self._epoch_round += 1
+        return self._log[mark:]
+
+    def fail(self, pid: int) -> None:
+        """Crash server *pid* (fail-stop) now; pending handles submitted
+        at it are cancelled."""
+        self.cluster.fail_server(pid)
+        self._cancel_handles_at(pid)
+
+    def join(self, pid: int) -> None:
+        """Re-admit *pid* at the current round boundary (§3: agreed via
+        atomic broadcast; call between ``run_rounds`` invocations).
+
+        Models the paper's join latency by advancing virtual time by the
+        cluster's ``join_unavailability`` before the reconfiguration, then
+        restarts round numbering in a fresh membership epoch.
+        """
+        cluster = self.cluster
+        cluster.run(until=cluster.sim.now +
+                    cluster.options.join_unavailability)
+        cluster.reconfigure(add=(pid,))
+        self._epoch += 1
+        self._epoch_round = 0
+        self._wire()
+
+    def check_agreement(self) -> bool:
+        return self.cluster.verify_agreement()

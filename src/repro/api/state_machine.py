@@ -1,0 +1,167 @@
+"""Replicated state machines on top of the deployment facade.
+
+AllConcur's application model (§1.1) is state-machine replication: every
+server holds a full replica, queries are answered locally, and updates are
+atomically broadcast so all replicas apply them in the same order.  This
+module is the reusable version of that pattern:
+
+* :class:`StateMachine` — the pluggable application protocol: one
+  deterministic ``apply(round, origin, request)`` transition plus a
+  comparable ``snapshot()``;
+* :class:`ReplicatedStateMachine` — the driver: one replica per member,
+  fed by the deployment's per-node delivery stream (in A-delivery order,
+  which agreement makes identical everywhere), with convergence checks;
+* :class:`ReplicatedKVStore` — a worked example (the shape of the paper's
+  distributed-ledger scenario).
+
+Because the driver only speaks :class:`~repro.api.deployment.Deployment`,
+the same application state machine runs on the simulator and over TCP.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+from ..core.batching import Request
+from .deployment import DeliveryEvent, Deployment
+
+__all__ = ["StateMachine", "ReplicatedStateMachine", "ReplicatedKVStore"]
+
+
+@runtime_checkable
+class StateMachine(Protocol):
+    """The application-facing state-machine protocol.
+
+    Implementations must be **deterministic**: ``apply`` may depend only on
+    the current state and its arguments, never on wall clock, randomness or
+    replica identity — that is what makes replicas converge.
+    """
+
+    def apply(self, round_no: int, origin: int, request: Request) -> Any:
+        """Apply one agreed request (round *round_no*, submitted at server
+        *origin*) and return its result."""
+        ...
+
+    def snapshot(self) -> Any:
+        """A comparable, order-independent digest of the current state
+        (used for replica-convergence checks)."""
+        ...
+
+
+class ReplicatedStateMachine:
+    """Replays the agreed request sequence into one replica per member.
+
+    Subscribes to the deployment's per-node delivery stream and applies
+    every round's requests — in the deterministic agreed order
+    (origin-major, submission order within a batch) — to that node's
+    replica.  After any ``run_rounds`` boundary all alive replicas have
+    applied the same prefix, so their snapshots must be identical;
+    :meth:`assert_convergence` checks exactly that.
+    """
+
+    def __init__(self, deployment: Deployment,
+                 factory: Callable[[], StateMachine]) -> None:
+        self.deployment = deployment
+        self.replicas: dict[int, StateMachine] = {
+            pid: factory() for pid in deployment.members}
+        #: rounds applied per replica (the replica's log height)
+        self.heights: dict[int, int] = {pid: 0 for pid in self.replicas}
+        self._results: dict[int, list[Any]] = {
+            pid: [] for pid in self.replicas}
+        deployment.on_deliver(self._on_node_deliver, per_node=True)
+
+    # ------------------------------------------------------------------ #
+    def _on_node_deliver(self, pid: int, event: DeliveryEvent) -> None:
+        machine = self.replicas[pid]
+        outputs = self._results[pid]
+        for origin, batch in event.messages:
+            for request in batch.requests:
+                outputs.append(machine.apply(event.round, origin, request))
+        self.heights[pid] += 1
+
+    # ------------------------------------------------------------------ #
+    def replica(self, pid: int) -> StateMachine:
+        return self.replicas[pid]
+
+    def results(self, pid: Optional[int] = None) -> tuple:
+        """The ``apply`` outputs at replica *pid* (default: the lowest-id
+        alive member), in agreed order."""
+        if pid is None:
+            pid = self.deployment.alive_members[0]
+        return tuple(self._results[pid])
+
+    def snapshots(self) -> dict[int, Any]:
+        """Snapshot of every alive replica at the maximum applied height
+        (replicas that lag — e.g. a freshly re-joined server without state
+        transfer — are excluded from the comparison)."""
+        alive = self.deployment.alive_members
+        if not alive:
+            return {}
+        top = max(self.heights[pid] for pid in alive)
+        return {pid: self.replicas[pid].snapshot()
+                for pid in alive if self.heights[pid] == top}
+
+    def converged(self) -> bool:
+        """True when every alive replica at the maximum applied height has
+        an identical snapshot (call at a round boundary)."""
+        snaps = list(self.snapshots().values())
+        return bool(snaps) and all(s == snaps[0] for s in snaps[1:])
+
+    def assert_convergence(self) -> Any:
+        """Raise :class:`AssertionError` with the differing snapshots if
+        the replicas diverged; returns the agreed snapshot otherwise."""
+        snaps = self.snapshots()
+        if not snaps:
+            raise AssertionError("no alive replica to compare")
+        values = list(snaps.values())
+        if any(s != values[0] for s in values[1:]):
+            raise AssertionError(f"replicas diverged: {snaps}")
+        return values[0]
+
+
+class ReplicatedKVStore:
+    """Worked :class:`StateMachine`: a key-value store with deterministic
+    conflict resolution.
+
+    Commands are plain tuples in ``request.data``:
+
+    ``("set", key, value)``
+        Unconditional write; returns the previous value (or None).
+    ``("del", key)``
+        Delete; returns True if the key existed.
+    ``("cas", key, expected, value)``
+        Compare-and-swap; writes only when the current value equals
+        *expected* and returns whether it did — the primitive behind
+        "no two clients buy the last seat" style invariants.
+    ``("get", key)``
+        Read of the agreed state at the request's round (reads normally
+        stay local and never enter the broadcast; an agreed read is a
+        linearisation point).
+    """
+
+    def __init__(self) -> None:
+        self.data: dict = {}
+
+    def apply(self, round_no: int, origin: int, request: Request) -> Any:
+        command = request.data
+        op = command[0]
+        if op == "set":
+            _, key, value = command
+            previous = self.data.get(key)
+            self.data[key] = value
+            return previous
+        if op == "del":
+            _, key = command
+            return self.data.pop(key, None) is not None
+        if op == "cas":
+            _, key, expected, value = command
+            if self.data.get(key) == expected:
+                self.data[key] = value
+                return True
+            return False
+        if op == "get":
+            return self.data.get(command[1])
+        raise ValueError(f"unknown KV command {op!r}")
+
+    def snapshot(self) -> tuple:
+        return tuple(sorted(self.data.items()))

@@ -5,7 +5,9 @@ The harness provides:
 * :func:`overlay_for` — the Table-3 overlay (GS(n, d) with the degree chosen
   for the 6-nines reliability target) for a given ``n``;
 * :func:`run_allconcur` — run a packet-level simulation of a number of
-  AllConcur rounds and return the measured metrics;
+  AllConcur rounds and return the measured metrics (built on the unified
+  :class:`repro.api.SimDeployment` facade; the raw cluster stays reachable
+  for workload injection and trace access);
 * :func:`run_leader_based` and :func:`run_allgather` — the same for the two
   baselines;
 * :func:`allconcur_estimate` — the calibrated LogP-model estimate, used for
@@ -28,10 +30,11 @@ from pathlib import Path
 from typing import Optional
 
 from ..analysis.logp import AllConcurModel
+from ..api.sim_backend import SimDeployment
 from ..baselines.allgather import AllgatherCluster
 from ..baselines.leader import LeaderBasedCluster
 from ..core.batching import Batch
-from ..core.cluster import ClusterOptions, SimCluster
+from ..core.cluster import ClusterOptions
 from ..core.config import AllConcurConfig
 from ..graphs.digraph import Digraph
 from ..graphs.gs import gs_digraph
@@ -165,10 +168,11 @@ def run_allconcur(n: int, *, params: LogPParams = TCP_PARAMS,
     baseline of :mod:`repro.bench.perf`).
     """
     g = graph if graph is not None else overlay_for(n, degree=degree)
-    cluster = SimCluster(
+    deployment = SimDeployment(
         g, config=AllConcurConfig(graph=g, pipeline_depth=pipeline_depth,
                                   data_plane=data_plane),
         options=ClusterOptions(params=params, seed=seed, coalesce=coalesce))
+    cluster = deployment.cluster
     if workload is not None:
         horizon = duration if duration is not None else 1.0
         workload.install(cluster, duration=horizon)
@@ -180,12 +184,11 @@ def run_allconcur(n: int, *, params: LogPParams = TCP_PARAMS,
     if max_batch is not None:
         for pid in cluster.members:
             cluster.server(pid).queue.max_batch = max_batch
-    cluster.start_all()
-    cluster.run_until_round(rounds - 1)
-    if not cluster.verify_agreement():  # pragma: no cover - safety net
+    deployment.run_rounds(rounds)
+    if not deployment.check_agreement():  # pragma: no cover - safety net
         raise AssertionError("agreement violated during benchmark run")
-    return _result_from_trace(len(cluster.members), cluster.trace,
-                              cluster.sim, rounds=rounds,
+    return _result_from_trace(len(cluster.members), deployment.trace,
+                              deployment.sim, rounds=rounds,
                               skip_rounds=skip_rounds,
                               pipeline_depth=pipeline_depth)
 

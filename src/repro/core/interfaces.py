@@ -14,7 +14,7 @@ the real TCP runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Sequence, Union
 
 from .batching import Batch
 from .messages import Message
@@ -77,4 +77,8 @@ class RoundAdvance:
     members: tuple[int, ...]
 
 
-Effect = object  # Union[Send, Deliver, RoundAdvance] — kept loose for ease of extension
+#: Everything the protocol core can ask an embedding to do.  Embeddings
+#: (:class:`~repro.core.sim_node.SimNode`, :class:`~repro.runtime.node.
+#: RuntimeNode`) dispatch on the concrete type; a new effect kind must be
+#: added here so every embedding is forced to handle it.
+Effect = Union[Send, Deliver, RoundAdvance]

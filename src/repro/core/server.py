@@ -106,6 +106,11 @@ class AllConcurServer:
         self.queue = RequestQueue()
         #: log of completed rounds
         self.history: list[RoundOutcome] = []
+        #: delivery subscribers, called with every :class:`RoundOutcome` as
+        #: it is A-delivered (the request-lifecycle hook of ``repro.api``:
+        #: each outcome carries the ``(round, origin, seq)`` coordinates of
+        #: every agreed request)
+        self._delivery_subscribers: list = []
         #: predecessors this server decided to ignore (suspected failed)
         self.ignored_predecessors: set[int] = set()
         #: failure pairs carried across rounds for re-broadcast (line 12)
@@ -276,6 +281,28 @@ class AllConcurServer:
     def submit(self, request: Request) -> None:
         """Queue an application request for the next A-broadcast message."""
         self.queue.submit(request)
+
+    def subscribe_deliveries(self, callback) -> None:
+        """Register ``callback(outcome: RoundOutcome)``, invoked on every
+        A-delivery (in strict round order).
+
+        This is the request-lifecycle hook at the sans-IO layer: every
+        delivered :class:`~repro.core.batching.Request` is identified by
+        its ``(origin, seq)`` pair and the round it was agreed in, with no
+        embedding required — unit tests and custom embeddings subscribe
+        here.  The ``repro.api`` backends subscribe one layer up (at
+        :class:`~repro.core.sim_node.SimNode` /
+        :class:`~repro.runtime.node.RuntimeNode`), where transport context
+        such as simulated time is available."""
+        self._delivery_subscribers.append(callback)
+
+    def unsubscribe_deliveries(self, callback) -> None:
+        """Remove a delivery subscriber registered with
+        :meth:`subscribe_deliveries` (no-op if absent)."""
+        try:
+            self._delivery_subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def submit_synthetic(self, count: int, request_nbytes: int) -> None:
         """Queue synthetic requests (benchmark fast-path)."""
@@ -570,6 +597,8 @@ class AllConcurServer:
         self.history.append(outcome)
         effects.append(Deliver(round=ctx.round, messages=ordered,
                                removed=removed))
+        for callback in self._delivery_subscribers:
+            callback(outcome)
         self._advance_round(ctx, removed, effects)
 
     def _advance_round(self, ctx: RoundContext, removed: tuple[int, ...],

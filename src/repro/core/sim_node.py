@@ -14,15 +14,15 @@ successor.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..sim.engine import Simulator
 from ..sim.failures import FailureInjector
 from ..sim.network import Network
 from ..sim.trace import DeliveryRecord, RoundTrace
 from .batching import Batch, Request
-from .interfaces import Deliver, RoundAdvance, Send
-from .messages import Broadcast
+from .interfaces import Deliver, Effect, RoundAdvance, Send
+from .messages import Broadcast, Message
 from .server import AllConcurServer
 
 __all__ = ["SimNode"]
@@ -41,7 +41,11 @@ class SimNode:
         self.trace = trace
         #: optional per-delivery hook ``on_deliver(pid, effect)`` — used by
         #: the cluster's run_until_round watcher
-        self.on_deliver = None
+        self.on_deliver: Optional[Callable[[int, Deliver], None]] = None
+        #: persistent delivery subscribers ``cb(pid, effect)`` (the unified
+        #: deployment API attaches its request-ack stream here; unlike
+        #: :attr:`on_deliver` these survive run_until_round)
+        self._delivery_subscribers: list[Callable[[int, Deliver], None]] = []
         # Liveness is consulted on every received message, so it is a plain
         # attribute maintained from the failure-injector event stream
         # rather than a per-message injector query.
@@ -90,6 +94,12 @@ class SimNode:
         if self.alive:
             self.server.submit(request)
 
+    def subscribe_deliveries(
+            self, callback: Callable[[int, Deliver], None]) -> None:
+        """Register ``callback(pid, deliver_effect)`` for every A-delivery
+        of this node (kept across run_until_round watchers)."""
+        self._delivery_subscribers.append(callback)
+
     def submit_synthetic(self, count: int, request_nbytes: int) -> None:
         if self.alive:
             self.server.submit_synthetic(count, request_nbytes)
@@ -105,14 +115,15 @@ class SimNode:
     # ------------------------------------------------------------------ #
     # Network receive path
     # ------------------------------------------------------------------ #
-    def _on_network_message(self, src: int, dst: int, message) -> None:
+    def _on_network_message(self, src: int, dst: int,
+                            message: Message) -> None:
         # Per-message hot path: inlined handle_message (same semantics —
         # the server's own `failed` guard plus dispatch) so the common
         # duplicate-copy case costs no effect-interpretation pass.
         server = self.server
         if not self._alive or server.failed:
             return
-        effects: list = []
+        effects: list[Effect] = []
         server._dispatch(src, message, effects)
         if effects:
             self._execute(effects)
@@ -120,7 +131,7 @@ class SimNode:
     # ------------------------------------------------------------------ #
     # Effect interpretation
     # ------------------------------------------------------------------ #
-    def _execute(self, effects: list) -> None:
+    def _execute(self, effects: list[Effect]) -> None:
         for effect in effects:
             if isinstance(effect, Send):
                 self._do_send(effect)
@@ -129,6 +140,8 @@ class SimNode:
                     break
             elif isinstance(effect, Deliver):
                 self._record_delivery(effect)
+                for callback in self._delivery_subscribers:
+                    callback(self.server.id, effect)
                 if self.on_deliver is not None:
                     self.on_deliver(self.server.id, effect)
             elif isinstance(effect, RoundAdvance):

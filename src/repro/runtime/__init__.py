@@ -5,7 +5,7 @@ sockets: length-prefixed JSON framing, one TCP connection per overlay edge,
 heartbeat failure detection.
 """
 
-from .cluster import LocalCluster, pick_free_port_base
+from .cluster import LocalCluster
 from .framing import (
     FrameDecoder,
     decode_message,
@@ -16,7 +16,6 @@ from .node import DeliveredRound, NodeAddress, RuntimeNode
 
 __all__ = [
     "LocalCluster",
-    "pick_free_port_base",
     "RuntimeNode",
     "NodeAddress",
     "DeliveredRound",

@@ -1,9 +1,14 @@
 """Local (single-process) deployment of an AllConcur cluster over TCP.
 
 :class:`LocalCluster` starts one :class:`~repro.runtime.node.RuntimeNode` per
-overlay vertex, all inside the current asyncio event loop, listening on
-consecutive localhost ports.  It is the entry point the examples and the
-runtime tests use:
+overlay vertex, all inside the current asyncio event loop.  Ports are
+allocated by the kernel: every node binds to port 0 and publishes the
+assigned port before any node dials out, so concurrent clusters (e.g.
+parallel CI shards) can never race each other for a port range.
+
+It is the entry point the runtime tests use; applications are better served
+by the transport-agnostic facade in :mod:`repro.api`
+(:class:`~repro.api.TcpDeployment` wraps this class):
 
 >>> import asyncio
 >>> from repro.graphs import gs_digraph
@@ -26,33 +31,7 @@ from ..core.config import AllConcurConfig
 from ..graphs.digraph import Digraph
 from .node import DeliveredRound, NodeAddress, RuntimeNode
 
-__all__ = ["LocalCluster", "pick_free_port_base"]
-
-
-def pick_free_port_base(count: int) -> int:
-    """Find a base port such that ``base .. base+count-1`` are bindable."""
-    import socket
-
-    for base in range(20000, 60000, max(count, 1) + 7):
-        ok = True
-        socks = []
-        try:
-            for offset in range(count):
-                s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-                s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-                try:
-                    s.bind(("127.0.0.1", base + offset))
-                except OSError:
-                    ok = False
-                    s.close()
-                    break
-                socks.append(s)
-        finally:
-            for s in socks:
-                s.close()
-        if ok:
-            return base
-    raise RuntimeError("no free port range found")
+__all__ = ["LocalCluster"]
 
 
 class LocalCluster:
@@ -68,10 +47,12 @@ class LocalCluster:
         self.config = config or AllConcurConfig(graph=graph,
                                                 auto_advance=False)
         members = self.config.initial_members
-        port0 = base_port if base_port is not None \
-            else pick_free_port_base(len(members))
+        # port 0 = kernel-assigned ephemeral port, published at bind time by
+        # RuntimeNode.start_listening; an explicit base_port keeps the old
+        # consecutive layout for callers that need fixed endpoints.
         self.addresses = {
-            pid: NodeAddress(pid, host, port0 + idx)
+            pid: NodeAddress(pid, host,
+                             0 if base_port is None else base_port + idx)
             for idx, pid in enumerate(members)
         }
         self.nodes: dict[int, RuntimeNode] = {
@@ -82,6 +63,7 @@ class LocalCluster:
             for pid in members
         }
         self._seq: dict[int, int] = {pid: 0 for pid in members}
+        self._failed: set[int] = set()
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -93,10 +75,15 @@ class LocalCluster:
         await self.stop()
 
     async def start(self) -> None:
-        """Start every node (listeners first, then outgoing connections)."""
+        """Start every node: all listeners first (each publishes its
+        kernel-assigned port into the shared address map), then the
+        outgoing connections — no dial can hit an unbound listener."""
         if self._started:
             return
-        await asyncio.gather(*(node.start() for node in self.nodes.values()))
+        await asyncio.gather(*(node.start_listening()
+                               for node in self.nodes.values()))
+        await asyncio.gather(*(node.connect_peers()
+                               for node in self.nodes.values()))
         self._started = True
 
     async def stop(self) -> None:
@@ -109,58 +96,119 @@ class LocalCluster:
     def members(self) -> tuple[int, ...]:
         return tuple(sorted(self.nodes))
 
+    @property
+    def alive_members(self) -> tuple[int, ...]:
+        """Members not failed via :meth:`fail`."""
+        return tuple(pid for pid in self.members if pid not in self._failed)
+
+    def _live_nodes(self) -> list[RuntimeNode]:
+        return [self.nodes[pid] for pid in self.alive_members]
+
+    def next_seq(self, server_id: int) -> int:
+        """The sequence number the next request submitted at *server_id*
+        will receive (the cluster is the one sequencer per origin; the
+        ``repro.api`` facade reads it so facade and direct submissions
+        never collide on an ``(origin, seq)`` key)."""
+        return self._seq[server_id]
+
     async def submit(self, server_id: int, data, *, nbytes: int = 64) -> None:
         """Submit an application request at *server_id*."""
-        node = self.nodes[server_id]
-        seq = self._seq[server_id]
-        self._seq[server_id] = seq + 1
-        await node.submit(Request(origin=server_id, seq=seq, nbytes=nbytes,
-                                  data=data))
+        await self.submit_request(
+            Request(origin=server_id, seq=self._seq[server_id],
+                    nbytes=nbytes, data=data))
+
+    async def submit_request(self, request: Request) -> None:
+        """Submit a pre-built request, advancing the origin's sequencer
+        past it."""
+        self._seq[request.origin] = max(self._seq[request.origin],
+                                        request.seq + 1)
+        await self.nodes[request.origin].submit(request)
+
+    # ------------------------------------------------------------------ #
+    # Failure operations
+    # ------------------------------------------------------------------ #
+    async def fail(self, server_id: int) -> None:
+        """Fail-stop *server_id*: stop its node and feed the suspicion into
+        every monitor deterministically.
+
+        With the heartbeat detector enabled the notifications would also
+        arrive on their own after ``heartbeat_timeout``; injecting them here
+        makes membership changes immediate and timing-independent (the
+        ``_suspected`` set absorbs the later heartbeat duplicates).
+        """
+        if server_id in self._failed:
+            return
+        self._failed.add(server_id)
+        await self.nodes[server_id].stop()
+        for node in self._live_nodes():
+            # senders to the dead server must stop dialling it immediately
+            # (a retry loop against a dead listener would stall their whole
+            # send pipeline), and its monitors feed the suspicion into the
+            # protocol
+            node.mark_down(server_id)
+            if server_id in set(self.graph.predecessors(node.id)):
+                await node.notify_failure(server_id)
 
     async def run_rounds(self, rounds: int, *,
                          timeout: float = 30.0) -> list[dict[int, DeliveredRound]]:
         """Run *rounds* full rounds and return, per round, the delivery
-        record of every node (they all agree; tests assert it).
+        record of every live node (they all agree; tests assert it).
 
         Rounds are driven per window slot: up to ``pipeline_depth`` rounds
         are A-broadcast before waiting for the oldest one to deliver, so a
         deeper pipeline keeps later rounds in flight while earlier ones
-        complete.  With the default depth of 1 this is the classic
-        broadcast-then-wait lockstep.
+        complete.  A membership-change barrier (epoch end) can temporarily
+        cap the window, making ``start_round`` a no-op; the window is
+        re-filled after every awaited round so capped slots are re-issued
+        as soon as the barrier drains — without that refill a slot capped
+        during the initial fill was never re-issued and the final rounds of
+        a run could hang until the timeout.
         """
         results: list[dict[int, DeliveredRound]] = []
         depth = self.config.pipeline_depth
-        base = min(node.delivered_rounds for node in self.nodes.values())
-        issued_base = min(node.broadcast_rounds
-                          for node in self.nodes.values())
-        for idx in range(rounds):
-            # Keep the window full: issue slots up to `depth` rounds ahead
-            # of the oldest round still awaited.  Progress is measured by
-            # rounds actually A-broadcast (a membership-change barrier can
-            # temporarily cap the window, making start_round a no-op; the
-            # slot is retried once the window drains and reopens).
+        live = self._live_nodes()
+        if not live:
+            return results
+        base = min(node.delivered_rounds for node in live)
+        issued_base = min(node.broadcast_rounds for node in live)
+
+        async def refill(target_rounds: int) -> None:
+            # Issue window slots until `target_rounds` rounds (beyond
+            # issued_base) are A-broadcast everywhere, or the window is
+            # capped (epoch barrier) and no slot makes progress.
             while True:
+                nodes = self._live_nodes()
+                if not nodes:
+                    return
                 issued = min(node.broadcast_rounds
-                             for node in self.nodes.values()) - issued_base
-                if issued >= min(rounds, idx + depth):
-                    break
+                             for node in nodes) - issued_base
+                if issued >= target_rounds:
+                    return
                 await asyncio.gather(*(node.start_round()
-                                       for node in self.nodes.values()))
+                                       for node in nodes))
                 still = min(node.broadcast_rounds
-                            for node in self.nodes.values()) - issued_base
+                            for node in nodes) - issued_base
                 if still == issued:
-                    break        # window capped; retry after the next wait
+                    return   # window capped; retried after the next wait
+
+        for idx in range(rounds):
+            await refill(min(rounds, idx + depth))
             per_node = {}
-            for pid, node in self.nodes.items():
-                per_node[pid] = await node.wait_for_round(base + idx,
-                                                          timeout=timeout)
+            for pid in self.alive_members:
+                per_node[pid] = await self.nodes[pid].wait_for_round(
+                    base + idx, timeout=timeout)
+                # The awaited delivery may have drained an epoch barrier
+                # and reopened the window: re-fill so capped slots
+                # (including the round the next iteration waits on) are
+                # actually issued.
+                await refill(min(rounds, idx + depth))
             results.append(per_node)
         return results
 
     def agreement_holds(self) -> bool:
-        """Every node delivered identical message sequences for the rounds
-        it completed (the runtime counterpart of Lemma 3.5)."""
-        nodes = list(self.nodes.values())
+        """Every live node delivered identical message sequences for the
+        rounds it completed (the runtime counterpart of Lemma 3.5)."""
+        nodes = self._live_nodes()
         for i, a in enumerate(nodes):
             for b in nodes[i + 1:]:
                 common = min(a.delivered_rounds, b.delivered_rounds)

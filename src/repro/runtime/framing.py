@@ -21,12 +21,28 @@ from ..core.batching import Batch, Request
 from ..core.messages import Backward, Broadcast, FailureNotice, Forward, Message
 
 __all__ = ["encode_message", "decode_message", "encode_frame", "FrameDecoder",
-           "MAX_FRAME_BYTES"]
+           "canonical_payload", "MAX_FRAME_BYTES"]
 
 #: Upper bound on a frame, to protect against corrupted length prefixes.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
+
+
+def canonical_payload(data: Any) -> Any:
+    """Normalise application data to its JSON image (tuples become lists,
+    dict keys become strings, …).
+
+    The runtime applies this at the submit boundary so the origin server's
+    local copy of a request compares equal to every peer's decoded copy —
+    otherwise a submitted tuple would A-deliver as a tuple at its origin
+    but as a list everywhere else, and cross-replica comparisons would
+    report divergence where there is none.  Raises :class:`TypeError` for
+    data the wire format cannot carry (better at submit time than
+    mid-broadcast)."""
+    if data is None or isinstance(data, (str, int, float, bool)):
+        return data
+    return json.loads(json.dumps(data))
 
 
 def _batch_to_json(batch: Batch) -> dict[str, Any]:

@@ -22,17 +22,31 @@ from typing import Callable, Optional
 
 from ..core.batching import Batch, Request
 from ..core.config import AllConcurConfig
-from ..core.interfaces import Deliver, RoundAdvance, Send
+from ..core.interfaces import Deliver, Effect, RoundAdvance, Send
 from ..core.messages import Backward, Message
 from ..core.server import AllConcurServer
-from .framing import FrameDecoder, decode_message, encode_frame, encode_message
+from .framing import (
+    FrameDecoder,
+    canonical_payload,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
 
 __all__ = ["RuntimeNode", "NodeAddress", "DeliveredRound"]
 
 
 @dataclass(frozen=True)
 class NodeAddress:
-    """TCP endpoint of one AllConcur server."""
+    """TCP endpoint of one AllConcur server.
+
+    ``port == 0`` requests an ephemeral port: the node binds to port 0 in
+    :meth:`RuntimeNode.start_listening` and publishes the kernel-assigned
+    port back into the shared address map before anyone dials it.  This
+    replaces the old probe-then-bind port scan, which was TOCTOU-racy (a
+    port verified free could be taken before the listener bound it — a
+    recurring flaky-CI source).
+    """
 
     server_id: int
     host: str
@@ -71,9 +85,16 @@ class RuntimeNode:
         self.deliver_callbacks: list[Callable[[DeliveredRound], None]] = []
 
         self._tcp_server: Optional[asyncio.AbstractServer] = None
+        #: live inbound connection handlers (cancelled on stop so no
+        #: coroutine outlives the event loop)
+        self._conn_tasks: set[asyncio.Task] = set()
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._last_heard: dict[int, float] = {}
         self._suspected: set[int] = set()
+        #: peers known to be down: sends are dropped instead of retrying
+        #: the dial (a dead listener would otherwise stall the whole
+        #: effect-execution pipeline for the full reconnect backoff)
+        self._down: set[int] = set()
         self._tasks: list[asyncio.Task] = []
         self._lock = asyncio.Lock()
         self._stopped = asyncio.Event()
@@ -82,10 +103,33 @@ class RuntimeNode:
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
-        """Start listening and connect to all successors."""
+        """Start listening and connect to all successors.
+
+        Single-node convenience; a cluster brings all listeners up first
+        (:meth:`start_listening` on every node, which publishes the actual
+        ports) and only then dials (:meth:`connect_peers`), so no dial can
+        race a not-yet-bound listener.
+        """
+        await self.start_listening()
+        await self.connect_peers()
+
+    async def start_listening(self) -> None:
+        """Bind the listener and publish the actual port.
+
+        With ``port == 0`` the kernel assigns a free ephemeral port
+        atomically at bind time (no probe/bind race); the assigned port is
+        written back into the shared address map so peers dial the right
+        endpoint."""
         addr = self.addresses[self.id]
         self._tcp_server = await asyncio.start_server(
             self._handle_connection, addr.host, addr.port)
+        if addr.port == 0:
+            port = self._tcp_server.sockets[0].getsockname()[1]
+            self.addresses[self.id] = NodeAddress(self.id, addr.host, port)
+
+    async def connect_peers(self) -> None:
+        """Dial every successor (their listeners must be up) and start the
+        failure-detector tasks."""
         for succ in self.server.graph.successors(self.id):
             if succ in self.addresses:
                 await self._connect(succ)
@@ -104,19 +148,53 @@ class RuntimeNode:
             except (asyncio.CancelledError, Exception):
                 pass
         self._tasks.clear()
-        for writer in self._writers.values():
-            writer.close()
+        conn_tasks = list(self._conn_tasks)
+        self._conn_tasks.clear()
+        for task in conn_tasks:
+            task.cancel()
+        for task in conn_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        writers = list(self._writers.values())
         self._writers.clear()
+        for writer in writers:
+            writer.close()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
             self._tcp_server = None
 
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been called (the node is inert)."""
+        return self._stopped.is_set()
+
+    @property
+    def address(self) -> NodeAddress:
+        """This node's published endpoint (actual port once listening)."""
+        return self.addresses[self.id]
+
     # ------------------------------------------------------------------ #
     # Application API
     # ------------------------------------------------------------------ #
     async def submit(self, request: Request) -> None:
-        """Queue a request for the next round's message."""
+        """Queue a request for the next round's message.
+
+        The payload is normalised to its JSON wire image
+        (:func:`~repro.runtime.framing.canonical_payload`) so the local
+        copy equals what every peer will decode."""
+        from dataclasses import replace
+
+        canonical = canonical_payload(request.data)
+        if canonical is not request.data:
+            request = replace(request, data=canonical)
         async with self._lock:
             self.server.submit(request)
 
@@ -135,6 +213,23 @@ class RuntimeNode:
     def on_deliver(self, callback: Callable[[DeliveredRound], None]) -> None:
         """Register a callback invoked on every A-delivered round."""
         self.deliver_callbacks.append(callback)
+
+    async def notify_failure(self, suspect: int) -> None:
+        """Feed a failure suspicion into the protocol core.
+
+        This is the deterministic counterpart of the heartbeat timeout: the
+        cluster's fail-stop operation calls it on every monitor of the
+        failed server so membership changes do not depend on detector
+        timing.  Duplicates (e.g. the heartbeat loop firing afterwards) are
+        absorbed by the ``_suspected`` set."""
+        if suspect in self._suspected:
+            return
+        if suspect not in set(self.server.graph.predecessors(self.id)):
+            return
+        self._suspected.add(suspect)
+        self.mark_down(suspect)
+        async with self._lock:
+            await self._execute(self.server.notify_failure(suspect))
 
     @property
     def delivered_rounds(self) -> int:
@@ -172,7 +267,18 @@ class RuntimeNode:
                 await asyncio.sleep(0.05 * (attempt + 1))
         raise ConnectionError(f"server {self.id} cannot reach {peer}")
 
+    def mark_down(self, peer: int) -> None:
+        """Note that *peer* is dead: drop its connection and stop dialling
+        it (fail-stop model — a crashed server never comes back under the
+        same endpoint within an epoch)."""
+        self._down.add(peer)
+        writer = self._writers.pop(peer, None)
+        if writer is not None:
+            writer.close()
+
     async def _get_writer(self, peer: int) -> Optional[asyncio.StreamWriter]:
+        if peer in self._down:
+            return None
         writer = self._writers.get(peer)
         if writer is None or writer.is_closing():
             try:
@@ -185,6 +291,9 @@ class RuntimeNode:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         decoder = FrameDecoder()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             while not self._stopped.is_set():
                 data = await reader.read(65536)
@@ -195,6 +304,8 @@ class RuntimeNode:
         except (asyncio.CancelledError, ConnectionResetError):
             pass
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
 
     async def _handle_frame(self, obj: dict) -> None:
@@ -210,7 +321,7 @@ class RuntimeNode:
     # ------------------------------------------------------------------ #
     # Effects
     # ------------------------------------------------------------------ #
-    async def _execute(self, effects: list) -> None:
+    async def _execute(self, effects: list[Effect]) -> None:
         for effect in effects:
             if isinstance(effect, Send):
                 await self._send_effect(effect)
@@ -264,6 +375,4 @@ class RuntimeNode:
                     continue  # never heard yet: grace period
                 if now - last > self.heartbeat_timeout and \
                         pred in set(self.server.members):
-                    self._suspected.add(pred)
-                    async with self._lock:
-                        await self._execute(self.server.notify_failure(pred))
+                    await self.notify_failure(pred)

@@ -1,0 +1,244 @@
+"""Unified deployment facade: one vocabulary over both backends.
+
+The parametrised tests in TestFacadeVocabulary run the *same* scenario code
+against SimDeployment and TcpDeployment — the facade's whole point.
+Backend-specific semantics (virtual time, join, asyncio futures) get their
+own classes.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import (
+    BACKENDS,
+    DeliveryEvent,
+    RequestCancelled,
+    SimDeployment,
+    TcpDeployment,
+    UnsupportedOperation,
+    create_deployment,
+)
+from repro.core import AllConcurConfig
+from repro.graphs import gs_digraph
+
+
+def make(backend, n=6, d=3, **kwargs):
+    return create_deployment(backend, gs_digraph(n, d), **kwargs)
+
+
+class TestFactory:
+    def test_registry_names_match_classes(self):
+        assert BACKENDS == {"sim": SimDeployment, "tcp": TcpDeployment}
+        assert isinstance(make("sim"), SimDeployment)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_deployment("carrier-pigeon", gs_digraph(6, 3))
+
+    def test_kwargs_forwarded(self):
+        dep = make("sim", config=AllConcurConfig(graph=gs_digraph(6, 3),
+                                                 pipeline_depth=2))
+        assert dep.cluster.config.pipeline_depth == 2
+
+
+@pytest.mark.parametrize("backend", ["sim", "tcp"])
+class TestFacadeVocabulary:
+    """One scenario body, two transports."""
+
+    def test_submit_run_ack(self, backend):
+        with make(backend) as dep:
+            assert dep.n == 6
+            h1 = dep.submit("alpha", at=0)
+            h2 = dep.submit("beta", at=4)
+            assert not h1.done and h1.key == (0, 0)
+            events = dep.run_rounds(1)
+            assert len(events) == 1
+            event = events[0]
+            assert isinstance(event, DeliveryEvent)
+            assert event.round == 0 and event.origins == tuple(range(6))
+            assert h1.done and h1.round == 0 and h1.delivery is event
+            assert h2.done and h2.round == 0
+            assert dep.check_agreement()
+
+    def test_per_origin_sequence_numbers(self, backend):
+        with make(backend) as dep:
+            a = dep.submit("x", at=2)
+            b = dep.submit("y", at=2)
+            c = dep.submit("z", at=3)
+            assert (a.seq, b.seq, c.seq) == (0, 1, 0)
+            dep.run_rounds(1)
+            delivered = [r.data for r in dep.deliveries()[0].requests()]
+            assert delivered == ["x", "y", "z"]
+
+    def test_deliveries_log_and_on_deliver(self, backend):
+        with make(backend) as dep:
+            per_round, per_node = [], []
+            dep.on_deliver(lambda e: per_round.append(e.round))
+            dep.on_deliver(lambda pid, e: per_node.append((pid, e.round)),
+                           per_node=True)
+            dep.submit("r0", at=0)
+            dep.run_rounds(2)
+            assert per_round == [0, 1]
+            assert len(dep.deliveries()) == 2
+            # every node observed every round exactly once
+            assert sorted(per_node) == sorted(
+                (pid, r) for pid in range(6) for r in range(2))
+
+    def test_done_callback_fires_on_ack_and_immediately_when_done(
+            self, backend):
+        with make(backend) as dep:
+            acked = []
+            h = dep.submit("cb", at=1)
+            h.add_done_callback(lambda hd: acked.append(hd.round))
+            dep.run_rounds(1)
+            assert acked == [0]
+            h.add_done_callback(lambda hd: acked.append("late"))
+            assert acked == [0, "late"]
+
+    def test_result_drives_the_deployment(self, backend):
+        with make(backend) as dep:
+            h = dep.submit("drive", at=5)
+            event = h.result(timeout=20)
+            assert event.round == 0
+            assert dep.check_agreement()
+
+    def test_fail_removes_member_and_cancels_pending_handles(self, backend):
+        with make(backend, n=8) as dep:
+            dep.submit("warm", at=0)
+            dep.run_rounds(1)
+            doomed = dep.submit("never", at=6)
+            dep.fail(6)
+            assert 6 not in dep.alive_members
+            assert doomed.cancelled and not doomed.done
+            with pytest.raises(RequestCancelled):
+                doomed.result(timeout=5)
+            dep.run_rounds(2)
+            assert dep.check_agreement()
+            removed = {pid for e in dep.deliveries() for pid in e.removed}
+            assert 6 in removed
+
+    def test_submit_at_dead_or_unknown_server_rejected(self, backend):
+        with make(backend) as dep:
+            dep.fail(2)
+            with pytest.raises(ValueError):
+                dep.submit("x", at=2)
+            with pytest.raises(ValueError):
+                dep.submit("x", at=77)
+
+    def test_capabilities_declared(self, backend):
+        dep = make(backend)
+        caps = dep.capabilities()
+        assert ("join" in caps) == (backend == "sim")
+        dep.stop()
+
+    def test_payloads_canonicalised_identically(self, backend):
+        """Tuples are normalised to their JSON image at submit on EVERY
+        backend, so delivered payloads compare equal across transports."""
+        with make(backend) as dep:
+            dep.submit(("cmd", 1, ("nested",)), at=0)
+            dep.run_rounds(1)
+            (request,) = dep.deliveries()[0].requests()
+            assert request.data == ["cmd", 1, ["nested"]]
+
+
+class TestSimBackend:
+    def test_join_starts_new_epoch_and_preserves_agreement(self):
+        dep = make("sim", n=8)
+        dep.submit("pre", at=0)
+        dep.run_rounds(1)
+        dep.fail(3)
+        dep.run_rounds(2)
+        dep.join(3)
+        assert dep.epoch == 1
+        events = dep.run_rounds(2)
+        assert 3 in dep.alive_members
+        assert [e.epoch for e in events] == [1, 1]
+        assert [e.round for e in events] == [0, 1]
+        assert dep.check_agreement()
+
+    def test_epoch_round_ordering_in_log(self):
+        dep = make("sim", n=8)
+        dep.run_rounds(2)
+        dep.fail(1)
+        dep.run_rounds(1)
+        dep.join(1)
+        dep.run_rounds(1)
+        keys = [(e.epoch, e.round) for e in dep.deliveries()]
+        assert keys == sorted(keys)
+
+    def test_result_without_progress_raises_timeout(self):
+        # an empty deployment where no further round can complete: failing
+        # a server right away leaves the handle unresolvable
+        dep = make("sim")
+        h = dep.submit("stuck", at=0)
+        for pid in (1, 2, 3, 4, 5):
+            dep.fail(pid)
+        with pytest.raises((TimeoutError, RequestCancelled)):
+            h.result(timeout=1)
+
+    def test_instrumentation_passthrough(self):
+        dep = make("sim")
+        dep.run_rounds(1)
+        assert dep.trace is dep.cluster.trace
+        assert dep.sim.now > 0
+        assert dep.trace.agreement_latency(0) > 0
+
+
+class TestTcpBackend:
+    def test_future_resolves_with_delivery(self):
+        with make("tcp") as dep:
+            h = dep.submit("net", at=0)
+            fut = dep.future_of(h)
+            assert not fut.done()
+            dep.run_rounds(1)
+            assert fut.done() and fut.result().round == 0
+            assert dep.future_of(h) is fut
+
+    def test_future_of_failed_origin_raises(self):
+        with make("tcp", n=8) as dep:
+            dep.run_rounds(1)
+            h = dep.submit("gone", at=5)
+            fut = dep.future_of(h)
+            dep.fail(5)
+            assert isinstance(fut.exception(), RequestCancelled)
+
+    def test_join_unsupported(self):
+        with make("tcp") as dep:
+            with pytest.raises(UnsupportedOperation):
+                dep.join(0)
+
+    def test_restart_after_stop_rejected(self):
+        dep = make("tcp")
+        dep.start()
+        dep.run_rounds(1)
+        dep.stop()
+        with pytest.raises(RuntimeError, match="restart"):
+            dep.start()
+
+    def test_facade_and_direct_cluster_submissions_share_one_sequencer(self):
+        with make("tcp") as dep:
+            h0 = dep.submit("via-facade", at=0)
+            dep._run(dep.cluster.submit(0, "direct"))
+            h1 = dep.submit("facade-again", at=0)
+            assert h0.key == (0, 0) and h1.key == (0, 2)
+            dep.run_rounds(1)
+            assert h0.done and h1.done
+            data = [r.data for r in dep.deliveries()[0].requests()]
+            assert data == ["via-facade", "direct", "facade-again"]
+
+    def test_run_rounds_with_no_live_nodes_is_a_clean_noop(self):
+        with make("tcp") as dep:
+            for pid in dep.members:
+                dep.fail(pid)
+            assert dep.run_rounds(1) == []
+
+    def test_two_deployments_coexist(self):
+        # kernel-assigned ports: no port-range collisions between clusters
+        with make("tcp") as a, make("tcp") as b:
+            ha = a.submit("a", at=0)
+            hb = b.submit("b", at=0)
+            a.run_rounds(1)
+            b.run_rounds(1)
+            assert ha.done and hb.done
+            assert a.check_agreement() and b.check_agreement()

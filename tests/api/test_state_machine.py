@@ -1,0 +1,139 @@
+"""Replicated state machines over the deployment facade.
+
+Includes the acceptance scenario in miniature: the same application state
+machine, driven through the same facade calls, reaches the identical end
+state on the simulator and over TCP.
+"""
+
+import pytest
+
+from repro.api import (
+    ReplicatedKVStore,
+    ReplicatedStateMachine,
+    StateMachine,
+    create_deployment,
+)
+from repro.core import Request
+from repro.graphs import gs_digraph
+
+
+def make(backend, n=6, d=3):
+    return create_deployment(backend, gs_digraph(n, d))
+
+
+class CountingMachine:
+    """Minimal deterministic machine: counts per-origin applications."""
+
+    def __init__(self):
+        self.counts = {}
+        self.rounds = []
+
+    def apply(self, round_no, origin, request):
+        self.counts[origin] = self.counts.get(origin, 0) + 1
+        self.rounds.append(round_no)
+        return self.counts[origin]
+
+    def snapshot(self):
+        return tuple(sorted(self.counts.items()))
+
+
+class TestReplicatedStateMachine:
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(ReplicatedKVStore(), StateMachine)
+        assert isinstance(CountingMachine(), StateMachine)
+
+    @pytest.mark.parametrize("backend", ["sim", "tcp"])
+    def test_one_replica_per_member_applies_in_order(self, backend):
+        with make(backend) as dep:
+            rsm = ReplicatedStateMachine(dep, CountingMachine)
+            dep.submit("a", at=0)
+            dep.submit("b", at=0)
+            dep.submit("c", at=3)
+            dep.run_rounds(2)
+            assert set(rsm.replicas) == set(dep.members)
+            assert all(h == 2 for h in rsm.heights.values())
+            assert rsm.converged()
+            snap = rsm.assert_convergence()
+            assert snap == ((0, 2), (3, 1))
+            # apply results are positional in the agreed order
+            assert rsm.results() == (1, 2, 1)
+
+    def test_divergence_detected(self):
+        dep = make("sim")
+        rsm = ReplicatedStateMachine(dep, CountingMachine)
+        dep.submit("x", at=1)
+        dep.run_rounds(1)
+        rsm.replica(0).counts[99] = 1   # corrupt one replica
+        assert not rsm.converged()
+        with pytest.raises(AssertionError, match="diverged"):
+            rsm.assert_convergence()
+
+    def test_failed_replica_excluded_from_convergence(self):
+        dep = make("sim", n=8)
+        rsm = ReplicatedStateMachine(dep, CountingMachine)
+        dep.submit("pre", at=0)
+        dep.run_rounds(1)
+        dep.fail(4)
+        dep.submit("post", at=1)
+        dep.run_rounds(2)
+        assert 4 not in rsm.snapshots()
+        assert rsm.converged()
+
+
+class TestReplicatedKVStore:
+    def test_command_semantics(self):
+        kv = ReplicatedKVStore()
+
+        def apply(data):
+            return kv.apply(0, 0, Request(origin=0, seq=0, data=data))
+
+        assert apply(("set", "k", 1)) is None
+        assert apply(("set", "k", 2)) == 1
+        assert apply(("get", "k")) == 2
+        assert apply(("cas", "k", 2, 3)) is True
+        assert apply(("cas", "k", 2, 4)) is False
+        assert apply(("del", "k")) is True
+        assert apply(("del", "k")) is False
+        assert kv.snapshot() == ()
+        with pytest.raises(ValueError):
+            apply(("mystery",))
+
+    def test_cas_resolves_conflicts_identically_everywhere(self):
+        # two clients race for the same resource at different servers; CAS
+        # makes exactly one win, deterministically, on every replica
+        with make("sim") as dep:
+            rsm = ReplicatedStateMachine(dep, ReplicatedKVStore)
+            dep.submit(("set", "seat", "free"), at=0)
+            dep.run_rounds(1)
+            w1 = dep.submit(("cas", "seat", "free", "alice"), at=1)
+            w2 = dep.submit(("cas", "seat", "free", "bob"), at=4)
+            dep.run_rounds(1)
+            assert w1.done and w2.done
+            snap = rsm.assert_convergence()
+            assert dict(snap)["seat"] == "alice"   # lower origin id wins
+            assert rsm.results()[-2:] == (True, False)
+
+    def test_identical_end_state_across_backends(self):
+        """The acceptance criterion in miniature: same scenario, same end
+        state, both transports."""
+        commands = [
+            (0, ("set", "a", 1)),
+            (2, ("set", "b", 2)),
+            (4, ("cas", "a", 1, 10)),
+            (1, ("del", "b")),
+            (3, ("set", "c", "x")),
+        ]
+        snapshots = {}
+        results = {}
+        for backend in ("sim", "tcp"):
+            with make(backend) as dep:
+                rsm = ReplicatedStateMachine(dep, ReplicatedKVStore)
+                handles = [dep.submit(data, at=pid)
+                           for pid, data in commands]
+                dep.run_rounds(2)
+                assert all(h.done for h in handles)
+                assert dep.check_agreement()
+                snapshots[backend] = rsm.assert_convergence()
+                results[backend] = rsm.results()
+        assert snapshots["sim"] == snapshots["tcp"]
+        assert results["sim"] == results["tcp"]

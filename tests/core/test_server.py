@@ -103,6 +103,37 @@ class TestBroadcastPath:
         assert deliver.removed == ()
         assert server.delivered_rounds == 1
 
+    def test_delivery_subscription_acks_requests_at_the_core_layer(self):
+        """subscribe_deliveries streams RoundOutcomes in round order; each
+        outcome carries the (round, origin, seq) coordinates of every
+        agreed request — the sans-IO request-lifecycle hook."""
+        server = AllConcurServer(0, config())
+        acks = []
+
+        def on_outcome(outcome):
+            acks.append((outcome.round,
+                         [(req.origin, req.seq)
+                          for _o, batch in outcome.messages
+                          for req in batch.requests]))
+
+        server.subscribe_deliveries(on_outcome)
+        server.submit(Request(origin=0, seq=0, nbytes=8, data="mine"))
+        server.start_round()
+        for origin in range(1, 6):
+            payload = Batch.of([Request(origin=origin, seq=0, nbytes=8)]) \
+                if origin == 2 else Batch.empty()
+            server.handle_message(
+                origin, Broadcast(round=0, origin=origin, payload=payload))
+        assert acks == [(0, [(0, 0), (2, 0)])]
+        server.unsubscribe_deliveries(on_outcome)
+        server.unsubscribe_deliveries(on_outcome)   # absent: no-op
+        server.start_round()
+        for origin in range(1, 6):
+            server.handle_message(
+                origin, Broadcast(round=1, origin=origin,
+                                  payload=Batch.empty()))
+        assert server.delivered_rounds == 2 and len(acks) == 1
+
     def test_requests_drained_into_payload(self):
         server = AllConcurServer(0, config())
         server.submit(Request(origin=0, seq=0, nbytes=64, data="a"))

@@ -4,7 +4,15 @@ import asyncio
 
 import pytest
 
-from repro.core import Batch, Broadcast, FailureNotice, Forward, Backward, Request
+from repro.core import (
+    AllConcurConfig,
+    Backward,
+    Batch,
+    Broadcast,
+    FailureNotice,
+    Forward,
+    Request,
+)
 from repro.graphs import gs_digraph
 from repro.runtime import (
     FrameDecoder,
@@ -107,6 +115,102 @@ class TestLocalCluster:
                 cluster.nodes[2].on_deliver(lambda rec: seen.append(rec.round))
                 await cluster.run_rounds(1, timeout=20)
             assert seen == [0]
+
+        asyncio.run(scenario())
+
+    def test_ephemeral_ports_published_before_dialling(self):
+        """Port 0 = kernel-assigned: after start every node's address map
+        entry holds a real bound port, and two clusters can start
+        concurrently without racing for a port range (the old probe-based
+        pick_free_port_base was TOCTOU-racy)."""
+        async def scenario():
+            graph = gs_digraph(6, 3)
+            a = LocalCluster(graph, enable_failure_detector=False)
+            b = LocalCluster(graph, enable_failure_detector=False)
+            assert all(addr.port == 0 for addr in a.addresses.values())
+            try:
+                await asyncio.gather(a.start(), b.start())
+                for cluster in (a, b):
+                    ports = [cluster.nodes[pid].address.port
+                             for pid in cluster.members]
+                    assert all(p > 0 for p in ports)
+                    assert len(set(ports)) == len(ports)
+                await a.submit(0, "a")
+                await b.submit(0, "b")
+                ra, rb = await asyncio.gather(a.run_rounds(1),
+                                              b.run_rounds(1))
+                assert a.agreement_holds() and b.agreement_holds()
+            finally:
+                await a.stop()
+                await b.stop()
+
+        asyncio.run(scenario())
+
+    def test_explicit_base_port_still_honoured(self):
+        async def scenario():
+            graph = gs_digraph(6, 3)
+            async with LocalCluster(graph, base_port=23750,
+                                    enable_failure_detector=False) as cluster:
+                assert [cluster.nodes[pid].address.port
+                        for pid in cluster.members] == \
+                    list(range(23750, 23756))
+                await cluster.run_rounds(1)
+                assert cluster.agreement_holds()
+
+        asyncio.run(scenario())
+
+    def test_fail_stop_membership_change(self):
+        """cluster.fail tears a node down and injects the suspicion
+        deterministically; later rounds exclude the failed server."""
+        async def scenario():
+            graph = gs_digraph(8, 3)
+            async with LocalCluster(graph,
+                                    enable_failure_detector=False) as cluster:
+                await cluster.run_rounds(1, timeout=20)
+                await cluster.fail(6)
+                assert cluster.alive_members == (0, 1, 2, 3, 4, 5, 7)
+                rounds = await cluster.run_rounds(2, timeout=20)
+                assert cluster.agreement_holds()
+                removed = {pid for per_node in rounds
+                           for rec in per_node.values()
+                           for pid in rec.removed}
+                assert removed == {6}
+                last = rounds[-1][0]
+                assert 6 not in [o for o, _b in last.messages]
+
+        asyncio.run(scenario())
+
+    def test_run_rounds_refills_window_across_membership_barrier(self):
+        """Regression: with pipeline_depth >= 2 a membership change caps
+        the broadcast window (epoch barrier) and start_round becomes a
+        temporary no-op; run_rounds must re-fill the window after each
+        awaited round or the capped slots are never re-issued and the run
+        times out."""
+        async def scenario():
+            graph = gs_digraph(8, 3)
+            config = AllConcurConfig(graph=graph, auto_advance=False,
+                                     pipeline_depth=2)
+            async with LocalCluster(graph, config=config,
+                                    enable_failure_detector=False) as cluster:
+                await cluster.submit(0, "pre")
+                await cluster.run_rounds(1, timeout=20)
+                await cluster.fail(5)
+                await cluster.submit(1, "post")
+                rounds = await cluster.run_rounds(4, timeout=20)
+                assert len(rounds) == 4
+                assert cluster.agreement_holds()
+                removed = {pid for per_node in rounds
+                           for rec in per_node.values()
+                           for pid in rec.removed}
+                assert removed == {5}
+                # the new epoch is underway: the last round has only the
+                # shrunk membership and delivered the post-failure request
+                node0 = cluster.nodes[0]
+                assert node0.server.members == (0, 1, 2, 3, 4, 6, 7)
+                data = [req.data for per_node in rounds
+                        for _o, b in per_node[0].messages
+                        for req in b.requests]
+                assert "post" in data
 
         asyncio.run(scenario())
 
