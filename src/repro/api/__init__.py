@@ -56,7 +56,15 @@ __all__ = [
     "ReplicatedStateMachine",
     "ReplicatedKVStore",
     "create_deployment",
+    "register_backend",
+    "backend_class",
     "BACKENDS",
+    "ShardedService",
+    "ServiceHandle",
+    "ShardDelivery",
+    "Partitioner",
+    "ConsistentHashPartitioner",
+    "ExplicitPartitioner",
 ]
 
 #: registry of backend constructors, keyed by their ``name``
@@ -66,16 +74,57 @@ BACKENDS = {
 }
 
 
+def register_backend(name: str, cls: type, *, replace: bool = False) -> None:
+    """Register a third-party :class:`Deployment` backend under *name*.
+
+    Everything built on :func:`create_deployment` — including
+    :class:`~repro.api.service.ShardedService` group construction — can
+    then instantiate it by name, so service-level code never special-cases
+    transports.  Registering an already-taken name raises
+    :class:`ValueError` unless ``replace=True`` (silently shadowing the
+    built-in ``"sim"``/``"tcp"`` backends is almost always a bug); *cls*
+    must subclass :class:`Deployment` so the facade vocabulary holds.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, "
+                         f"got {name!r}")
+    if not (isinstance(cls, type) and issubclass(cls, Deployment)):
+        raise TypeError(f"backend class must subclass Deployment, "
+                        f"got {cls!r}")
+    if name in BACKENDS and BACKENDS[name] is not cls and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered "
+            f"({BACKENDS[name].__name__}); pass replace=True to override")
+    BACKENDS[name] = cls
+
+
+def backend_class(backend: str) -> type:
+    """The registered :class:`Deployment` subclass for *backend* (used for
+    capability introspection before construction — e.g. whether the
+    backend supports shared-engine hosting)."""
+    try:
+        return BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"available: {sorted(BACKENDS)}") from None
+
+
 def create_deployment(backend: str, graph: Digraph,
                       **kwargs) -> Deployment:
-    """Instantiate a deployment by backend name (``"sim"`` or ``"tcp"``).
+    """Instantiate a deployment by backend name (``"sim"`` or ``"tcp"``,
+    plus anything added via :func:`register_backend`).
 
     Keyword arguments are forwarded to the backend constructor; scenario
     scripts use this to stay backend-agnostic end to end.
     """
-    try:
-        cls = BACKENDS[backend]
-    except KeyError:
-        raise ValueError(f"unknown backend {backend!r}; "
-                         f"available: {sorted(BACKENDS)}") from None
-    return cls(graph, **kwargs)
+    return backend_class(backend)(graph, **kwargs)
+
+
+from .service import (  # noqa: E402  (needs create_deployment above)
+    ConsistentHashPartitioner,
+    ExplicitPartitioner,
+    Partitioner,
+    ServiceHandle,
+    ShardDelivery,
+    ShardedService,
+)

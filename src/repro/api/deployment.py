@@ -279,7 +279,12 @@ class Deployment(abc.ABC):
         """Operations this backend supports beyond the core vocabulary.
 
         ``"join"`` — membership additions via :meth:`join`;
-        ``"time"`` — virtual time (deterministic, free to advance).
+        ``"time"`` — virtual time (deterministic, free to advance);
+        ``"shared-engine"`` — the constructor accepts an external
+        ``engine=`` simulator plus a ``namespace=`` label, and the
+        deployment exposes ``fill_round()`` / ``complete_round()`` so a
+        multi-group coordinator (:class:`repro.api.service.ShardedService`)
+        can advance co-hosted groups in parallel on one virtual clock.
         """
         return frozenset()
 

@@ -20,25 +20,37 @@ from ..core.cluster import ClusterOptions, SimCluster
 from ..core.config import AllConcurConfig
 from ..core.interfaces import Deliver
 from ..graphs.digraph import Digraph
+from ..sim.engine import Simulator
 from .deployment import Deployment, DeliveryEvent, RequestHandle
 
 __all__ = ["SimDeployment"]
 
 
 class SimDeployment(Deployment):
-    """An AllConcur deployment running on the packet-level simulator."""
+    """An AllConcur deployment running on the packet-level simulator.
+
+    Passing *engine* hosts the deployment on an external — typically
+    shared — :class:`~repro.sim.engine.Simulator`, so several groups
+    advance on **one** virtual clock (the ``shared-engine`` capability;
+    :class:`repro.api.service.ShardedService` uses this for coherent
+    cross-shard timing).  A coordinator drives co-hosted groups through
+    the two-phase :meth:`fill_round` / :meth:`complete_round` split so
+    every group's round is in flight before the engine runs.
+    """
 
     name = "sim"
 
     def __init__(self, graph: Digraph, *,
                  config: Optional[AllConcurConfig] = None,
-                 options: Optional[ClusterOptions] = None) -> None:
+                 options: Optional[ClusterOptions] = None,
+                 engine: Optional[Simulator] = None,
+                 namespace: str = "") -> None:
         super().__init__()
         self.cluster = SimCluster(
             graph,
             config=config or AllConcurConfig(graph=graph,
                                              auto_advance=False),
-            options=options)
+            options=options, sim=engine, namespace=namespace)
         #: next undelivered round index within the current epoch (the
         #: simulator restarts round numbering at every reconfiguration)
         self._epoch_round = 0
@@ -47,7 +59,7 @@ class SimDeployment(Deployment):
     # ------------------------------------------------------------------ #
     @classmethod
     def capabilities(cls) -> frozenset:
-        return frozenset({"join", "time"})
+        return frozenset({"join", "time", "shared-engine"})
 
     @property
     def members(self) -> tuple[int, ...]:
@@ -112,11 +124,36 @@ class SimDeployment(Deployment):
         for _ in range(k):
             if not self.alive_members:
                 break
-            for pid in self.alive_members:
-                self.cluster.node(pid).fill_window()
-            self.cluster.run_until_round(self._epoch_round)
-            self._epoch_round += 1
+            self.fill_round()
+            self.complete_round()
         return self._log[mark:]
+
+    # ------------------------------------------------------------------ #
+    # Two-phase round driving (shared-engine coordination)
+    # ------------------------------------------------------------------ #
+    def fill_round(self) -> None:
+        """Phase 1 of one coordinated round: every alive server
+        A-broadcasts into its open window slots — no engine events run.
+
+        A coordinator hosting several groups on one engine calls
+        :meth:`fill_round` on *every* group before any
+        :meth:`complete_round`, so all groups' rounds are in flight at the
+        same virtual instant (parallel progress on the shared clock rather
+        than one group's round serialising after another's).
+        """
+        self.start()
+        for pid in self.alive_members:
+            self.cluster.node(pid).fill_window()
+
+    def complete_round(self) -> None:
+        """Phase 2: run the engine until this group's next undelivered
+        round is A-delivered at every alive member, then advance the
+        round cursor.  On a shared engine, co-hosted groups' events
+        execute along the way (their deliveries are observed through
+        their own persistent subscriptions); a group whose round already
+        completed during another group's run returns without running."""
+        self.cluster.run_until_round(self._epoch_round)
+        self._epoch_round += 1
 
     def fail(self, pid: int) -> None:
         """Crash server *pid* (fail-stop) now; pending handles submitted

@@ -42,13 +42,15 @@ class TcpDeployment(Deployment):
                  host: str = "127.0.0.1",
                  heartbeat_period: float = 0.05,
                  heartbeat_timeout: float = 0.5,
-                 enable_failure_detector: bool = False) -> None:
+                 enable_failure_detector: bool = False,
+                 namespace: str = "") -> None:
         super().__init__()
         self.cluster = LocalCluster(
             graph, host=host, config=config,
             heartbeat_period=heartbeat_period,
             heartbeat_timeout=heartbeat_timeout,
-            enable_failure_detector=enable_failure_detector)
+            enable_failure_detector=enable_failure_detector,
+            namespace=namespace)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._futures: dict[tuple[int, int], asyncio.Future] = {}
         self._closed = False
@@ -61,6 +63,12 @@ class TcpDeployment(Deployment):
     @property
     def alive_members(self) -> tuple[int, ...]:
         return self.cluster.alive_members
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """Published ``pid -> (host, port)`` listener addresses (kernel
+        ports become visible after :meth:`start`) — each deployment is
+        its own disjoint port space."""
+        return self.cluster.endpoints()
 
     def _run(self, coro):
         assert self._loop is not None, "deployment not started"

@@ -7,9 +7,10 @@ directory wraps the same entry points in pytest-benchmark tests with
 reduced parameters.
 """
 
-# NOTE: repro.bench.perf is intentionally not imported eagerly — it is run
-# as a script (``python -m repro.bench.perf``), and importing it here first
-# would trigger the runpy double-import warning.
+# NOTE: repro.bench.perf and repro.bench.shards are intentionally not
+# imported eagerly — they are run as scripts (``python -m repro.bench.perf``
+# / ``... .shards``), and importing them here first would trigger the runpy
+# double-import warning.
 from . import fig5, fig6, fig7, fig8, fig9, fig10, headline, table3
 from .harness import (
     PAPER_TABLE3_SIZES,

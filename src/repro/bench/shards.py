@@ -1,0 +1,264 @@
+"""Shard-scaling sweep: aggregate service throughput vs shard count.
+
+One AllConcur group's agreement throughput is capped by its round rate —
+adding servers to the group adds fault tolerance, not write throughput.
+The sharded service (:class:`repro.api.ShardedService`) scales writes by
+running G independent groups and routing keys across them; this module
+measures exactly that claim:
+
+* :func:`shard_point` — one deterministic, packet-level run of a
+  G-shard service at fixed per-group n (GS(n, d) per shard, all groups on
+  ONE shared simulator engine so virtual time is coherent), driven by a
+  saturating keyed workload through the real client surface
+  (``service.submit(key, ...)`` → partitioner → owning group);
+* :func:`shard_sweep` — the committed trajectory (``BENCH_shards.json``):
+  G ∈ {1, 2, 4, 8} at n = 8 per group, recording each shard count's
+  aggregate steady-state request rate and its scaling efficiency
+  against G × the single-shard rate (near-linear is the acceptance bar —
+  groups share a clock but no resources);
+* :func:`smoke` — a small G=2 run for CI: verifies the sweep machinery
+  end to end and that 2-shard efficiency stays above a floor, under a
+  wall-clock cap.
+
+Run ``python -m repro.bench.shards --sweep`` to regenerate the committed
+file, ``--smoke`` for the CI check (exits non-zero on regression).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..api.service import ShardedService
+from ..graphs.gs import gs_digraph
+from ..workloads.generators import KeyedWorkload
+
+__all__ = [
+    "SHARD_BENCH_PATH",
+    "SHARD_SWEEP_COUNTS",
+    "shard_point",
+    "shard_sweep",
+    "smoke",
+    "load_committed",
+]
+
+#: shard counts of the committed sweep
+SHARD_SWEEP_COUNTS = (1, 2, 4, 8)
+
+#: per-group overlay of the sweep: GS(8, 3) (6-nines degree for n=8)
+SWEEP_N_PER_GROUP = 8
+SWEEP_DEGREE = 3
+
+#: per-round batch bound and request size of the saturated workload
+#: (shared by shard_point's defaults and the persisted scenario metadata)
+SWEEP_MAX_BATCH = 16
+SWEEP_REQUEST_NBYTES = 64
+
+#: CI smoke: fail when the 2-shard scaling efficiency drops below this
+#: (the run is deterministic — virtual time — so the margin is generous
+#: only against future modelling changes, not noise)
+SMOKE_EFFICIENCY_FLOOR = 0.75
+
+
+def _default_shard_bench_path() -> str:
+    """Repo-root anchored location of the trajectory file (mirrors
+    perf.PERF_BENCH_PATH)."""
+    anchor = Path(__file__).resolve().parents[3]
+    if (anchor / "src" / "repro").is_dir():
+        return str(anchor / "BENCH_shards.json")
+    return "BENCH_shards.json"
+
+
+SHARD_BENCH_PATH = _default_shard_bench_path()
+
+
+def shard_point(num_shards: int, *, n_per_group: int = SWEEP_N_PER_GROUP,
+                degree: int = SWEEP_DEGREE, rounds: int = 12,
+                skip_rounds: int = 2, max_batch: int = SWEEP_MAX_BATCH,
+                distribution: str = "uniform", num_keys: int = 4096,
+                seed: int = 1) -> dict:
+    """One instrumented run of a *num_shards*-shard service on sim.
+
+    Every group is a GS(*n_per_group*, *degree*) overlay; all groups share
+    one simulator engine.  The keyed workload pre-loads every server's
+    queue far past ``rounds × max_batch`` (saturation — per-round batches
+    are bounded at *max_batch*, §5's stability suggestion), so each shard
+    delivers at its round rate and the aggregate rate isolates the scaling
+    effect of G.  Keys route through the consistent-hash partitioner and
+    a key-sticky origin, exactly as client traffic would.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    graphs = [gs_digraph(n_per_group, degree) for _ in range(num_shards)]
+    service = ShardedService("sim", graphs, seed=seed)
+    for group in service.groups:
+        for pid in group.cluster.members:
+            group.cluster.server(pid).queue.max_batch = max_batch
+    # Saturate: enough keyed requests that every server's queue outlasts
+    # the measured rounds even under hash imbalance.
+    total = int(num_shards * n_per_group * max_batch * rounds * 1.6)
+    workload = KeyedWorkload(num_keys=num_keys, distribution=distribution,
+                             seed=seed)
+    wall0 = time.perf_counter()
+    for key, command in workload.requests(total):
+        service.submit(key, command, nbytes=SWEEP_REQUEST_NBYTES)
+    service.run_rounds(rounds)
+    wall = time.perf_counter() - wall0
+    if not service.check_agreement():  # pragma: no cover - safety net
+        raise AssertionError("per-shard agreement violated during sweep")
+    per_shard = [group.trace.steady_request_rate(skip_rounds=skip_rounds)
+                 for group in service.groups]
+    delivered = sum(d.request_count for d in service.deliveries())
+    engine = service.engine
+    return {
+        "num_shards": num_shards,
+        "n_per_group": n_per_group,
+        "overlay_per_shard": graphs[0].name,
+        "total_servers": service.n,
+        "rounds": rounds,
+        "max_batch": max_batch,
+        "distribution": distribution,
+        "num_keys": num_keys,
+        "requests_submitted": total,
+        "requests_delivered": delivered,
+        "per_shard_request_rate": per_shard,
+        "aggregate_request_rate": sum(per_shard),
+        "sim_time_s": engine.now,
+        "events": engine.events_processed,
+        "wall_s": wall,
+        "seed": seed,
+    }
+
+
+def shard_sweep(counts: tuple[int, ...] = SHARD_SWEEP_COUNTS, *,
+                path: Optional[str] = SHARD_BENCH_PATH,
+                seed: int = 1) -> dict:
+    """The committed shard-scaling trajectory.
+
+    Deterministic (one virtual clock per point, seeded workload), so the
+    file is reproducible bit-for-bit except for the wall-clock column.
+    ``summary`` reports, per shard count, the aggregate steady-state rate
+    and the scaling efficiency ``rate(G) / (G × rate(1))``.
+    """
+    rows = [shard_point(G, seed=seed) for G in sorted(counts)]
+    base = next(r for r in rows if r["num_shards"] == min(counts))
+    base_rate = base["aggregate_request_rate"] / base["num_shards"]
+    summary = {}
+    for row in rows:
+        G = row["num_shards"]
+        summary[f"G={G}"] = {
+            "aggregate_request_rate": row["aggregate_request_rate"],
+            "scaling_efficiency":
+                row["aggregate_request_rate"] / (G * base_rate)
+                if base_rate else None,
+        }
+    payload = {
+        "description": "Sharded-service scaling trajectory: aggregate "
+                       "steady-state agreed-request rate vs shard count "
+                       "G at fixed per-group n (keyed uniform workload "
+                       "through the consistent-hash partitioner; all "
+                       "groups hosted on one shared simulator engine)",
+        "scenario": {
+            "backend": "sim",
+            "overlay_per_shard":
+                f"GS({SWEEP_N_PER_GROUP},{SWEEP_DEGREE})",
+            "workload": "keyed-uniform-saturated",
+            "max_batch": SWEEP_MAX_BATCH,
+            "request_nbytes": SWEEP_REQUEST_NBYTES,
+            "seed": seed,
+        },
+        "counts": list(sorted(counts)),
+        "rows": rows,
+        "summary": summary,
+    }
+    if path is not None:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return payload
+
+
+def load_committed(path: str = SHARD_BENCH_PATH) -> Optional[dict]:
+    """The committed trajectory, or None if the file does not exist."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def smoke(*, cap_wall_s: float = 60.0, seed: int = 1) -> dict:
+    """CI smoke: a small G ∈ {1, 2} sweep (n = 8 per group, few rounds)
+    so the service path and the sweep machinery cannot silently rot.
+
+    Checks the 2-shard scaling efficiency against
+    :data:`SMOKE_EFFICIENCY_FLOOR` and the wall-clock cap; both runs are
+    deterministic, so a failure is a real regression, not noise.
+    """
+    wall0 = time.perf_counter()
+    one = shard_point(1, rounds=8, seed=seed)
+    two = shard_point(2, rounds=8, seed=seed)
+    wall = time.perf_counter() - wall0
+    efficiency = two["aggregate_request_rate"] / \
+        (2 * one["aggregate_request_rate"]) \
+        if one["aggregate_request_rate"] else 0.0
+    efficiency_ok = efficiency >= SMOKE_EFFICIENCY_FLOOR
+    wall_ok = wall <= cap_wall_s
+    return {
+        "g1_aggregate_request_rate": one["aggregate_request_rate"],
+        "g2_aggregate_request_rate": two["aggregate_request_rate"],
+        "scaling_efficiency": efficiency,
+        "floor": SMOKE_EFFICIENCY_FLOOR,
+        "efficiency_ok": efficiency_ok,
+        "wall_s": wall,
+        "cap_wall_s": cap_wall_s,
+        "wall_ok": wall_ok,
+        "ok": efficiency_ok and wall_ok,
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Sharded-service scaling sweep / CI smoke check")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the full G sweep and rewrite "
+                             "BENCH_shards.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small G∈{1,2} check (exit 1 when "
+                             "2-shard efficiency regresses)")
+    parser.add_argument("--path", default=SHARD_BENCH_PATH,
+                        help="trajectory file location")
+    parser.add_argument("--cap", type=float, default=60.0,
+                        help="smoke wall-clock cap in seconds")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = smoke(cap_wall_s=args.cap)
+        print(json.dumps(result, indent=2))
+        if not result["efficiency_ok"]:
+            print("SHARD SMOKE FAILED: 2-shard efficiency "
+                  f"{result['scaling_efficiency']:.2f} below floor "
+                  f"{result['floor']:.2f}")
+        if not result["wall_ok"]:
+            print("SHARD SMOKE FAILED: wall clock "
+                  f"{result['wall_s']:.1f}s exceeded cap "
+                  f"{result['cap_wall_s']:.0f}s")
+        return 0 if result["ok"] else 1
+    if args.sweep:
+        payload = shard_sweep(path=args.path)
+        for row in payload["rows"]:
+            G = row["num_shards"]
+            eff = payload["summary"][f"G={G}"]["scaling_efficiency"]
+            print(f"G={G} servers={row['total_servers']:>3} "
+                  f"aggregate={row['aggregate_request_rate']:,.0f} req/s "
+                  f"efficiency={eff:.3f} wall={row['wall_s']:.2f}s")
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

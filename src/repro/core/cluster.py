@@ -63,15 +63,34 @@ class ClusterOptions:
 
 
 class SimCluster:
-    """An AllConcur deployment running on the discrete-event simulator."""
+    """An AllConcur deployment running on the discrete-event simulator.
+
+    By default each cluster owns a private :class:`Simulator`.  Passing
+    *sim* hosts the cluster on an **external, possibly shared** engine —
+    the substrate of multi-group deployments (one virtual clock across all
+    groups, see :class:`repro.api.service.ShardedService`).  Everything a
+    cluster schedules or keys by node id (network receivers, failure
+    injector, failure detector, delivery watchers, the round trace) is
+    instance-scoped, so any number of clusters — each with its own pid
+    namespace 0..n-1 — coexist on one engine without interference;
+    *namespace* labels this cluster's nodes in diagnostics.  With a shared
+    engine the engine's own seed governs the RNG; ``options.seed`` only
+    applies to a cluster-owned simulator.
+    """
 
     def __init__(self, graph: Digraph, *,
                  config: Optional[AllConcurConfig] = None,
-                 options: Optional[ClusterOptions] = None) -> None:
+                 options: Optional[ClusterOptions] = None,
+                 sim: Optional[Simulator] = None,
+                 namespace: str = "") -> None:
         self.options = options or ClusterOptions()
         self.config = config or AllConcurConfig(graph=graph)
         self.graph = self.config.graph
-        self.sim = Simulator(seed=self.options.seed)
+        self.namespace = namespace
+        #: True when this cluster owns its engine (it may freely drain it)
+        self.owns_engine = sim is None
+        self.sim = sim if sim is not None \
+            else Simulator(seed=self.options.seed)
         self.network = Network(self.sim, self.options.params,
                                coalesce=self.options.coalesce)
         self.injector = FailureInjector(self.sim)
@@ -123,6 +142,12 @@ class SimCluster:
         node = self.nodes.get(observer)
         if node is not None:
             node.on_suspect(observer, suspect)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.namespace!r}" if self.namespace else ""
+        return (f"<SimCluster{label} n={len(self.nodes)} "
+                f"graph={self.graph.name} "
+                f"{'own' if self.owns_engine else 'shared'} engine>")
 
     # ------------------------------------------------------------------ #
     @property

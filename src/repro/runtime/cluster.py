@@ -42,8 +42,12 @@ class LocalCluster:
                  config: Optional[AllConcurConfig] = None,
                  heartbeat_period: float = 0.05,
                  heartbeat_timeout: float = 0.5,
-                 enable_failure_detector: bool = True) -> None:
+                 enable_failure_detector: bool = True,
+                 namespace: str = "") -> None:
         self.graph = graph
+        #: label of this group in multi-group (sharded) deployments — node
+        #: ids are only unique per cluster, so diagnostics qualify them
+        self.namespace = namespace
         self.config = config or AllConcurConfig(graph=graph,
                                                 auto_advance=False)
         members = self.config.initial_members
@@ -90,6 +94,23 @@ class LocalCluster:
         await asyncio.gather(*(node.stop() for node in self.nodes.values()),
                              return_exceptions=True)
         self._started = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.namespace!r}" if self.namespace else ""
+        return (f"<LocalCluster{label} n={len(self.nodes)} "
+                f"{'started' if self._started else 'stopped'}>")
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """Published ``pid -> (host, port)`` listener addresses.
+
+        Kernel-assigned ports (the ``base_port=None`` default) become
+        visible after :meth:`start`.  Multi-group deployments use this to
+        confirm groups occupy **disjoint port spaces**: every cluster
+        binds its own set of ephemeral ports, so two groups can never
+        collide no matter how many share the process.
+        """
+        return {pid: (addr.host, addr.port)
+                for pid, addr in self.addresses.items()}
 
     # ------------------------------------------------------------------ #
     @property

@@ -5,6 +5,7 @@ from .generators import (
     ConstantRateWorkload,
     FixedBatchWorkload,
     GlobalRateWorkload,
+    KeyedWorkload,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "ApmWorkload",
     "GlobalRateWorkload",
     "FixedBatchWorkload",
+    "KeyedWorkload",
 ]

@@ -18,8 +18,10 @@ rates are represented exactly in expectation.
 
 from __future__ import annotations
 
+import bisect
+import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..core.cluster import SimCluster
 
@@ -28,6 +30,7 @@ __all__ = [
     "ApmWorkload",
     "GlobalRateWorkload",
     "FixedBatchWorkload",
+    "KeyedWorkload",
 ]
 
 
@@ -133,6 +136,83 @@ class FixedBatchWorkload:
 
         batch = Batch.synthetic(self.batch_requests, self.request_nbytes)
         return lambda pid: batch
+
+
+@dataclass(frozen=True)
+class KeyedWorkload:
+    """Seeded, deterministic stream of keyed requests for sharded services.
+
+    Where the figure workloads above model *rates* (anonymous synthetic
+    requests), a sharded service is exercised by *keys*: the partitioner
+    routes each key to its owning group, so the key distribution decides
+    the load balance across shards.  Two standard distributions:
+
+    * ``"uniform"`` — every key equally likely (the balanced baseline of
+      the shard-scaling sweep, :mod:`repro.bench.shards`);
+    * ``"zipf"`` — key of rank r drawn with probability ∝ 1/r^s (the
+      classic skewed-popularity model; hot keys concentrate load on the
+      shards that own them).
+
+    Instances are frozen; every ``keys()`` / ``requests()`` call replays
+    the identical stream from *seed* (the cross-backend equality tests
+    rely on this — the same stream is fed to the sim and the TCP
+    service).
+    """
+
+    num_keys: int = 1024
+    distribution: str = "uniform"
+    #: Zipf exponent s (only used when distribution == "zipf")
+    zipf_s: float = 1.2
+    seed: int = 1
+    key_prefix: str = "k"
+
+    def __post_init__(self) -> None:
+        if self.num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        if self.distribution not in ("uniform", "zipf"):
+            raise ValueError(f"unknown distribution "
+                             f"{self.distribution!r}; "
+                             f"expected 'uniform' or 'zipf'")
+        if self.distribution == "zipf" and self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+
+    def _zipf_cdf(self) -> list[float]:
+        weights = [1.0 / (rank ** self.zipf_s)
+                   for rank in range(1, self.num_keys + 1)]
+        total = 0.0
+        cdf = []
+        for w in weights:
+            total += w
+            cdf.append(total)
+        return [c / total for c in cdf]
+
+    def keys(self, count: int) -> Iterator[str]:
+        """Yield *count* keys (``"{prefix}{index}"``); the stream is a
+        pure function of the workload parameters."""
+        if count < 0:
+            # validate here, not in the generator body, so the error
+            # surfaces at the call site rather than on first iteration
+            raise ValueError("count must be non-negative")
+        return self._keys(count)
+
+    def _keys(self, count: int) -> Iterator[str]:
+        rng = random.Random(self.seed)
+        if self.distribution == "uniform":
+            for _ in range(count):
+                yield f"{self.key_prefix}{rng.randrange(self.num_keys)}"
+        else:
+            cdf = self._zipf_cdf()
+            for _ in range(count):
+                idx = bisect.bisect_left(cdf, rng.random())
+                yield f"{self.key_prefix}{idx}"
+
+    def requests(self, count: int) -> Iterator[tuple[str, tuple]]:
+        """Yield *count* ``(key, command)`` pairs where the command is a
+        :class:`~repro.api.ReplicatedKVStore` write (``("set", key, i)``
+        with the stream position as the value) — the ready-to-submit form
+        used by the shard sweep and the sharded-kv example."""
+        for i, key in enumerate(self.keys(count)):
+            yield key, ("set", key, i)
 
 
 def _install_rate(cluster: SimCluster, pid: int, rate: float,

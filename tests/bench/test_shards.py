@@ -1,0 +1,79 @@
+"""bench/shards.py: shard-scaling sweep schema, scaling law, smoke."""
+
+import pytest
+
+from repro.bench.shards import (
+    SHARD_BENCH_PATH,
+    SHARD_SWEEP_COUNTS,
+    SMOKE_EFFICIENCY_FLOOR,
+    load_committed,
+    shard_point,
+    shard_sweep,
+    smoke,
+)
+
+ROW_KEYS = {
+    "num_shards", "n_per_group", "overlay_per_shard", "total_servers",
+    "rounds", "max_batch", "distribution", "num_keys",
+    "requests_submitted", "requests_delivered", "per_shard_request_rate",
+    "aggregate_request_rate", "sim_time_s", "events", "wall_s", "seed",
+}
+
+
+class TestShardPoint:
+    def test_row_schema_and_sanity(self):
+        row = shard_point(2, rounds=6)
+        assert ROW_KEYS <= set(row)
+        assert row["num_shards"] == 2
+        assert row["total_servers"] == 16
+        assert len(row["per_shard_request_rate"]) == 2
+        assert all(r > 0 for r in row["per_shard_request_rate"])
+        assert row["aggregate_request_rate"] == \
+            pytest.approx(sum(row["per_shard_request_rate"]))
+        assert row["requests_delivered"] > 0
+        assert row["events"] > 0 and row["sim_time_s"] > 0
+
+    def test_deterministic(self):
+        a = shard_point(2, rounds=5, seed=3)
+        b = shard_point(2, rounds=5, seed=3)
+        for key in ROW_KEYS - {"wall_s"}:
+            assert a[key] == b[key], key
+
+    def test_zipf_distribution_also_runs(self):
+        row = shard_point(2, rounds=4, distribution="zipf")
+        assert row["distribution"] == "zipf"
+        assert row["aggregate_request_rate"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_point(0)
+
+
+class TestShardSweep:
+    def test_scaling_is_near_linear(self):
+        payload = shard_sweep(counts=(1, 2), path=None, seed=1)
+        eff = payload["summary"]["G=2"]["scaling_efficiency"]
+        assert eff == pytest.approx(1.0, abs=0.1)
+        assert payload["counts"] == [1, 2]
+        assert len(payload["rows"]) == 2
+
+    def test_committed_file_schema_and_scaling(self):
+        committed = load_committed(SHARD_BENCH_PATH)
+        assert committed is not None, \
+            "BENCH_shards.json must be committed (python -m " \
+            "repro.bench.shards --sweep)"
+        assert committed["counts"] == list(SHARD_SWEEP_COUNTS)
+        assert len(committed["rows"]) == len(SHARD_SWEEP_COUNTS)
+        for row in committed["rows"]:
+            assert ROW_KEYS <= set(row)
+        for G in SHARD_SWEEP_COUNTS:
+            eff = committed["summary"][f"G={G}"]["scaling_efficiency"]
+            assert eff >= 0.9, \
+                f"G={G} scaling efficiency {eff} is not near-linear"
+
+
+class TestSmoke:
+    def test_smoke_passes_on_current_tree(self):
+        result = smoke(cap_wall_s=60.0)
+        assert result["ok"], result
+        assert result["scaling_efficiency"] >= SMOKE_EFFICIENCY_FLOOR

@@ -1,0 +1,184 @@
+"""Hosting several clusters on ONE simulator engine.
+
+The sharded service runs all of its groups on a single virtual clock, so
+everything a cluster schedules or keys by node id — network receivers,
+failure injector and detector state, delivery watchers, the round trace —
+must be instance-scoped per cluster.  These tests pin that contract by
+co-hosting two independent clusters on one engine and checking that
+nothing leaks between them.
+"""
+
+import pytest
+
+from repro.api import SimDeployment
+from repro.core import AllConcurConfig, ClusterOptions, SimCluster
+from repro.graphs import gs_digraph
+from repro.sim import Simulator
+
+
+def make_cluster(sim, n=6, degree=3, namespace="", seed=1):
+    graph = gs_digraph(n, degree)
+    return SimCluster(graph,
+                      config=AllConcurConfig(graph=graph,
+                                             auto_advance=False),
+                      options=ClusterOptions(seed=seed),
+                      sim=sim, namespace=namespace)
+
+
+class TestSharedEngineClusters:
+    def test_external_engine_is_adopted_not_owned(self):
+        sim = Simulator(seed=3)
+        cluster = make_cluster(sim, namespace="a")
+        assert cluster.sim is sim and not cluster.owns_engine
+        solo = SimCluster(gs_digraph(6, 3))
+        assert solo.owns_engine
+
+    def test_two_clusters_agree_independently(self):
+        sim = Simulator(seed=1)
+        a = make_cluster(sim, n=6, namespace="a")
+        b = make_cluster(sim, n=8, namespace="b")
+        for rnd in range(3):
+            for cluster in (a, b):
+                for pid in cluster.alive_members:
+                    cluster.node(pid).fill_window()
+            a.run_until_round(rnd)
+            b.run_until_round(rnd)
+        assert a.verify_agreement() and b.verify_agreement()
+        assert a.min_delivered_rounds() == 3
+        assert b.min_delivered_rounds() == 3
+        # one clock: both clusters observed the same virtual timeline
+        assert a.sim.now == b.sim.now == sim.now
+
+    def test_round_watcher_of_one_cluster_does_not_starve_the_other(self):
+        # run_until_round(a) stops the shared engine at a's delivery; b's
+        # remaining events must still be deliverable by b's own run.
+        sim = Simulator(seed=1)
+        a = make_cluster(sim, n=6, namespace="a")
+        b = make_cluster(sim, n=8, namespace="b")
+        for cluster in (a, b):
+            for pid in cluster.alive_members:
+                cluster.node(pid).fill_window()
+        a.run_until_round(0)
+        # b may or may not have finished while a ran; its own watcher
+        # must complete it either way, and a's watchers must be detached.
+        assert all(node.on_deliver is None for node in a.nodes.values())
+        b.run_until_round(0)
+        assert b.min_delivered_rounds() == 1
+        assert a.verify_agreement() and b.verify_agreement()
+
+    def test_failure_injection_is_instance_scoped(self):
+        sim = Simulator(seed=1)
+        a = make_cluster(sim, namespace="a")
+        b = make_cluster(sim, namespace="b")
+        a.fail_server(2)
+        assert a.injector.is_failed(2)
+        assert not b.injector.is_failed(2)
+        assert 2 not in a.alive_members
+        assert 2 in b.alive_members
+        # b's node 2 is alive and attached; a's is crashed
+        assert not a.nodes[2].alive and b.nodes[2].alive
+        for cluster in (a, b):
+            for pid in cluster.alive_members:
+                cluster.node(pid).fill_window()
+        a.run_until_round(0)
+        b.run_until_round(0)
+        assert a.verify_agreement() and b.verify_agreement()
+        # a delivered without its failed member; b with all of its own
+        assert len(a.delivered_sets(0).popitem()[1]) == 5
+        assert len(b.delivered_sets(0).popitem()[1]) == 6
+
+    def test_detectors_notify_only_their_own_cluster(self):
+        sim = Simulator(seed=1)
+        a = make_cluster(sim, namespace="a")
+        b = make_cluster(sim, namespace="b")
+        suspicions = []
+        a.detector.subscribe(lambda obs, sus: suspicions.append(("a", obs, sus)))
+        b.detector.subscribe(lambda obs, sus: suspicions.append(("b", obs, sus)))
+        a.fail_server(1)
+        sim.run(until=sim.now + 1e-3)
+        assert suspicions, "a's detector must raise suspicions"
+        assert all(tag == "a" for tag, _o, _s in suspicions)
+
+    def test_traces_do_not_cross_contaminate(self):
+        sim = Simulator(seed=1)
+        a = make_cluster(sim, n=6, namespace="a")
+        b = make_cluster(sim, n=8, namespace="b")
+        for cluster in (a, b):
+            for pid in cluster.alive_members:
+                cluster.node(pid).fill_window()
+        a.run_until_round(0)
+        b.run_until_round(0)
+        assert len(a.trace.records) == 6    # one record per own member
+        assert len(b.trace.records) == 8
+        assert {r.server for r in a.trace.records} == set(range(6))
+
+    def test_network_stats_are_per_cluster(self):
+        sim = Simulator(seed=1)
+        a = make_cluster(sim, namespace="a")
+        b = make_cluster(sim, namespace="b")
+        for pid in a.alive_members:
+            a.node(pid).fill_window()
+        a.run_until_round(0)
+        assert a.network.stats.messages_sent > 0
+        assert b.network.stats.messages_sent == 0
+
+
+class TestSharedEngineDeployments:
+    def test_deployments_share_engine_via_kwarg(self):
+        sim = Simulator(seed=2)
+        a = SimDeployment(gs_digraph(6, 3), engine=sim, namespace="a")
+        b = SimDeployment(gs_digraph(6, 3), engine=sim, namespace="b")
+        assert a.sim is b.sim is sim
+        ha = a.submit("from-a", at=0)
+        hb = b.submit("from-b", at=0)
+        a.run_rounds(1)
+        b.run_rounds(1)
+        assert ha.done and hb.done
+        assert a.check_agreement() and b.check_agreement()
+        # each deployment logged only its own rounds
+        assert len(a.deliveries()) == 1 and len(b.deliveries()) == 1
+        assert a.deliveries()[0].messages != b.deliveries()[0].messages
+
+    def test_fill_complete_split_equals_run_rounds(self):
+        # Coordinated two-phase driving must deliver exactly what the
+        # plain run_rounds path delivers.
+        def outcome(two_phase: bool):
+            dep = SimDeployment(gs_digraph(6, 3),
+                                options=ClusterOptions(seed=4))
+            dep.submit(("x", 1), at=2)
+            if two_phase:
+                for _ in range(3):
+                    dep.fill_round()
+                    dep.complete_round()
+            else:
+                dep.run_rounds(3)
+            return [(e.round, e.messages) for e in dep.deliveries()]
+
+        assert outcome(True) == outcome(False)
+
+    def test_join_on_one_group_leaves_the_other_untouched(self):
+        sim = Simulator(seed=2)
+        a = SimDeployment(gs_digraph(6, 3), engine=sim, namespace="a")
+        b = SimDeployment(gs_digraph(6, 3), engine=sim, namespace="b")
+        a.run_rounds(1)
+        b.run_rounds(1)
+        a.fail(4)
+        a.run_rounds(1)
+        b.run_rounds(1)
+        before = sim.now
+        a.join(4)          # advances the shared clock (join latency)
+        assert sim.now > before
+        assert a.epoch == 1 and b.epoch == 0
+        assert len(b.alive_members) == 6
+        a.run_rounds(1)
+        b.run_rounds(1)
+        assert a.check_agreement() and b.check_agreement()
+
+    def test_seed_of_owned_engine_still_applies(self):
+        dep = SimDeployment(gs_digraph(6, 3),
+                            options=ClusterOptions(seed=9))
+        assert dep.sim.seed == 9
+        shared = Simulator(seed=7)
+        hosted = SimDeployment(gs_digraph(6, 3), engine=shared,
+                               options=ClusterOptions(seed=9))
+        assert hosted.sim.seed == 7   # the external engine's seed governs

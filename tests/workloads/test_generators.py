@@ -10,6 +10,7 @@ from repro.workloads import (
     ConstantRateWorkload,
     FixedBatchWorkload,
     GlobalRateWorkload,
+    KeyedWorkload,
 )
 
 
@@ -112,3 +113,57 @@ class TestFixedBatch:
         cluster = make_cluster()
         with pytest.raises(ValueError):
             FixedBatchWorkload(10).install(cluster, rounds=0)
+
+
+class TestKeyedWorkload:
+    def test_same_seed_replays_identical_stream(self):
+        wl = KeyedWorkload(num_keys=128, distribution="zipf", seed=7)
+        assert list(wl.keys(500)) == list(wl.keys(500))
+        assert list(wl.requests(50)) == list(wl.requests(50))
+
+    def test_different_seeds_diverge(self):
+        a = KeyedWorkload(num_keys=128, seed=1)
+        b = KeyedWorkload(num_keys=128, seed=2)
+        assert list(a.keys(200)) != list(b.keys(200))
+
+    def test_uniform_shape(self):
+        import collections
+
+        wl = KeyedWorkload(num_keys=8, distribution="uniform", seed=3)
+        counts = collections.Counter(wl.keys(8000))
+        assert set(counts) == {f"k{i}" for i in range(8)}
+        for key in counts:
+            assert counts[key] == pytest.approx(1000, rel=0.25)
+
+    def test_zipf_shape_is_rank_skewed(self):
+        import collections
+
+        wl = KeyedWorkload(num_keys=100, distribution="zipf", zipf_s=1.2,
+                           seed=5)
+        counts = collections.Counter(wl.keys(10000))
+        # rank-ordered frequencies: the head dominates, and frequency
+        # decays with rank (coarse bins absorb sampling noise)
+        assert counts["k0"] > counts["k4"] > counts["k40"]
+        assert counts["k0"] > 10000 / 100 * 5   # far above uniform share
+        top10 = sum(counts[f"k{i}"] for i in range(10))
+        assert top10 > 0.55 * 10000
+
+    def test_requests_are_kv_sets_with_stream_positions(self):
+        wl = KeyedWorkload(num_keys=4, seed=1)
+        reqs = list(wl.requests(6))
+        assert [cmd[2] for _k, cmd in reqs] == list(range(6))
+        assert all(cmd[0] == "set" and cmd[1] == key for key, cmd in reqs)
+
+    def test_key_prefix(self):
+        wl = KeyedWorkload(num_keys=4, seed=1, key_prefix="user")
+        assert all(k.startswith("user") for k in wl.keys(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyedWorkload(num_keys=0)
+        with pytest.raises(ValueError):
+            KeyedWorkload(num_keys=4, distribution="pareto")
+        with pytest.raises(ValueError):
+            KeyedWorkload(num_keys=4, distribution="zipf", zipf_s=0)
+        with pytest.raises(ValueError):
+            list(KeyedWorkload(num_keys=4).keys(-1))
