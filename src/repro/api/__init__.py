@@ -58,7 +58,12 @@ __all__ = [
     "create_deployment",
     "register_backend",
     "backend_class",
+    "list_backends",
     "BACKENDS",
+    "Client",
+    "ClientSession",
+    "ClientRequestHandle",
+    "Overloaded",
     "ShardedService",
     "ServiceHandle",
     "ShardDelivery",
@@ -98,6 +103,25 @@ def register_backend(name: str, cls: type, *, replace: bool = False) -> None:
     BACKENDS[name] = cls
 
 
+def list_backends() -> dict[str, tuple[str, ...]]:
+    """The registered backends and their capabilities:
+    ``{name: sorted capability strings}``.
+
+    The discovery surface for tooling and error messages — e.g.
+    ``{"sim": ("join", "shared-engine", "time"), "tcp": ()}``; anything
+    added via :func:`register_backend` shows up here too.
+    """
+    return {name: tuple(sorted(cls.capabilities()))
+            for name, cls in sorted(BACKENDS.items())}
+
+
+def _describe_backends() -> str:
+    """One-line rendering of :func:`list_backends` for error messages."""
+    return ", ".join(
+        f"{name} ({', '.join(caps) if caps else 'core vocabulary only'})"
+        for name, caps in list_backends().items())
+
+
 def backend_class(backend: str) -> type:
     """The registered :class:`Deployment` subclass for *backend* (used for
     capability introspection before construction — e.g. whether the
@@ -106,7 +130,7 @@ def backend_class(backend: str) -> type:
         return BACKENDS[backend]
     except KeyError:
         raise ValueError(f"unknown backend {backend!r}; "
-                         f"available: {sorted(BACKENDS)}") from None
+                         f"available: {_describe_backends()}") from None
 
 
 def create_deployment(backend: str, graph: Digraph,
@@ -127,4 +151,10 @@ from .service import (  # noqa: E402  (needs create_deployment above)
     ServiceHandle,
     ShardDelivery,
     ShardedService,
+)
+from .client import (  # noqa: E402  (imports the service layer)
+    Client,
+    ClientRequestHandle,
+    ClientSession,
+    Overloaded,
 )

@@ -1,0 +1,689 @@
+"""Client ingress: sessions with per-round batching, flow control, origin
+failover, and a read path.
+
+AllConcur's headline throughput (§5, Fig 10) comes from *batching*: requests
+generated while a round is in flight "are buffered until the current
+agreement round is completed; then, they are packed into a message that is
+A-broadcast in the next round".  The deployment facade alone cannot express
+that — ``Deployment.submit`` enters one protocol-level request per call —
+and it ties client identity to a server pid, which contradicts the
+"millions of users on a fixed server count" shape of the evaluation.
+
+This module is the missing ingress half of the API:
+
+:class:`Client`
+    One batching/flow-control domain over a
+    :class:`~repro.api.deployment.Deployment` or a
+    :class:`~repro.api.service.ShardedService`.  It owns the request
+    lifecycle end to end: buffering, per-round packing into **one batch
+    message per origin server per round** (the §5 discipline, via the
+    deployment's round-start hook), admission control, failover
+    resubmission, and handle resolution from the *unpacked* batch on
+    A-delivery.
+:class:`ClientSession`
+    One logical client: a stable string identity plus a per-session
+    sequence number, so every request carries the globally unique,
+    failover-stable ``(client, seq)`` id.  Arbitrarily many sessions
+    multiplex onto the fixed server set.
+:class:`ClientRequestHandle`
+    The future of one session request — same poll / callback / blocking
+    vocabulary as :class:`~repro.api.deployment.RequestHandle`, but it
+    survives origin failure: unacknowledged requests are transparently
+    resubmitted through a surviving server, and the replicated-state-machine
+    layer's ``(client, seq)`` dedup table makes the retry exactly-once.
+    It only cancels when the whole group is gone.
+:meth:`ClientSession.read`
+    ``read(key, consistency="agreed")`` rides a no-op entry through an
+    agreement round (its linearisation point) and then reads the replica;
+    ``consistency="local"`` returns the replica snapshot value with no
+    round at all (the paper's locally-answered queries, §1.1).
+
+Flow control: a bounded in-flight budget (``max_in_flight``) counts every
+buffered-or-unacknowledged request of the client; at the bound, ``submit``
+either blocks (driving rounds until the budget frees — closed-loop
+behaviour) or raises :class:`Overloaded` (``admission="reject"``), which is
+the §5 note about bounding the inflow of requests to keep the system
+stable, applied at the ingress edge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional, Union
+
+from ..core.batching import (
+    ClientRequest,
+    decode_client_batch,
+    encode_client_batch,
+    is_client_batch,
+)
+from .deployment import DeliveryEvent, Deployment, RequestCancelled
+from .service import ShardedService, stable_key_hash
+from .state_machine import ReplicatedStateMachine
+
+__all__ = ["Client", "ClientSession", "ClientRequestHandle", "Overloaded"]
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected a submission: the client's in-flight
+    budget is exhausted and either ``admission="reject"`` or driving
+    rounds freed no capacity."""
+
+
+class ClientRequestHandle:
+    """The future of one session request, keyed on ``(client, seq)``.
+
+    Unlike the protocol-level :class:`~repro.api.deployment.RequestHandle`
+    (keyed on ``(origin, seq)``, cancelled when its origin fails), this
+    handle's identity is origin-independent: when the origin server fails
+    before acknowledging, the request is resubmitted through a surviving
+    server under the same ``(client, seq)`` and the handle stays pending.
+    It resolves at the first A-delivery whose unpacked batch contains the
+    entry, and cancels only when no server of the owning group survives.
+    """
+
+    def __init__(self, client: "Client", session: "ClientSession",
+                 seq: int, data: Any, nbytes: int, *,
+                 routing_key: Optional[Hashable] = None,
+                 noop: bool = False) -> None:
+        self._client = client
+        self.session = session
+        self.seq = seq
+        self.data = data
+        self.nbytes = nbytes
+        self.routing_key = routing_key
+        self.noop = noop
+        #: owning shard, computed once at admission (key→shard routing is
+        #: static; only the origin *within* the shard depends on liveness).
+        #: None on single-group targets.
+        self.shard_hint: Optional[int] = None
+        #: submission attempts (1 on first flush; +1 per failover resubmit)
+        self.attempts = 0
+        #: origin server the latest attempt entered at (None while buffered)
+        self.origin: Optional[int] = None
+        #: shard of the latest attempt (service targets; None on a group)
+        self.shard: Optional[int] = None
+        self._event: Optional[DeliveryEvent] = None
+        self._cancelled: Optional[str] = None
+        self._callbacks: list[Callable[["ClientRequestHandle"], None]] = []
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def client_id(self) -> str:
+        return self.session.client_id
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """The globally unique, failover-stable ``(client, seq)`` id."""
+        return (self.session.client_id, self.seq)
+
+    # -- state ---------------------------------------------------------- #
+    @property
+    def done(self) -> bool:
+        return self._event is not None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled is not None
+
+    @property
+    def round(self) -> Optional[int]:
+        return self._event.round if self._event is not None else None
+
+    @property
+    def delivery(self) -> Optional[DeliveryEvent]:
+        return self._event
+
+    def add_done_callback(
+            self, callback: Callable[["ClientRequestHandle"], None]) -> None:
+        if self._event is not None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def result(self, timeout: Optional[float] = None) -> DeliveryEvent:
+        """Block until the request is agreed; drives the deployment (and
+        with it the per-round flush) forward.  Raises
+        :class:`~repro.api.deployment.RequestCancelled` when the owning
+        group has no surviving server, :class:`TimeoutError` when the
+        deadline expires or no progress is possible."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while self._event is None and self._cancelled is None:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"request {self.key} not agreed "
+                                       f"within {timeout}s")
+            if not self._client._drive_one_round(timeout=remaining):
+                break
+        if self._cancelled is not None:
+            raise RequestCancelled(self._cancelled)
+        if self._event is None:
+            raise TimeoutError(f"request {self.key} not agreed "
+                               f"(no further progress)")
+        return self._event
+
+    def value(self, pid: Optional[int] = None) -> Any:
+        """The state machine's ``apply`` output for this request at
+        replica *pid* (requires a replicated state machine on the route;
+        call after :meth:`result`)."""
+        rsm = self._client._rsm_for(self.shard, self.routing_key)
+        return rsm.client_result(self.client_id, self.seq, pid)
+
+    # -- client plumbing ------------------------------------------------ #
+    def _resolve(self, event: DeliveryEvent) -> None:
+        if self._event is not None or self._cancelled is not None:
+            return
+        self._event = event
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _cancel(self, reason: str) -> None:
+        if self._event is None and self._cancelled is None:
+            self._cancelled = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (f"round={self.round}" if self.done
+                 else "cancelled" if self.cancelled
+                 else f"inflight@{self.origin}" if self.attempts
+                 else "buffered")
+        return f"<ClientRequestHandle {self.key} {state}>"
+
+
+class ClientSession:
+    """One logical client multiplexed onto the deployment.
+
+    Created via :meth:`Client.session`; holds the client identity, the
+    per-session sequence counter, and the buffer of not-yet-flushed
+    requests.  On a :class:`~repro.api.service.ShardedService` target every
+    submission carries a *key* and routes through the partitioner; on a
+    plain :class:`~repro.api.deployment.Deployment` the session is pinned
+    to an origin server (chosen by client-id hash unless given), and moves
+    to a surviving server if that origin fails.
+    """
+
+    def __init__(self, client: "Client", client_id: str, *,
+                 origin: Optional[int] = None) -> None:
+        self.client = client
+        self.client_id = client_id
+        #: preferred origin server (deployment targets; reassigned on
+        #: failover)
+        self.origin = origin
+        self._next_seq = 0
+        self._buffer: list[ClientRequestHandle] = []
+        #: requests resubmitted after an origin failure
+        self.resubmissions = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Requests buffered, not yet packed into a round."""
+        return len(self._buffer)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted and not yet agreed (buffered + in flight)."""
+        return self.pending + sum(
+            1 for h in self.client._inflight.values() if h.session is self)
+
+    def submit(self, data: Any, *, key: Optional[Hashable] = None,
+               nbytes: Optional[int] = None) -> ClientRequestHandle:
+        """Buffer one request; it is packed into the next round's batch
+        message (or an explicit :meth:`flush`).  *key* is required on
+        sharded-service targets (it picks the owning group via the
+        partitioner) and ignored for routing on single-group targets.
+        Applies the client's admission control."""
+        return self.client._admit(self, data, key=key,
+                                  nbytes=nbytes, noop=False)
+
+    def read(self, key: Hashable, *, consistency: str = "agreed",
+             timeout: Optional[float] = None,
+             pid: Optional[int] = None) -> Any:
+        """Read *key* from the replicated state machine on the key's route.
+
+        ``consistency="agreed"``
+            Linearisable: flushes the session's buffer and rides a no-op
+            entry through an agreement round — when that round is
+            A-delivered, every write agreed before it (including this
+            session's own) is applied; the value is then read from the
+            replica.  Costs one round; returns after it completes.
+        ``consistency="local"``
+            The replica's current snapshot value — no round, no ordering
+            guarantee beyond what the replica already applied (the
+            paper's locally answered queries).
+
+        Requires a replicated state machine: the service's per-shard
+        machines, or the ``rsm=`` given to :class:`Client`.
+        """
+        if consistency == "local":
+            rsm = self.client._rsm_for(None, key)
+            read_pid = pid if pid is not None else self._local_read_pid()
+            return rsm.read_local(key, pid=read_pid)
+        if consistency != "agreed":
+            raise ValueError(f"unknown consistency {consistency!r}; "
+                             f"expected 'agreed' or 'local'")
+        self.client._rsm_for(None, key)   # fail fast before the round
+        barrier = self.client._admit(self, None, key=key,
+                                     nbytes=1, noop=True)
+        barrier.result(timeout)
+        rsm = self.client._rsm_for(barrier.shard, key)
+        return rsm.read_local(key, pid=pid)
+
+    def _local_read_pid(self) -> Optional[int]:
+        """Replica consulted by a local read: the session's origin where
+        it is pinned and alive, else the RSM default (lowest alive)."""
+        if (self.origin is not None and not self.client._is_service
+                and self.origin in self.client.target.alive_members):
+            return self.origin
+        return None
+
+    def flush(self) -> None:
+        """Pack and submit this client's buffered requests now (all
+        sessions of the owning :class:`Client` — batches are per origin
+        server, shared across sessions)."""
+        self.client.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ClientSession {self.client_id!r} origin={self.origin} "
+                f"pending={self.pending}>")
+
+
+@dataclass
+class _Envelope:
+    """Bookkeeping for one submitted batch message: the underlying
+    protocol handle plus the client entries it carries."""
+
+    handle: Any                       # RequestHandle (duck-typed .cancelled)
+    entries: list[ClientRequestHandle] = field(default_factory=list)
+    shard: Optional[int] = None
+    origin: int = 0
+
+
+class Client:
+    """One batching / flow-control / failover domain over a deployment.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.api.deployment.Deployment` (single group) or a
+        :class:`~repro.api.service.ShardedService` (keyed multi-group).
+    max_batch_requests / max_batch_bytes:
+        Per-origin, per-round packing caps (§5: a practical deployment
+        "would bound the message size"); excess stays buffered for the
+        next round.  None = unbounded.
+    max_in_flight:
+        Admission-control budget: the maximum buffered-plus-unacknowledged
+        requests across all sessions.  None = unbounded.
+    admission:
+        At the budget: ``"block"`` drives rounds until capacity frees,
+        ``"reject"`` raises :class:`Overloaded` immediately.
+    rsm:
+        The :class:`~repro.api.state_machine.ReplicatedStateMachine` reads
+        resolve against (single-group targets; sharded services use their
+        own per-shard machines).
+    default_nbytes:
+        Wire size accounted per request when ``submit`` gets no explicit
+        ``nbytes``.
+    """
+
+    def __init__(self, target: Union[Deployment, ShardedService], *,
+                 max_batch_requests: Optional[int] = None,
+                 max_batch_bytes: Optional[int] = None,
+                 max_in_flight: Optional[int] = None,
+                 admission: str = "block",
+                 rsm: Optional[ReplicatedStateMachine] = None,
+                 default_nbytes: int = 8) -> None:
+        if max_batch_requests is not None and max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be positive")
+        if max_batch_bytes is not None and max_batch_bytes < 1:
+            raise ValueError("max_batch_bytes must be positive")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive")
+        if admission not in ("block", "reject"):
+            raise ValueError(f"unknown admission policy {admission!r}; "
+                             f"expected 'block' or 'reject'")
+        self.target = target
+        self.max_batch_requests = max_batch_requests
+        self.max_batch_bytes = max_batch_bytes
+        self.max_in_flight = max_in_flight
+        self.admission = admission
+        self.default_nbytes = default_nbytes
+        self._is_service = isinstance(target, ShardedService)
+        self._rsm = rsm
+        self._sessions: list[ClientSession] = []
+        self._session_ids: set[str] = set()
+        self._inflight: dict[tuple[str, int], ClientRequestHandle] = {}
+        self._envelopes: list[_Envelope] = []
+        self._delivered_rounds = 0
+        #: counters: batch messages submitted / entries packed / entries
+        #: resubmitted after an origin failure
+        self.batches_flushed = 0
+        self.requests_flushed = 0
+        self.resubmitted = 0
+        # One flush + one resolver subscription per group: the round-start
+        # hook packs that group's buffered entries (the §5 boundary), the
+        # delivery stream resolves handles from the unpacked batches.
+        for shard, group in self._group_list():
+            group.on_round_start(
+                lambda shard=shard: self._flush_group(shard))
+            group.on_deliver(
+                lambda event, shard=shard: self._on_deliver(shard, event))
+
+    # ------------------------------------------------------------------ #
+    # Target plumbing
+    # ------------------------------------------------------------------ #
+    def _group_list(self) -> list[tuple[Optional[int], Deployment]]:
+        if self._is_service:
+            return list(enumerate(self.target.groups))
+        return [(None, self.target)]
+
+    def _rsm_for(self, shard: Optional[int],
+                 key: Optional[Hashable]) -> ReplicatedStateMachine:
+        """The replicated state machine reads and result look-ups resolve
+        against: the service's per-shard machine (routing *key* when the
+        shard is not yet known), or the client's ``rsm=``."""
+        if self._is_service:
+            if shard is None:
+                if key is None:
+                    raise ValueError("a sharded-service read needs a key")
+                shard = self.target.shard_of(key)
+            rsm = self.target.machines.get(shard)
+            if rsm is None:
+                raise ValueError(
+                    f"shard {shard} has no state machine; construct the "
+                    f"ShardedService with state_machine= to enable reads")
+            return rsm
+        if self._rsm is None:
+            raise ValueError("no state machine configured; pass rsm= to "
+                             "Client to enable reads and value look-ups")
+        return self._rsm
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def session(self, client_id: Optional[str] = None, *,
+                origin: Optional[int] = None) -> ClientSession:
+        """Open a logical client session.
+
+        *client_id* defaults to ``"c<n>"`` in creation order (stable
+        across runs and backends — cross-backend workloads depend on it).
+        *origin* pins a single-group session to a server; by default the
+        origin is chosen by client-id hash over the alive members.
+        Sharded-service sessions take no origin — every submission routes
+        by key through the partitioner.
+        """
+        if client_id is None:
+            client_id = f"c{len(self._sessions)}"
+        # Uniqueness must hold across every Client on the same target:
+        # handle resolution and RSM dedup key on the global (client, seq),
+        # so two in-flight sessions sharing an id would cross-resolve each
+        # other's requests and the dedup table would drop real writes.
+        registry = getattr(self.target, "_ingress_session_ids", None)
+        if registry is None:
+            registry = set()
+            self.target._ingress_session_ids = registry
+        if client_id in registry:
+            raise ValueError(
+                f"client id {client_id!r} already in use on this "
+                f"deployment (session ids must be unique per target, "
+                f"across all Client instances — name your sessions)")
+        if origin is not None:
+            if self._is_service:
+                raise ValueError("sharded-service sessions route by key; "
+                                 "origin= is only for single-group targets")
+            if origin not in self.target.alive_members:
+                raise ValueError(f"server {origin} is not an alive member")
+        elif not self._is_service:
+            origin = self._hash_origin(client_id)
+        session = ClientSession(self, client_id, origin=origin)
+        self._sessions.append(session)
+        self._session_ids.add(client_id)
+        registry.add(client_id)
+        return session
+
+    def _hash_origin(self, client_id: str) -> int:
+        alive = self.target.alive_members
+        if not alive:
+            raise ValueError("no alive member to pin the session to")
+        return alive[stable_key_hash(client_id) % len(alive)]
+
+    # ------------------------------------------------------------------ #
+    # Admission control
+    # ------------------------------------------------------------------ #
+    @property
+    def in_flight(self) -> int:
+        """Requests counted against the budget: buffered + submitted but
+        not yet agreed."""
+        return len(self._inflight) + sum(
+            len(s._buffer) for s in self._sessions)
+
+    def _admit(self, session: ClientSession, data: Any, *,
+               key: Optional[Hashable], nbytes: Optional[int],
+               noop: bool) -> ClientRequestHandle:
+        if self._is_service and key is None:
+            raise ValueError("sharded-service submissions need a key "
+                             "(it picks the owning group)")
+        if self.max_in_flight is not None:
+            while self.in_flight >= self.max_in_flight:
+                if self.admission == "reject":
+                    raise Overloaded(
+                        f"client budget exhausted: {self.in_flight} "
+                        f"in flight >= max_in_flight="
+                        f"{self.max_in_flight}")
+                if not self._drive_one_round():
+                    raise Overloaded(
+                        f"client budget exhausted ({self.in_flight} in "
+                        f"flight) and driving a round freed no capacity")
+        handle = ClientRequestHandle(
+            self, session, session._next_seq, data,
+            self.default_nbytes if nbytes is None else nbytes,
+            routing_key=key, noop=noop)
+        if self._is_service:
+            handle.shard_hint = self.target.shard_of(key)
+        session._next_seq += 1
+        session._buffer.append(handle)
+        return handle
+
+    def _drive_one_round(self, timeout: Optional[float] = None) -> bool:
+        """Advance the target by one round; True when anything progressed
+        (a round delivered or the budget freed) — the backbone of blocking
+        ``submit`` and ``handle.result``."""
+        before_rounds = self._delivered_rounds
+        before_flight = self.in_flight
+        kwargs = {} if timeout is None else {"timeout": timeout}
+        self.run_rounds(1, **kwargs)
+        return (self._delivered_rounds > before_rounds
+                or self.in_flight < before_flight)
+
+    # ------------------------------------------------------------------ #
+    # Batching and flushing
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Pack and submit every buffered request now, one batch message
+        per origin server (the per-round hook does this automatically at
+        every round boundary; an explicit flush is only needed to push
+        entries into a round someone else is about to drive)."""
+        for shard, _group in self._group_list():
+            self._flush_group(shard)
+
+    def _flush_group(self, shard: Optional[int]) -> None:
+        """Pack the buffered entries routed to group *shard* into one
+        envelope per origin server and submit them, honouring the
+        per-origin packing caps (excess stays buffered)."""
+        self._check_failover()
+        # Route every buffered entry of this group; per-origin accumulation
+        # preserves session creation order, then per-session seq order.
+        # A cap closes the origin for the rest of the scan: skipping only
+        # the oversize entry and packing a later, smaller one would invert
+        # the per-session submission order in the agreed log.
+        per_origin: dict[int, list[ClientRequestHandle]] = {}
+        per_origin_bytes: dict[int, int] = {}
+        closed: set[int] = set()
+        taken: set[tuple[str, int]] = set()
+        for session in self._sessions:
+            for handle in session._buffer:
+                if handle.shard_hint != shard:
+                    continue
+                route = self._route_of(handle)
+                if route is None:
+                    continue         # cancelled (no surviving server)
+                _r_shard, origin = route
+                if origin in closed:
+                    continue
+                chosen = per_origin.setdefault(origin, [])
+                if (self.max_batch_requests is not None
+                        and len(chosen) >= self.max_batch_requests):
+                    closed.add(origin)
+                    continue
+                nbytes = per_origin_bytes.get(origin, 0)
+                if (self.max_batch_bytes is not None and chosen
+                        and nbytes + handle.nbytes > self.max_batch_bytes):
+                    closed.add(origin)
+                    continue
+                chosen.append(handle)
+                per_origin_bytes[origin] = nbytes + handle.nbytes
+                taken.add(handle.key)
+        if taken:
+            for session in self._sessions:
+                if any(h.key in taken for h in session._buffer):
+                    session._buffer = [h for h in session._buffer
+                                       if h.key not in taken]
+        for origin in sorted(per_origin):
+            self._submit_envelope(shard, origin, per_origin[origin])
+
+    def _route_of(self, handle: ClientRequestHandle) \
+            -> Optional[tuple[Optional[int], int]]:
+        """Current ``(shard, origin)`` route of a buffered entry; None
+        when no server survives to accept it (the handle is cancelled)."""
+        if self._is_service:
+            try:
+                origin = self.target.origin_in_shard(
+                    handle.shard_hint, handle.routing_key)
+            except ValueError as err:
+                handle._cancel(
+                    f"request {handle.key} cancelled: {err}")
+                self._forget(handle)
+                return None
+            return handle.shard_hint, origin
+        session = handle.session
+        alive = self.target.alive_members
+        if not alive:
+            handle._cancel(f"request {handle.key} cancelled: no "
+                           f"surviving server in the group")
+            self._forget(handle)
+            return None
+        if session.origin not in alive:
+            session.origin = self._hash_origin(session.client_id)
+        return None, session.origin
+
+    def _forget(self, handle: ClientRequestHandle) -> None:
+        """Drop a cancelled handle from every buffer."""
+        buffer = handle.session._buffer
+        if handle in buffer:
+            buffer.remove(handle)
+
+    def _submit_envelope(self, shard: Optional[int], origin: int,
+                         handles: list[ClientRequestHandle]) -> None:
+        entries = [ClientRequest(client=h.client_id, seq=h.seq,
+                                 data=h.data, nbytes=h.nbytes, noop=h.noop)
+                   for h in handles]
+        payload = encode_client_batch(entries)
+        total = sum(e.nbytes for e in entries)
+        group = (self.target.group(shard) if self._is_service
+                 else self.target)
+        try:
+            under = group.submit(payload, at=origin, nbytes=total)
+        except ValueError:
+            # The origin died between routing and submission (liveness can
+            # advance inside submit on the TCP backend).  The handles were
+            # already taken out of their session buffers — put them back
+            # at the front, in seq order, so the next flush reroutes them
+            # through a surviving server instead of losing them.
+            by_session: dict[str, list[ClientRequestHandle]] = {}
+            for h in handles:
+                by_session.setdefault(h.client_id, []).append(h)
+            for session in self._sessions:
+                front = by_session.get(session.client_id)
+                if front:
+                    front.sort(key=lambda h: h.seq)
+                    session._buffer = front + session._buffer
+            return
+        for h in handles:
+            h.attempts += 1
+            h.origin = origin
+            h.shard = shard
+            self._inflight[h.key] = h
+        self._envelopes.append(_Envelope(handle=under, entries=handles,
+                                         shard=shard, origin=origin))
+        self.batches_flushed += 1
+        self.requests_flushed += len(handles)
+
+    # ------------------------------------------------------------------ #
+    # Failover
+    # ------------------------------------------------------------------ #
+    def _check_failover(self) -> None:
+        """Scan submitted envelopes: a cancelled underlying handle means
+        the origin failed before acknowledging — its unresolved entries go
+        back to the front of their sessions' buffers for transparent
+        resubmission through a surviving server (the original copy may
+        still have been agreed; the RSM dedup table keeps the retry
+        exactly-once).  Fully resolved envelopes are garbage-collected."""
+        still_open: list[_Envelope] = []
+        requeue: list[ClientRequestHandle] = []
+        for env in self._envelopes:
+            if all(h.done or h.cancelled for h in env.entries):
+                continue
+            if env.handle.cancelled:
+                for h in env.entries:
+                    if not h.done and not h.cancelled:
+                        self._inflight.pop(h.key, None)
+                        requeue.append(h)
+                continue
+            still_open.append(env)
+        self._envelopes = still_open
+        if requeue:
+            self.resubmitted += len(requeue)
+            by_session: dict[str, list[ClientRequestHandle]] = {}
+            for h in requeue:
+                h.session.resubmissions += 1
+                by_session.setdefault(h.client_id, []).append(h)
+            for session in self._sessions:
+                front = by_session.get(session.client_id)
+                if front:
+                    front.sort(key=lambda h: h.seq)
+                    session._buffer = front + session._buffer
+
+    # ------------------------------------------------------------------ #
+    # Delivery resolution
+    # ------------------------------------------------------------------ #
+    def _on_deliver(self, shard: Optional[int],
+                    event: DeliveryEvent) -> None:
+        self._delivered_rounds += 1
+        if not self._inflight:
+            return
+        for _origin, batch in event.messages:
+            for request in batch.requests:
+                if not is_client_batch(request.data):
+                    continue
+                for entry in decode_client_batch(request.data):
+                    handle = self._inflight.pop(entry.key, None)
+                    if handle is not None:
+                        handle._resolve(event)
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def run_rounds(self, k: int, *, timeout: float = 30.0):
+        """Advance the target *k* rounds; each round boundary packs and
+        submits the sessions' buffers first (the round-start hook).
+        Returns the target's delivery events."""
+        return self.target.run_rounds(k, timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Client target={type(self.target).__name__} "
+                f"sessions={len(self._sessions)} "
+                f"in_flight={self.in_flight}>")

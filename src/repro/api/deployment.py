@@ -38,7 +38,7 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
-from ..core.batching import Batch, Request
+from ..core.batching import Batch, Request, iter_client_requests
 from ..runtime.framing import canonical_payload
 
 __all__ = [
@@ -93,6 +93,15 @@ class DeliveryEvent:
         order (origin-major, submission order within a batch)."""
         for _origin, batch in self.messages:
             yield from batch.requests
+
+    def client_requests(self) -> Iterator[Request]:
+        """All *application-level* requests of the round: client batch
+        envelopes (:mod:`repro.api.client`) are unpacked into one request
+        per entry — carrying the stable ``(client, seq)`` identity and
+        skipping no-op read barriers — while plain requests pass through.
+        Same agreed order as :meth:`requests`."""
+        for _origin, request in iter_client_requests(self.messages):
+            yield request
 
 
 class RequestHandle:
@@ -227,6 +236,7 @@ class Deployment(abc.ABC):
         self._subscribers: list[Callable[[DeliveryEvent], None]] = []
         self._node_subscribers: list[
             Callable[[int, DeliveryEvent], None]] = []
+        self._round_start_subscribers: list[Callable[[], None]] = []
         self._epoch = 0
         self._started = False
 
@@ -345,6 +355,25 @@ class Deployment(abc.ABC):
             self._node_subscribers.append(callback)
         else:
             self._subscribers.append(callback)
+
+    def on_round_start(self, callback: Callable[[], None]) -> None:
+        """Subscribe ``callback()`` to fire at every round boundary,
+        *before* the servers A-broadcast — the last moment a submission
+        can still ride the starting round.
+
+        This is the §5 batching seam: the client ingress layer
+        (:mod:`repro.api.client`) registers its session flush here, so
+        requests "buffered until the current round completes" are packed
+        and submitted exactly once per round, no matter who drives the
+        deployment (``run_rounds``, a blocking ``handle.result()``, or a
+        service-level coordinator on a shared engine)."""
+        self._round_start_subscribers.append(callback)
+
+    def _fire_round_start(self) -> None:
+        """Backends call this once per round, before filling broadcast
+        windows."""
+        for callback in self._round_start_subscribers:
+            callback()
 
     @abc.abstractmethod
     def fail(self, pid: int) -> None:

@@ -66,7 +66,12 @@ from typing import (
 )
 
 from ..graphs.digraph import Digraph
-from .deployment import DeliveryEvent, Deployment, RequestHandle
+from .deployment import (
+    DeliveryEvent,
+    Deployment,
+    RequestCancelled,
+    RequestHandle,
+)
 from .state_machine import ReplicatedStateMachine, StateMachine
 
 __all__ = [
@@ -425,20 +430,42 @@ class ShardedService:
         owning group, and within it a key-hash-chosen alive server (sticky
         per key, deterministic across backends and runs)."""
         shard = self.shard_of(key)
+        return shard, self.origin_in_shard(shard, key)
+
+    def origin_in_shard(self, shard: int, key: Hashable) -> int:
+        """The key-sticky alive origin within an already-routed *shard*
+        (callers that cached the shard — e.g. the client ingress layer —
+        skip a second partitioner lookup)."""
         alive = self.groups[shard].alive_members
         if not alive:
             raise ValueError(f"shard {shard} has no alive member to "
                              f"accept key {key!r}")
-        return shard, alive[stable_key_hash(key) % len(alive)]
+        return alive[stable_key_hash(key) % len(alive)]
 
     def submit(self, key: Hashable, data: Any, *,
                nbytes: int = 64) -> ServiceHandle:
         """Enter a keyed request: route *key* to its owning group, submit
         *data* there, and return the tagged handle.  Resolution semantics
         are the group's (acked when the carrying round is A-delivered at
-        the origin server)."""
-        shard, origin = self.origin_of(key)
-        handle = self.groups[shard].submit(data, at=origin, nbytes=nbytes)
+        the origin server).
+
+        Submission failures caused by server death — the whole shard has
+        no surviving member, or the routed origin died between routing
+        and entry — surface as :class:`~repro.api.deployment
+        .RequestCancelled` with the shard context, the same vocabulary a
+        client sees when an accepted request's origin fails later (a raw
+        backend ``ValueError`` used to leak here, so callers could not
+        tell a routing bug from a fail-stop).
+        """
+        shard = self.shard_of(key)
+        try:
+            origin = self.origin_in_shard(shard, key)
+            handle = self.groups[shard].submit(data, at=origin,
+                                               nbytes=nbytes)
+        except ValueError as err:
+            raise RequestCancelled(
+                f"shard {shard}: cannot submit key {key!r}: {err}"
+            ) from err
         return ServiceHandle(key, shard, handle)
 
     # ------------------------------------------------------------------ #
@@ -492,6 +519,16 @@ class ShardedService:
         self._log.extend(fresh)
         self._log.sort(key=key)   # timsort: cheap on the sorted prefix
         return fresh
+
+    def on_deliver(self, callback: Callable[[ShardDelivery], None]) -> None:
+        """Subscribe to the shard-tagged delivery stream:
+        ``callback(ShardDelivery)`` fires at every group's A-delivery of a
+        round (first observation within that group), as it happens —
+        unlike :meth:`deliveries`, which merges on demand."""
+        for shard, group in enumerate(self.groups):
+            group.on_deliver(
+                lambda event, shard=shard: callback(
+                    ShardDelivery(shard=shard, event=event)))
 
     def deliveries(self) -> tuple[ShardDelivery, ...]:
         """Every shard's delivered rounds, merged under shard tags.

@@ -142,6 +142,7 @@ class SimDeployment(Deployment):
         than one group's round serialising after another's).
         """
         self.start()
+        self._fire_round_start()
         for pid in self.alive_members:
             self.cluster.node(pid).fill_window()
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
-from ..core.batching import Request
+from ..core.batching import Request, iter_client_requests
 from .deployment import DeliveryEvent, Deployment
 
 __all__ = ["StateMachine", "ReplicatedStateMachine", "ReplicatedKVStore"]
@@ -68,20 +68,90 @@ class ReplicatedStateMachine:
         self.heights: dict[int, int] = {pid: 0 for pid in self.replicas}
         self._results: dict[int, list[Any]] = {
             pid: [] for pid in self.replicas}
+        #: per-replica exactly-once dedup table over ``(client, seq)``:
+        #: a client whose origin server failed resubmits unacknowledged
+        #: requests through a surviving server, and the original copy may
+        #: still have been agreed — the duplicate must not re-apply.
+        #: Every replica sees the same agreed order, so the tables (and
+        #: therefore the skip decisions) are identical everywhere.
+        self._applied: dict[int, set[tuple[str, int]]] = {
+            pid: set() for pid in self.replicas}
+        #: per-replica ``(client, seq) -> apply output`` (the read-back
+        #: path of client request handles)
+        self._client_results: dict[int, dict[tuple[str, int], Any]] = {
+            pid: {} for pid in self.replicas}
+        #: duplicates suppressed per replica (observability for tests and
+        #: the no-duplicate-applies acceptance check)
+        self.duplicates_skipped: dict[int, int] = {
+            pid: 0 for pid in self.replicas}
         deployment.on_deliver(self._on_node_deliver, per_node=True)
 
     # ------------------------------------------------------------------ #
     def _on_node_deliver(self, pid: int, event: DeliveryEvent) -> None:
         machine = self.replicas[pid]
         outputs = self._results[pid]
-        for origin, batch in event.messages:
-            for request in batch.requests:
+        applied = self._applied[pid]
+        client_results = self._client_results[pid]
+        # iter_client_requests unpacks client batch envelopes into
+        # individual requests carrying their stable (client, seq) identity
+        # (no-op read barriers are dropped); plain requests pass through.
+        for origin, request in iter_client_requests(event.messages):
+            if request.client is not None:
+                key = (request.client, request.seq)
+                if key in applied:
+                    self.duplicates_skipped[pid] += 1
+                    continue
+                applied.add(key)
+                output = machine.apply(event.round, origin, request)
+                outputs.append(output)
+                client_results[key] = output
+            else:
                 outputs.append(machine.apply(event.round, origin, request))
         self.heights[pid] += 1
 
     # ------------------------------------------------------------------ #
     def replica(self, pid: int) -> StateMachine:
         return self.replicas[pid]
+
+    def client_result(self, client: str, seq: int,
+                      pid: Optional[int] = None) -> Any:
+        """The ``apply`` output of client request ``(client, seq)`` at
+        replica *pid* (default: the lowest-id alive member).  Raises
+        :class:`KeyError` while the request has not been applied there."""
+        if pid is None:
+            pid = self.deployment.alive_members[0]
+        return self._client_results[pid][(client, seq)]
+
+    def has_applied(self, client: str, seq: int,
+                    pid: Optional[int] = None) -> bool:
+        """Whether replica *pid* already applied ``(client, seq)`` (the
+        dedup table lookup)."""
+        if pid is None:
+            pid = self.deployment.alive_members[0]
+        return (client, seq) in self._applied[pid]
+
+    def read_local(self, key: Any, pid: Optional[int] = None) -> Any:
+        """A **local** (non-linearisable) read of *key* at replica *pid*
+        (default: the lowest-id alive member): the replica's current
+        snapshot, no agreement round.
+
+        Works with any state machine whose state is a mapping: a ``data``
+        dict attribute is consulted directly
+        (:class:`ReplicatedKVStore`'s shape); otherwise the snapshot is
+        interpreted as a ``(key, value)`` item sequence.
+        """
+        if pid is None:
+            pid = self.deployment.alive_members[0]
+        machine = self.replicas[pid]
+        data = getattr(machine, "data", None)
+        if isinstance(data, dict):
+            return data.get(key)
+        try:
+            return dict(machine.snapshot()).get(key)
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"{type(machine).__name__} state is not key-addressable: "
+                f"reads need a 'data' mapping or an items() snapshot")
 
     def results(self, pid: Optional[int] = None) -> tuple:
         """The ``apply`` outputs at replica *pid* (default: the lowest-id

@@ -130,10 +130,21 @@ class TcpDeployment(Deployment):
     def run_rounds(self, k: int, *,
                    timeout: float = 30.0) -> list[DeliveryEvent]:
         """Drive *k* rounds to completion at every live node (wall-clock
-        *timeout* per awaited round)."""
+        *timeout* per awaited round).
+
+        With round-start subscribers registered (the client ingress
+        layer's per-round session flush), rounds are driven one at a time
+        so every boundary fires its hook before the next broadcast; the
+        hook-free path keeps the single ``cluster.run_rounds(k)`` call.
+        """
         self.start()
         mark = len(self._log)
-        self._run(self.cluster.run_rounds(k, timeout=timeout))
+        if self._round_start_subscribers:
+            for _ in range(k):
+                self._fire_round_start()
+                self._run(self.cluster.run_rounds(1, timeout=timeout))
+        else:
+            self._run(self.cluster.run_rounds(k, timeout=timeout))
         return self._log[mark:]
 
     def fail(self, pid: int) -> None:

@@ -1,0 +1,270 @@
+"""Batching-factor sweep through the real client surface (Fig 10 shape).
+
+Figure 10's experiment drives the system with *batched* application
+requests: each server A-broadcasts one message per round packing
+``batching factor`` requests, and throughput scales with the factor
+because a round's cost is dominated by per-message overheads, not per
+-request bytes.  Earlier sweeps (:mod:`repro.bench.fig10`) reproduce that
+from the benchmark harness, injecting synthetic batches straight into
+server queues; this module reproduces the *shape of the claim from the
+public API*: logical clients submit individual requests through
+:class:`~repro.api.client.ClientSession`, the ingress layer buffers them
+and packs **one batch message per origin per round**, and the measured
+rate is of requests acknowledged back at the client handles.
+
+* :func:`client_point` — one deterministic packet-level run at batching
+  factor *b*: GS(n, d) on the simulator, one closed-loop session pinned
+  per server, window *b* each, so every round carries n messages of b
+  requests;
+* :func:`client_sweep` — the committed trajectory
+  (``BENCH_clients.json``): b ∈ {1, 8, 64, 512} at GS(8, 3), recording
+  each factor's steady-state agreed-request rate and its scaling vs
+  b = 1 (the acceptance bar is ≥ 100× at b = 512 — the Fig 10 shape);
+* :func:`smoke` — a small deterministic b ∈ {1, 64} check for CI with a
+  scaling floor and a wall-clock cap.
+
+Run ``python -m repro.bench.clients --sweep`` to regenerate the committed
+file, ``--smoke`` for the CI check (exits non-zero on regression).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..api.client import Client
+from ..api.sim_backend import SimDeployment
+from ..graphs.gs import gs_digraph
+from ..workloads.clients import ClosedLoopPopulation
+
+__all__ = [
+    "CLIENT_BENCH_PATH",
+    "CLIENT_SWEEP_FACTORS",
+    "client_point",
+    "client_sweep",
+    "smoke",
+    "load_committed",
+]
+
+#: batching factors of the committed sweep (the Fig 10 x-axis, subset)
+CLIENT_SWEEP_FACTORS = (1, 8, 64, 512)
+
+#: overlay of the sweep: GS(8, 3) (the acceptance scenario)
+SWEEP_N = 8
+SWEEP_DEGREE = 3
+
+#: per-request wire size (the paper's Fig 10 uses 8-byte requests)
+SWEEP_REQUEST_NBYTES = 8
+
+#: acceptance bar: aggregate rate at max factor vs factor 1
+SWEEP_SCALING_FLOOR = 100.0
+
+#: CI smoke: b=64 must beat b=1 by at least this factor (both runs are
+#: virtual-time deterministic, so the margin guards modelling changes,
+#: not noise; ideal scaling would be 64)
+SMOKE_SCALING_FLOOR = 20.0
+
+
+def _default_client_bench_path() -> str:
+    """Repo-root anchored location of the trajectory file (mirrors
+    shards.SHARD_BENCH_PATH)."""
+    anchor = Path(__file__).resolve().parents[3]
+    if (anchor / "src" / "repro").is_dir():
+        return str(anchor / "BENCH_clients.json")
+    return "BENCH_clients.json"
+
+
+CLIENT_BENCH_PATH = _default_client_bench_path()
+
+
+def client_point(batch_requests: int, *, n: int = SWEEP_N,
+                 degree: int = SWEEP_DEGREE, rounds: int = 12,
+                 warmup_rounds: int = 2,
+                 request_nbytes: int = SWEEP_REQUEST_NBYTES) -> dict:
+    """One instrumented run at batching factor *batch_requests*.
+
+    One closed-loop client session is pinned to every server, each keeping
+    *batch_requests* requests outstanding; the ingress layer packs every
+    session's window into one batch message per origin per round, so each
+    round carries exactly ``n × batch_requests`` application requests —
+    the Fig 10 fixed-batching-factor scenario, driven end to end through
+    ``session.submit`` instead of queue injection.  The rate is measured
+    over the post-warmup rounds in virtual time (deterministic).
+    """
+    if batch_requests < 1:
+        raise ValueError("batch_requests must be positive")
+    if rounds <= warmup_rounds:
+        raise ValueError("need more rounds than warmup_rounds")
+    deployment = SimDeployment(gs_digraph(n, degree))
+    engine = deployment.sim
+    client = Client(deployment, max_batch_requests=batch_requests,
+                    default_nbytes=request_nbytes)
+    population = ClosedLoopPopulation(
+        client, n, window=batch_requests,
+        request_nbytes=request_nbytes, pin_origins=True)
+    wall0 = time.perf_counter()
+    population.run(warmup_rounds)
+    t0, resolved0 = engine.now, population.resolved
+    population.run(rounds - warmup_rounds)
+    elapsed = engine.now - t0
+    resolved = population.resolved - resolved0
+    wall = time.perf_counter() - wall0
+    if not deployment.check_agreement():  # pragma: no cover - safety net
+        raise AssertionError("agreement violated during client sweep")
+    measured_rounds = rounds - warmup_rounds
+    return {
+        "batch_requests": batch_requests,
+        "n": n,
+        "overlay": deployment.cluster.graph.name,
+        "rounds": rounds,
+        "warmup_rounds": warmup_rounds,
+        "request_nbytes": request_nbytes,
+        "message_nbytes": batch_requests * request_nbytes,
+        "requests_submitted": population.submitted,
+        "requests_resolved": population.resolved,
+        "batches_flushed": client.batches_flushed,
+        "measured_requests": resolved,
+        "measured_time_s": elapsed,
+        "request_rate": resolved / elapsed if elapsed else 0.0,
+        "round_time_s": elapsed / measured_rounds,
+        "events": engine.events_processed,
+        "wall_s": wall,
+    }
+
+
+def client_sweep(factors: tuple[int, ...] = CLIENT_SWEEP_FACTORS, *,
+                 path: Optional[str] = CLIENT_BENCH_PATH) -> dict:
+    """The committed batching-factor trajectory.
+
+    Deterministic (virtual time, seeded sessions), so the file reproduces
+    bit-for-bit except the wall-clock column.  ``summary`` reports, per
+    factor, the agreed-request rate and its scaling vs the smallest
+    factor; ``scaling_ok`` records the ≥ 100× acceptance verdict.
+    """
+    rows = [client_point(b) for b in sorted(factors)]
+    base = rows[0]
+    summary = {}
+    for row in rows:
+        b = row["batch_requests"]
+        summary[f"b={b}"] = {
+            "request_rate": row["request_rate"],
+            "round_time_s": row["round_time_s"],
+            "scaling_vs_b1": (row["request_rate"] / base["request_rate"]
+                              if base["request_rate"] else None),
+        }
+    top = rows[-1]
+    scaling = (top["request_rate"] / base["request_rate"]
+               if base["request_rate"] else 0.0)
+    payload = {
+        "description": "Batching-factor sweep through the client ingress "
+                       "API: steady-state agreed-request rate vs requests "
+                       "packed per origin message (one closed-loop "
+                       "ClientSession pinned per server; Fig 10 shape "
+                       "from the public surface rather than the harness)",
+        "scenario": {
+            "backend": "sim",
+            "overlay": f"GS({SWEEP_N},{SWEEP_DEGREE})",
+            "workload": "closed-loop-sessions",
+            "request_nbytes": SWEEP_REQUEST_NBYTES,
+        },
+        "factors": list(sorted(factors)),
+        "rows": rows,
+        "summary": summary,
+        "scaling_max_vs_b1": scaling,
+        "scaling_floor": SWEEP_SCALING_FLOOR,
+        "scaling_ok": scaling >= SWEEP_SCALING_FLOOR,
+    }
+    if path is not None:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return payload
+
+
+def load_committed(path: str = CLIENT_BENCH_PATH) -> Optional[dict]:
+    """The committed trajectory, or None if the file does not exist."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def smoke(*, cap_wall_s: float = 60.0) -> dict:
+    """CI smoke: b ∈ {1, 64} at GS(8, 3), few rounds, deterministic.
+
+    Verifies the ingress machinery end to end (sessions → per-origin
+    batches → unpacked acks) and that batching still buys throughput:
+    the b = 64 rate must be ≥ :data:`SMOKE_SCALING_FLOOR` × the b = 1
+    rate, under a wall-clock cap.
+    """
+    wall0 = time.perf_counter()
+    one = client_point(1, rounds=8)
+    big = client_point(64, rounds=8)
+    wall = time.perf_counter() - wall0
+    scaling = (big["request_rate"] / one["request_rate"]
+               if one["request_rate"] else 0.0)
+    scaling_ok = scaling >= SMOKE_SCALING_FLOOR
+    wall_ok = wall <= cap_wall_s
+    return {
+        "b1_request_rate": one["request_rate"],
+        "b64_request_rate": big["request_rate"],
+        "scaling": scaling,
+        "floor": SMOKE_SCALING_FLOOR,
+        "scaling_ok": scaling_ok,
+        "wall_s": wall,
+        "cap_wall_s": cap_wall_s,
+        "wall_ok": wall_ok,
+        "ok": scaling_ok and wall_ok,
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Client-surface batching-factor sweep / CI smoke")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the full factor sweep and rewrite "
+                             "BENCH_clients.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small b∈{1,64} check (exit 1 when "
+                             "batching scaling regresses)")
+    parser.add_argument("--path", default=CLIENT_BENCH_PATH,
+                        help="trajectory file location")
+    parser.add_argument("--cap", type=float, default=60.0,
+                        help="smoke wall-clock cap in seconds")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = smoke(cap_wall_s=args.cap)
+        print(json.dumps(result, indent=2))
+        if not result["scaling_ok"]:
+            print("CLIENT SMOKE FAILED: b=64 scaling "
+                  f"{result['scaling']:.1f}x below floor "
+                  f"{result['floor']:.0f}x")
+        if not result["wall_ok"]:
+            print("CLIENT SMOKE FAILED: wall clock "
+                  f"{result['wall_s']:.1f}s exceeded cap "
+                  f"{result['cap_wall_s']:.0f}s")
+        return 0 if result["ok"] else 1
+    if args.sweep:
+        payload = client_sweep(path=args.path)
+        for row in payload["rows"]:
+            b = row["batch_requests"]
+            scale = payload["summary"][f"b={b}"]["scaling_vs_b1"]
+            print(f"b={b:>4} rate={row['request_rate']:>14,.0f} req/s "
+                  f"round={row['round_time_s']*1e6:7.1f}us "
+                  f"scaling={scale:7.2f}x wall={row['wall_s']:.2f}s")
+        print(f"scaling b=1 -> b={payload['factors'][-1]}: "
+              f"{payload['scaling_max_vs_b1']:.1f}x "
+              f"(floor {payload['scaling_floor']:.0f}x: "
+              f"{'OK' if payload['scaling_ok'] else 'FAILED'})")
+        return 0 if payload["scaling_ok"] else 1
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -7,7 +7,16 @@ machine); bindings to the discrete-event simulator (:class:`SimNode`,
 :class:`SimCluster`) and to the asyncio runtime live next to it.
 """
 
-from .batching import Batch, Request, RequestQueue
+from .batching import (
+    Batch,
+    ClientRequest,
+    Request,
+    RequestQueue,
+    decode_client_batch,
+    encode_client_batch,
+    is_client_batch,
+    iter_client_requests,
+)
 from .cluster import ClusterOptions, SimCluster
 from .config import AllConcurConfig, FDMode
 from .interfaces import Deliver, RoundAdvance, Send
@@ -49,6 +58,11 @@ __all__ = [
     "Batch",
     "Request",
     "RequestQueue",
+    "ClientRequest",
+    "encode_client_batch",
+    "decode_client_batch",
+    "is_client_batch",
+    "iter_client_requests",
     "Broadcast",
     "FailureNotice",
     "Forward",

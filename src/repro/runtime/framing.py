@@ -56,6 +56,7 @@ def _batch_to_json(batch: Batch) -> dict[str, Any]:
                 "nbytes": r.nbytes,
                 "submit_time": r.submit_time,
                 "data": r.data,
+                **({"client": r.client} if r.client is not None else {}),
             }
             for r in batch.requests
         ],
@@ -65,7 +66,8 @@ def _batch_to_json(batch: Batch) -> dict[str, Any]:
 def _batch_from_json(obj: dict[str, Any]) -> Batch:
     requests = tuple(
         Request(origin=r["origin"], seq=r["seq"], nbytes=r["nbytes"],
-                submit_time=r.get("submit_time", 0.0), data=r.get("data"))
+                submit_time=r.get("submit_time", 0.0), data=r.get("data"),
+                client=r.get("client"))
         for r in obj.get("requests", ()))
     if requests:
         return Batch.of(requests)

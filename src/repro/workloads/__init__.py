@@ -1,5 +1,7 @@
-"""Synthetic workload generators for the paper's application scenarios."""
+"""Synthetic workload generators for the paper's application scenarios,
+plus closed-loop client populations over the ingress API."""
 
+from .clients import ClosedLoopPopulation
 from .generators import (
     ApmWorkload,
     ConstantRateWorkload,
@@ -14,4 +16,5 @@ __all__ = [
     "GlobalRateWorkload",
     "FixedBatchWorkload",
     "KeyedWorkload",
+    "ClosedLoopPopulation",
 ]

@@ -1,0 +1,85 @@
+"""bench/clients.py: batching-factor sweep schema, scaling law, smoke."""
+
+import pytest
+
+from repro.bench.clients import (
+    CLIENT_BENCH_PATH,
+    CLIENT_SWEEP_FACTORS,
+    SMOKE_SCALING_FLOOR,
+    SWEEP_SCALING_FLOOR,
+    client_point,
+    client_sweep,
+    load_committed,
+    smoke,
+)
+
+ROW_KEYS = {
+    "batch_requests", "n", "overlay", "rounds", "warmup_rounds",
+    "request_nbytes", "message_nbytes", "requests_submitted",
+    "requests_resolved", "batches_flushed", "measured_requests",
+    "measured_time_s", "request_rate", "round_time_s", "events", "wall_s",
+}
+
+
+class TestClientPoint:
+    def test_row_schema_and_sanity(self):
+        row = client_point(4, rounds=6)
+        assert ROW_KEYS <= set(row)
+        assert row["batch_requests"] == 4 and row["n"] == 8
+        # one closed-loop session per server, window 4: each measured
+        # round carries exactly n x b requests
+        assert row["measured_requests"] == 8 * 4 * (6 - 2)
+        assert row["request_rate"] > 0 and row["round_time_s"] > 0
+        # one batch message per origin per round
+        assert row["batches_flushed"] == 8 * 6
+
+    def test_deterministic_in_virtual_time(self):
+        a = client_point(8, rounds=5)
+        b = client_point(8, rounds=5)
+        for key in ROW_KEYS - {"wall_s"}:
+            assert a[key] == b[key], key
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            client_point(0)
+        with pytest.raises(ValueError):
+            client_point(1, rounds=2, warmup_rounds=2)
+
+
+class TestClientSweep:
+    def test_batching_scales_throughput(self):
+        payload = client_sweep(factors=(1, 16), path=None)
+        scaling = payload["summary"]["b=16"]["scaling_vs_b1"]
+        # packing 16x the requests into one message must buy close to
+        # 16x the rate (round time is latency-dominated at this size)
+        assert scaling > 8.0
+        assert payload["rows"][0]["request_rate"] > 0
+
+    def test_committed_file_meets_the_acceptance_bar(self):
+        committed = load_committed(CLIENT_BENCH_PATH)
+        assert committed is not None, \
+            "BENCH_clients.json missing; run python -m repro.bench.clients --sweep"
+        assert committed["factors"] == sorted(CLIENT_SWEEP_FACTORS)
+        assert committed["scaling_floor"] == SWEEP_SCALING_FLOOR
+        assert committed["scaling_ok"] is True
+        assert committed["scaling_max_vs_b1"] >= SWEEP_SCALING_FLOOR
+        for row in committed["rows"]:
+            assert ROW_KEYS <= set(row)
+
+    def test_committed_rows_match_fresh_runs(self):
+        """Virtual time is deterministic: re-running a committed factor
+        must reproduce its rate exactly (guards silent model drift)."""
+        committed = load_committed(CLIENT_BENCH_PATH)
+        assert committed is not None
+        row = committed["rows"][0]
+        fresh = client_point(row["batch_requests"], rounds=row["rounds"],
+                             warmup_rounds=row["warmup_rounds"])
+        assert fresh["request_rate"] == pytest.approx(row["request_rate"])
+
+
+class TestSmoke:
+    def test_smoke_passes_and_reports(self):
+        result = smoke(cap_wall_s=120.0)
+        assert result["ok"], result
+        assert result["scaling"] >= SMOKE_SCALING_FLOOR
+        assert result["b1_request_rate"] > 0
