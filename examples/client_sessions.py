@@ -20,8 +20,9 @@ through the public ingress API (:class:`repro.api.Client` /
    linearisation point); ``consistency="local"`` answers from the replica
    snapshot without a round, as §1.1 prescribes for queries.
 
-The same scenario runs on the simulator and over TCP sockets and must end
-in the identical replicated state.
+The same scenario runs on the simulator, over TCP sockets in-process, and
+over TCP with every server in its own OS process (``runtime="process"``) —
+and must end in the identical replicated state on all three.
 
 Run it with::
 
@@ -102,18 +103,25 @@ def scenario(deployment: Deployment) -> tuple:
 
 def main() -> None:
     graph = gs_digraph(8, 3)
+    # Three transports, one scenario: the in-memory simulator, all servers
+    # in this process's event loop, and one OS process per server.
+    legs = {
+        "sim": ("sim", {}),
+        "tcp": ("tcp", {}),
+        "tcp/process": ("tcp", {"runtime": "process"}),
+    }
     snapshots = {}
-    for backend in ("sim", "tcp"):
-        print(f"=== {backend}: {NUM_CLIENTS} client sessions on 8 servers "
+    for label, (backend, kwargs) in legs.items():
+        print(f"=== {label}: {NUM_CLIENTS} client sessions on 8 servers "
               f"(GS(8,3)) ===")
-        with create_deployment(backend, graph) as deployment:
-            snapshots[backend] = scenario(deployment)
+        with create_deployment(backend, graph, **kwargs) as deployment:
+            snapshots[label] = scenario(deployment)
         print()
-    assert snapshots["sim"] == snapshots["tcp"], (
+    assert snapshots["sim"] == snapshots["tcp"] == snapshots["tcp/process"], (
         "identical client population must produce identical replicated "
-        "state on both transports")
+        "state on every transport")
     print("client-sessions example finished — same sessions, same agreed "
-          "state, sim and TCP.")
+          "state on the simulator, in-process TCP, and multi-process TCP.")
 
 
 if __name__ == "__main__":

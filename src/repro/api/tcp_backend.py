@@ -22,6 +22,7 @@ from ..core.config import AllConcurConfig
 from ..graphs.digraph import Digraph
 from ..runtime.cluster import LocalCluster
 from ..runtime.node import DeliveredRound
+from ..runtime.proc import ProcessCluster
 from .deployment import (
     Deployment,
     DeliveryEvent,
@@ -33,7 +34,19 @@ __all__ = ["TcpDeployment"]
 
 
 class TcpDeployment(Deployment):
-    """An AllConcur deployment over localhost TCP sockets."""
+    """An AllConcur deployment over localhost TCP sockets.
+
+    ``runtime`` selects where the servers live: ``"inproc"`` (default)
+    hosts every node in this process's private event loop
+    (:class:`~repro.runtime.cluster.LocalCluster`); ``"process"`` gives
+    each node its own OS process and event loop
+    (:class:`~repro.runtime.proc.ProcessCluster`).  Both expose the same
+    driving surface, so everything layered on the facade — sessions,
+    shards, replicated state machines — runs unchanged on either.
+
+    ``codec`` selects the wire image (``"binary"`` default, ``"json"``
+    the differential oracle — see :mod:`repro.runtime.wire`).
+    """
 
     name = "tcp"
 
@@ -43,14 +56,29 @@ class TcpDeployment(Deployment):
                  heartbeat_period: float = 0.05,
                  heartbeat_timeout: float = 0.5,
                  enable_failure_detector: bool = False,
-                 namespace: str = "") -> None:
+                 namespace: str = "",
+                 runtime: str = "inproc",
+                 codec: str = "binary",
+                 mp_context: Optional[str] = None) -> None:
         super().__init__()
-        self.cluster = LocalCluster(
-            graph, host=host, config=config,
-            heartbeat_period=heartbeat_period,
-            heartbeat_timeout=heartbeat_timeout,
-            enable_failure_detector=enable_failure_detector,
-            namespace=namespace)
+        if runtime == "inproc":
+            self.cluster = LocalCluster(
+                graph, host=host, config=config,
+                heartbeat_period=heartbeat_period,
+                heartbeat_timeout=heartbeat_timeout,
+                enable_failure_detector=enable_failure_detector,
+                namespace=namespace, codec=codec)
+        elif runtime == "process":
+            self.cluster = ProcessCluster(
+                graph, host=host, config=config,
+                heartbeat_period=heartbeat_period,
+                heartbeat_timeout=heartbeat_timeout,
+                enable_failure_detector=enable_failure_detector,
+                namespace=namespace, codec=codec, mp_context=mp_context)
+        else:
+            raise ValueError(f"unknown runtime {runtime!r} "
+                             f"(expected 'inproc' or 'process')")
+        self.runtime = runtime
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._futures: dict[tuple[int, int], asyncio.Future] = {}
         self._closed = False

@@ -64,6 +64,13 @@ class AllConcurConfig:
         oracle).  The two planes are behaviourally identical; ``"set"``
         exists for equivalence testing and as the pre-optimisation baseline
         of ``bench/perf.py``.
+    max_batch:
+        Upper bound on requests drained into one round's message (§5: a
+        practical deployment "would bound the message size and reduce the
+        inflow of requests").  ``None`` (default) drains everything
+        pending; a bound lets a deep backlog spread over multiple rounds —
+        the wire benchmark pre-loads every origin's queue and uses this to
+        keep per-round message sizes fixed.
     members:
         Initial membership; defaults to all vertices of ``graph``.
     """
@@ -74,6 +81,7 @@ class AllConcurConfig:
     auto_advance: bool = True
     pipeline_depth: int = 1
     data_plane: str = "bitmask"
+    max_batch: Optional[int] = None
     members: Optional[tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
@@ -85,6 +93,8 @@ class AllConcurConfig:
             raise ValueError("f must be non-negative")
         if self.pipeline_depth < 1:
             raise ValueError("pipeline_depth must be at least 1")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
         if self.members is not None:
             bad = [m for m in self.members if not 0 <= m < self.graph.n]
             if bad:

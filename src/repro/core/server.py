@@ -102,8 +102,9 @@ class AllConcurServer:
         #: membership of the current epoch
         self.members: tuple[int, ...] = tuple(sorted(members))
         self._refresh_membership_caches()
-        #: application requests awaiting the next batch
-        self.queue = RequestQueue()
+        #: application requests awaiting the next batch (optionally capped
+        #: per round by ``config.max_batch``)
+        self.queue = RequestQueue(max_batch=config.max_batch)
         #: log of completed rounds
         self.history: list[RoundOutcome] = []
         #: delivery subscribers, called with every :class:`RoundOutcome` as

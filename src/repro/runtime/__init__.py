@@ -1,8 +1,12 @@
 """Real asyncio/TCP deployment of the AllConcur protocol core.
 
 Demonstrates that the same sans-IO core used by the simulator runs over real
-sockets: length-prefixed JSON framing, one TCP connection per overlay edge,
-heartbeat failure detection.
+sockets: length-prefixed frames through a pluggable wire codec (binary by
+default, JSON as the differential oracle — :mod:`repro.runtime.wire`), one
+TCP connection per overlay edge, heartbeat failure detection.  Clusters come
+in two shapes: :class:`LocalCluster` hosts every node in the current event
+loop, :class:`ProcessCluster` gives each node its own OS process (and event
+loop) behind the same async driving surface.
 """
 
 from .cluster import LocalCluster
@@ -13,9 +17,12 @@ from .framing import (
     encode_message,
 )
 from .node import DeliveredRound, NodeAddress, RuntimeNode
+from .proc import ProcessCluster
+from .wire import BinaryCodec, JsonCodec, WireCodec, get_codec
 
 __all__ = [
     "LocalCluster",
+    "ProcessCluster",
     "RuntimeNode",
     "NodeAddress",
     "DeliveredRound",
@@ -23,4 +30,8 @@ __all__ = [
     "encode_frame",
     "encode_message",
     "decode_message",
+    "WireCodec",
+    "JsonCodec",
+    "BinaryCodec",
+    "get_codec",
 ]

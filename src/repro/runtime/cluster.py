@@ -43,11 +43,15 @@ class LocalCluster:
                  heartbeat_period: float = 0.05,
                  heartbeat_timeout: float = 0.5,
                  enable_failure_detector: bool = True,
-                 namespace: str = "") -> None:
+                 namespace: str = "",
+                 codec: str = "binary") -> None:
         self.graph = graph
         #: label of this group in multi-group (sharded) deployments — node
         #: ids are only unique per cluster, so diagnostics qualify them
         self.namespace = namespace
+        #: wire codec name — "binary" (default) or "json" (the
+        #: differential oracle); see :mod:`repro.runtime.wire`
+        self.codec = codec
         self.config = config or AllConcurConfig(graph=graph,
                                                 auto_advance=False)
         members = self.config.initial_members
@@ -63,7 +67,8 @@ class LocalCluster:
             pid: RuntimeNode(pid, self.config, self.addresses,
                              heartbeat_period=heartbeat_period,
                              heartbeat_timeout=heartbeat_timeout,
-                             enable_failure_detector=enable_failure_detector)
+                             enable_failure_detector=enable_failure_detector,
+                             codec=codec)
             for pid in members
         }
         self._seq: dict[int, int] = {pid: 0 for pid in members}

@@ -21,12 +21,36 @@ from ..core.batching import Batch, Request
 from ..core.messages import Backward, Broadcast, FailureNotice, Forward, Message
 
 __all__ = ["encode_message", "decode_message", "encode_frame", "FrameDecoder",
-           "canonical_payload", "MAX_FRAME_BYTES"]
+           "canonical_payload", "MAX_FRAME_BYTES",
+           "batch_to_json", "batch_from_json",
+           "request_to_json", "request_from_json"]
 
 #: Upper bound on a frame, to protect against corrupted length prefixes.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
+
+
+def _is_canonical(data: Any) -> bool:
+    """Whether *data* already equals its JSON image.
+
+    Exact type checks on purpose: a ``list`` of canonical values survives a
+    JSON round trip identically, but a ``tuple`` becomes a list, an
+    ``IntEnum`` becomes a plain int and a non-``str`` dict key becomes a
+    string — those must keep taking the slow normalising path."""
+    if data is None or data is True or data is False:
+        return True
+    t = type(data)
+    if t is str or t is int or t is float:
+        return True
+    if t is list:
+        return all(_is_canonical(v) for v in data)
+    if t is dict:
+        for k, v in data.items():
+            if type(k) is not str or not _is_canonical(v):
+                return False
+        return True
+    return False
 
 
 def canonical_payload(data: Any) -> Any:
@@ -39,36 +63,50 @@ def canonical_payload(data: Any) -> Any:
     but as a list everywhere else, and cross-replica comparisons would
     report divergence where there is none.  Raises :class:`TypeError` for
     data the wire format cannot carry (better at submit time than
-    mid-broadcast)."""
+    mid-broadcast).
+
+    Payloads that are already canonical (the common case: client-batch
+    envelopes are built canonical by construction) are returned as-is
+    after a cheap recursive check — this runs once per submit on both
+    backends, and the old unconditional ``json.loads(json.dumps(data))``
+    double-serialisation dominated the submit hot path."""
     if data is None or isinstance(data, (str, int, float, bool)):
+        return data
+    if _is_canonical(data):
         return data
     return json.loads(json.dumps(data))
 
 
-def _batch_to_json(batch: Batch) -> dict[str, Any]:
+def request_to_json(r: Request) -> dict[str, Any]:
+    """One request's JSON wire image (also the multi-process runtime's
+    control-channel representation)."""
     return {
-        "count": batch.count,
-        "nbytes": batch.nbytes,
-        "requests": [
-            {
-                "origin": r.origin,
-                "seq": r.seq,
-                "nbytes": r.nbytes,
-                "submit_time": r.submit_time,
-                "data": r.data,
-                **({"client": r.client} if r.client is not None else {}),
-            }
-            for r in batch.requests
-        ],
+        "origin": r.origin,
+        "seq": r.seq,
+        "nbytes": r.nbytes,
+        "submit_time": r.submit_time,
+        "data": r.data,
+        **({"client": r.client} if r.client is not None else {}),
     }
 
 
-def _batch_from_json(obj: dict[str, Any]) -> Batch:
-    requests = tuple(
-        Request(origin=r["origin"], seq=r["seq"], nbytes=r["nbytes"],
-                submit_time=r.get("submit_time", 0.0), data=r.get("data"),
-                client=r.get("client"))
-        for r in obj.get("requests", ()))
+def request_from_json(obj: dict[str, Any]) -> Request:
+    """Inverse of :func:`request_to_json`."""
+    return Request(origin=obj["origin"], seq=obj["seq"], nbytes=obj["nbytes"],
+                   submit_time=obj.get("submit_time", 0.0),
+                   data=obj.get("data"), client=obj.get("client"))
+
+
+def batch_to_json(batch: Batch) -> dict[str, Any]:
+    return {
+        "count": batch.count,
+        "nbytes": batch.nbytes,
+        "requests": [request_to_json(r) for r in batch.requests],
+    }
+
+
+def batch_from_json(obj: dict[str, Any]) -> Batch:
+    requests = tuple(request_from_json(r) for r in obj.get("requests", ()))
     if requests:
         return Batch.of(requests)
     return Batch(count=obj.get("count", 0), nbytes=obj.get("nbytes", 0))
@@ -79,7 +117,7 @@ def encode_message(sender: int, message: Message) -> dict[str, Any]:
     if isinstance(message, Broadcast):
         return {"type": "bcast", "from": sender, "round": message.round,
                 "origin": message.origin,
-                "payload": _batch_to_json(message.payload)}
+                "payload": batch_to_json(message.payload)}
     if isinstance(message, FailureNotice):
         return {"type": "fail", "from": sender, "round": message.round,
                 "failed": message.failed, "reporter": message.reporter}
@@ -99,7 +137,7 @@ def decode_message(obj: dict[str, Any]) -> tuple[int, Message]:
     rnd = int(obj["round"])
     if kind == "bcast":
         return sender, Broadcast(round=rnd, origin=int(obj["origin"]),
-                                 payload=_batch_from_json(obj["payload"]))
+                                 payload=batch_from_json(obj["payload"]))
     if kind == "fail":
         return sender, FailureNotice(round=rnd, failed=int(obj["failed"]),
                                      reporter=int(obj["reporter"]))
@@ -119,10 +157,16 @@ def encode_frame(obj: dict[str, Any]) -> bytes:
 
 
 class FrameDecoder:
-    """Incremental decoder for a stream of length-prefixed JSON frames."""
+    """Incremental decoder for a stream of length-prefixed JSON frames.
 
-    def __init__(self) -> None:
+    ``max_frame_bytes`` bounds the length prefix: a corrupted (or hostile)
+    header that announces an oversized frame raises :class:`ValueError`
+    *before* any body bytes are accumulated, instead of buffering up to
+    4 GiB."""
+
+    def __init__(self, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._buffer = bytearray()
+        self.max_frame_bytes = max_frame_bytes
 
     def feed(self, data: bytes) -> list[dict[str, Any]]:
         """Feed raw bytes; return every complete frame decoded so far."""
@@ -132,7 +176,7 @@ class FrameDecoder:
             if len(self._buffer) < _LEN.size:
                 break
             (length,) = _LEN.unpack_from(self._buffer, 0)
-            if length > MAX_FRAME_BYTES:
+            if length > self.max_frame_bytes:
                 raise ValueError(f"frame length {length} exceeds limit")
             if len(self._buffer) < _LEN.size + length:
                 break

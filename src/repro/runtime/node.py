@@ -2,8 +2,9 @@
 
 Each :class:`RuntimeNode` runs one :class:`~repro.core.server.AllConcurServer`
 and talks to its overlay neighbours over TCP: it listens on its own port,
-dials every successor, and translates protocol effects into frames
-(:mod:`repro.runtime.framing`).  A lightweight heartbeat task implements the
+dials every successor, and translates protocol effects into frames through a
+pluggable wire codec (:mod:`repro.runtime.wire` — binary by default, JSON as
+the differential oracle).  A lightweight heartbeat task implements the
 failure detector of §3.2 (period ``Δhb``, timeout ``Δto``): every node
 heartbeats its successors and suspects a predecessor after ``Δto`` of
 silence.
@@ -25,13 +26,8 @@ from ..core.config import AllConcurConfig
 from ..core.interfaces import Deliver, Effect, RoundAdvance, Send
 from ..core.messages import Backward, Message
 from ..core.server import AllConcurServer
-from .framing import (
-    FrameDecoder,
-    canonical_payload,
-    decode_message,
-    encode_frame,
-    encode_message,
-)
+from .framing import canonical_payload
+from .wire import WireCodec, get_codec
 
 __all__ = ["RuntimeNode", "NodeAddress", "DeliveredRound"]
 
@@ -70,12 +66,16 @@ class RuntimeNode:
                  addresses: dict[int, NodeAddress], *,
                  heartbeat_period: float = 0.05,
                  heartbeat_timeout: float = 0.5,
-                 enable_failure_detector: bool = True) -> None:
+                 enable_failure_detector: bool = True,
+                 codec: "str | WireCodec" = "binary") -> None:
         if server_id not in addresses:
             raise ValueError(f"no address for server {server_id}")
         self.id = server_id
         self.config = config
         self.addresses = addresses
+        #: wire codec shared by every connection of this node ("binary"
+        #: default; "json" is the differential oracle — see runtime.wire)
+        self.codec = get_codec(codec)
         self.server = AllConcurServer(server_id, config)
         self.heartbeat_period = heartbeat_period
         self.heartbeat_timeout = heartbeat_timeout
@@ -258,6 +258,14 @@ class RuntimeNode:
     async def _connect(self, peer: int) -> None:
         addr = self.addresses[peer]
         for attempt in range(40):
+            # Re-checked every attempt: the peer can be marked down (or this
+            # node stopped) *while* the retry loop is sleeping.  Without the
+            # re-check a send to a just-crashed peer keeps dialling its dead
+            # listener for the full backoff — and since effects execute
+            # under the protocol lock, that stalls the node's own round
+            # driving for ~40s (long enough to look like a lost round).
+            if peer in self._down or self._stopped.is_set():
+                return
             try:
                 _reader, writer = await asyncio.open_connection(
                     addr.host, addr.port)
@@ -290,7 +298,7 @@ class RuntimeNode:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        decoder = FrameDecoder()
+        decoder = self.codec.decoder()
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
@@ -299,8 +307,8 @@ class RuntimeNode:
                 data = await reader.read(65536)
                 if not data:
                     break
-                for obj in decoder.feed(data):
-                    await self._handle_frame(obj)
+                for item in decoder.feed(data):
+                    await self._handle_frame(item)
         except (asyncio.CancelledError, ConnectionResetError):
             pass
         finally:
@@ -308,12 +316,13 @@ class RuntimeNode:
                 self._conn_tasks.discard(task)
             writer.close()
 
-    async def _handle_frame(self, obj: dict) -> None:
-        kind = obj.get("type")
-        if kind == "heartbeat":
-            self._last_heard[int(obj["from"])] = time.monotonic()
-            return
-        sender, message = decode_message(obj)
+    async def _handle_frame(self, item) -> None:
+        if isinstance(item, dict):                     # control frame
+            if item.get("type") == "heartbeat":
+                self._last_heard[int(item["from"])] = time.monotonic()
+                return
+            raise ValueError(f"unknown control frame {item.get('type')!r}")
+        sender, message = item
         self._last_heard[sender] = time.monotonic()
         async with self._lock:
             await self._execute(self.server.handle_message(sender, message))
@@ -336,7 +345,7 @@ class RuntimeNode:
                 continue
 
     async def _send_effect(self, effect: Send) -> None:
-        frame = encode_frame(encode_message(self.id, effect.message))
+        frame = self.codec.encode_message(self.id, effect.message)
         for target in effect.targets:
             writer = await self._get_writer(target)
             if writer is None:
@@ -351,7 +360,8 @@ class RuntimeNode:
     # Failure detector (heartbeats over the same connections)
     # ------------------------------------------------------------------ #
     async def _heartbeat_loop(self) -> None:
-        frame = encode_frame({"type": "heartbeat", "from": self.id})
+        frame = self.codec.encode_control({"type": "heartbeat",
+                                           "from": self.id})
         while not self._stopped.is_set():
             for succ in self.server.graph.successors(self.id):
                 writer = self._writers.get(succ)

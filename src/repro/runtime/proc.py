@@ -1,0 +1,711 @@
+"""Multi-process deployment: one OS process per AllConcur server.
+
+:class:`LocalCluster` hosts every :class:`~repro.runtime.node.RuntimeNode`
+in one asyncio event loop, so an n-server "deployment" shares one core and
+one GIL — the simulator ended up outrunning the real runtime by orders of
+magnitude.  :class:`ProcessCluster` keeps the exact same driving surface
+(``start``/``stop``, ``submit``/``submit_request``, ``run_rounds``,
+``fail``, ``agreement_holds`` …) but runs each node in its own spawned OS
+process with its own event loop, so n servers use up to n cores and every
+node pays only for its own framing and protocol work.
+
+Architecture
+------------
+
+* The parent opens one **control listener** (kernel-assigned port) and
+  spawns one child process per overlay vertex.  Control traffic is
+  length-prefixed JSON (:mod:`.framing`) regardless of the wire codec —
+  it is not a hot path, and JSON keeps it independently debuggable.
+* Each child builds its ``RuntimeNode`` (with the configured wire codec),
+  binds its node listener on port 0, dials the parent and reports the
+  kernel-assigned port in a ``hello`` frame.
+* Once every child said hello, the parent broadcasts the complete address
+  map (``peers``); only then do children dial their overlay successors —
+  the same two-phase bring-up :class:`LocalCluster` uses, so no dial can
+  race an unbound listener.
+* Parent→child commands are request/reply RPCs (``req`` correlation ids).
+  ``run_rounds`` ships the whole round-driving loop to the children: each
+  child fills its own broadcast window and awaits its own deliveries, so
+  the steady-state hot loop never crosses the control channel.
+* Children push every A-delivery to the parent (``deliver`` frames), which
+  archives them per node, fires the parent-side deliver callbacks (the
+  :class:`~repro.api.tcp_backend.TcpDeployment` facade and the replicated
+  state machines hang off these), and answers ``agreement_holds`` without
+  extra RPCs.  TCP's per-connection FIFO guarantees a child's deliveries
+  are archived before its ``run_rounds`` reply is processed.
+
+With ``report="digest"`` children push batch digests instead of full
+payloads — the throughput benchmark uses this so that the parent (an
+observer, not a server) does not become the bottleneck; agreement is then
+checked digest-for-digest.  The facade always uses ``report="full"``.
+
+The default start method is ``fork`` where available (child start cost is
+milliseconds and the test-suite spawns many clusters); ``spawn`` is
+selectable via ``mp_context`` and is the automatic fallback elsewhere.
+Children never touch the inherited event loop — each calls
+:func:`asyncio.run` on a fresh one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import marshal
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Iterable, Optional
+
+from ..core.batching import Batch, Request
+from ..core.config import AllConcurConfig
+from ..graphs.digraph import Digraph
+from .framing import (
+    FrameDecoder,
+    batch_from_json,
+    batch_to_json,
+    encode_frame,
+    request_from_json,
+    request_to_json,
+)
+from .node import DeliveredRound, NodeAddress, RuntimeNode
+
+__all__ = ["ProcessCluster"]
+
+
+def _batch_digest(batch: Batch) -> str:
+    """Deterministic 64-bit digest of a batch (stable across processes —
+    no dependence on PYTHONHASHSEED)."""
+    rows = tuple((r.origin, r.seq, r.nbytes, r.submit_time, r.data, r.client)
+                 for r in batch.requests)
+    blob = marshal.dumps((batch.count, batch.nbytes, rows))
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Child process
+# --------------------------------------------------------------------- #
+
+def _child_main(server_id: int, config: AllConcurConfig, host: str,
+                control_port: int, codec: str, heartbeat_period: float,
+                heartbeat_timeout: float, enable_failure_detector: bool,
+                report: str) -> None:
+    """Entry point of one server process (must be module-level so the
+    ``spawn`` start method can import it)."""
+    try:
+        asyncio.run(_child(server_id, config, host, control_port, codec,
+                           heartbeat_period, heartbeat_timeout,
+                           enable_failure_detector, report))
+    except Exception:   # pragma: no cover - surfaced via parent timeout
+        traceback.print_exc()
+        os._exit(1)
+
+
+async def _run_until(node: RuntimeNode, until: int, timeout: float,
+                     progress: asyncio.Event) -> None:
+    """Drive this node until it has delivered *until* rounds in total.
+
+    *until* is an **absolute** target the parent computed once and sent to
+    every child, not a per-child relative count: ``broadcast_rounds`` and
+    the epoch barrier advance at different protocol times on different
+    nodes (a membership change caps some windows before others), so
+    relative targets drift apart and a node can end up awaiting a round
+    whose broadcast its peers never issue in this call.  With one shared
+    absolute target every node keeps re-issuing window slots (capped slots
+    retry on the next poll, after a delivery drained the barrier) until it
+    has A-broadcast in all *until* rounds — exactly what its slowest peer
+    needs to finish.  A node already past the target replies immediately:
+    having delivered ``>= until`` rounds implies it already broadcast in
+    every round the laggards are waiting on."""
+    deadline = time.monotonic() + timeout
+    while node.delivered_rounds < until:
+        while node.broadcast_rounds < until:
+            before = node.broadcast_rounds
+            await node.start_round()
+            if node.broadcast_rounds == before:
+                break       # window capped; retried on the next poll
+        if node.delivered_rounds >= until:
+            break
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"server {node.id} delivered {node.delivered_rounds} of "
+                f"{until} rounds within {timeout}s")
+        # Delivery-kicked, not fixed-interval polled: with pipeline depth 1
+        # the next broadcast is gated on the previous delivery, so a sleep
+        # here would put its full duration on EVERY round's critical path.
+        progress.clear()
+        try:
+            await asyncio.wait_for(progress.wait(), 0.05)
+        except asyncio.TimeoutError:
+            pass        # re-check the window anyway (barrier may have moved)
+
+
+async def _child(server_id: int, config: AllConcurConfig, host: str,
+                 control_port: int, codec: str, heartbeat_period: float,
+                 heartbeat_timeout: float, enable_failure_detector: bool,
+                 report: str) -> None:
+    addresses = {server_id: NodeAddress(server_id, host, 0)}
+    node = RuntimeNode(server_id, config, addresses,
+                       heartbeat_period=heartbeat_period,
+                       heartbeat_timeout=heartbeat_timeout,
+                       enable_failure_detector=enable_failure_detector,
+                       codec=codec)
+    await node.start_listening()
+
+    reader = writer = None
+    for attempt in range(40):
+        try:
+            reader, writer = await asyncio.open_connection(host, control_port)
+            break
+        except OSError:
+            await asyncio.sleep(0.05 * (attempt + 1))
+    if writer is None:
+        raise ConnectionError(f"server {server_id} cannot reach the "
+                              f"control channel on port {control_port}")
+
+    outbox: asyncio.Queue = asyncio.Queue()
+
+    async def pump() -> None:
+        while True:
+            frame = await outbox.get()
+            writer.write(frame)
+            await writer.drain()
+
+    pump_task = asyncio.create_task(pump())
+
+    def send(obj: dict) -> None:
+        outbox.put_nowait(encode_frame(obj))
+
+    #: set on every A-delivery — wakes the round-driving loop immediately
+    progress = asyncio.Event()
+
+    def on_deliver(rec: DeliveredRound) -> None:
+        progress.set()
+        frame = {"type": "deliver", "id": server_id, "round": rec.round,
+                 "removed": list(rec.removed), "wall": rec.wall_time}
+        if report == "digest":
+            frame["digest"] = [[o, b.count, b.nbytes, _batch_digest(b)]
+                               for o, b in rec.messages]
+        else:
+            frame["messages"] = [[o, batch_to_json(b)]
+                                 for o, b in rec.messages]
+        send(frame)
+
+    node.on_deliver(on_deliver)
+    send({"type": "hello", "id": server_id, "port": node.address.port})
+
+    async def run_and_reply(until: int, timeout: float, req: int) -> None:
+        try:
+            await _run_until(node, until, timeout, progress)
+        except Exception as exc:
+            send({"type": "reply", "req": req,
+                  "error": f"{type(exc).__name__}: {exc}"})
+        else:
+            send({"type": "reply", "req": req,
+                  "broadcast_rounds": node.broadcast_rounds,
+                  "delivered_rounds": node.delivered_rounds})
+
+    tasks: set = set()
+    decoder = FrameDecoder()
+    stopping = False
+    try:
+        while not stopping:
+            data = await reader.read(65536)
+            if not data:
+                break               # parent gone: shut down
+            for obj in decoder.feed(data):
+                kind = obj["type"]
+                req = obj.get("req")
+                if kind == "peers":
+                    for key, (peer_host, peer_port) in \
+                            obj["addresses"].items():
+                        pid = int(key)
+                        addresses[pid] = NodeAddress(pid, peer_host,
+                                                     peer_port)
+                    await node.connect_peers()
+                    send({"type": "reply", "req": req})
+                elif kind == "submit":
+                    await node.submit(request_from_json(obj["request"]))
+                    send({"type": "reply", "req": req})
+                elif kind == "submit_many":
+                    for row in obj["requests"]:
+                        await node.submit(request_from_json(row))
+                    send({"type": "reply", "req": req})
+                elif kind == "run":
+                    task = asyncio.create_task(
+                        run_and_reply(obj["until"], obj["timeout"], req))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif kind == "start_round":
+                    await node.start_round()
+                    send({"type": "reply", "req": req,
+                          "broadcast_rounds": node.broadcast_rounds})
+                elif kind == "fill_window":
+                    await node.fill_window()
+                    send({"type": "reply", "req": req,
+                          "broadcast_rounds": node.broadcast_rounds})
+                elif kind == "notify_failure":
+                    await node.notify_failure(obj["suspect"])
+                    send({"type": "reply", "req": req})
+                elif kind == "mark_down":
+                    node.mark_down(obj["peer"])
+                    send({"type": "reply", "req": req})
+                elif kind == "status":
+                    send({"type": "reply", "req": req,
+                          "broadcast_rounds": node.broadcast_rounds,
+                          "delivered_rounds": node.delivered_rounds})
+                elif kind == "stop":
+                    send({"type": "reply", "req": req})
+                    stopping = True
+                    break
+                else:
+                    send({"type": "error", "id": server_id,
+                          "error": f"unknown command {kind!r}"})
+    except (asyncio.CancelledError, ConnectionResetError):
+        pass
+    finally:
+        for task in tasks:
+            task.cancel()
+        await node.stop()
+        pump_task.cancel()
+        try:
+            await pump_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        while not outbox.empty():       # flush the goodbye frames
+            writer.write(outbox.get_nowait())
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+class _ProcessNode:
+    """Parent-side stand-in for a child-process node: the delivery archive
+    plus the callback hook the facade layers attach to.  Duck-types the
+    slice of :class:`RuntimeNode` that drivers use."""
+
+    def __init__(self, pid: int, cluster: "ProcessCluster") -> None:
+        self.id = pid
+        self._cluster = cluster
+        self.delivered: list[DeliveredRound] = []
+        #: per-round ``(origin, count, nbytes, digest)`` tuples
+        #: (``report="digest"`` mode only)
+        self.digests: list[tuple] = []
+        self.deliver_callbacks = []
+        self.broadcast_rounds = 0
+        #: set whenever a deliver frame for this node is archived — wakes
+        #: parent-side waiters without a fixed polling interval
+        self.progress = asyncio.Event()
+
+    @property
+    def delivered_rounds(self) -> int:
+        return len(self.delivered)
+
+    @property
+    def address(self) -> NodeAddress:
+        return self._cluster.addresses[self.id]
+
+    def on_deliver(self, callback) -> None:
+        self.deliver_callbacks.append(callback)
+
+    async def wait_for_round(self, round_no: int, *,
+                             timeout: float = 30.0) -> DeliveredRound:
+        deadline = time.monotonic() + timeout
+        while len(self.delivered) <= round_no:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"server {self.id} did not deliver round {round_no} "
+                    f"within {timeout}s")
+            self.progress.clear()
+            try:
+                await asyncio.wait_for(self.progress.wait(), 0.05)
+            except asyncio.TimeoutError:
+                pass
+        return self.delivered[round_no]
+
+
+class ProcessCluster:
+    """All servers of one AllConcur deployment, each in its own process.
+
+    Drop-in for :class:`~repro.runtime.cluster.LocalCluster`: the public
+    async surface is identical, so :class:`~repro.api.TcpDeployment` (and
+    therefore every example, client session and sharded service) runs
+    unchanged on top — pass ``runtime="process"`` to the facade.
+    """
+
+    def __init__(self, graph: Digraph, *, host: str = "127.0.0.1",
+                 config: Optional[AllConcurConfig] = None,
+                 heartbeat_period: float = 0.05,
+                 heartbeat_timeout: float = 0.5,
+                 enable_failure_detector: bool = True,
+                 namespace: str = "",
+                 codec: str = "binary",
+                 mp_context: Optional[str] = None,
+                 report: str = "full",
+                 start_timeout: float = 120.0) -> None:
+        if report not in ("full", "digest"):
+            raise ValueError(f"unknown report mode {report!r}")
+        self.graph = graph
+        self.namespace = namespace
+        self.codec = codec
+        self.report = report
+        self.config = config or AllConcurConfig(graph=graph,
+                                                auto_advance=False)
+        self.host = host
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.enable_failure_detector = enable_failure_detector
+        self.mp_context = mp_context
+        self.start_timeout = start_timeout
+
+        members = self.config.initial_members
+        self.addresses = {pid: NodeAddress(pid, host, 0) for pid in members}
+        self.nodes: dict[int, _ProcessNode] = {
+            pid: _ProcessNode(pid, self) for pid in members}
+        self._seq: dict[int, int] = {pid: 0 for pid in members}
+        self._failed: set[int] = set()
+        self._started = False
+
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._hello: dict[int, asyncio.Event] = {}
+        self._pending: dict[tuple[int, int], asyncio.Future] = {}
+        self._serve_tasks: set = set()
+        self._control: Optional[asyncio.AbstractServer] = None
+        self._req_counter = 0
+
+    # ------------------------------------------------------------------ #
+    async def __aenter__(self) -> "ProcessCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    def _start_method(self) -> str:
+        if self.mp_context is not None:
+            return self.mp_context
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+    async def start(self) -> None:
+        """Spawn every server process and complete the two-phase bring-up
+        (all node listeners bound and reported, then all peer dials)."""
+        if self._started:
+            return
+        self._hello = {pid: asyncio.Event() for pid in self.members}
+        self._control = await asyncio.start_server(
+            self._accept, self.host, 0)
+        control_port = self._control.sockets[0].getsockname()[1]
+        ctx = multiprocessing.get_context(self._start_method())
+        for pid in self.members:
+            proc = ctx.Process(
+                target=_child_main,
+                args=(pid, self.config, self.host, control_port, self.codec,
+                      self.heartbeat_period, self.heartbeat_timeout,
+                      self.enable_failure_detector, self.report),
+                daemon=True,
+                name=f"allconcur-{self.namespace or 'node'}-{pid}")
+            proc.start()
+            self._procs[pid] = proc
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(event.wait()
+                                 for event in self._hello.values())),
+                self.start_timeout)
+        except asyncio.TimeoutError:
+            missing = sorted(pid for pid, event in self._hello.items()
+                             if not event.is_set())
+            await self.stop()
+            raise ConnectionError(
+                f"server processes {missing} did not report in "
+                f"within {self.start_timeout}s")
+        address_map = {str(pid): [addr.host, addr.port]
+                       for pid, addr in self.addresses.items()}
+        await asyncio.gather(*(
+            self._rpc(pid, {"type": "peers", "addresses": address_map})
+            for pid in self.members))
+        self._started = True
+
+    async def stop(self) -> None:
+        for pid in list(self._procs):
+            if pid not in self._failed:
+                await self._shutdown_child(pid)
+        for task in list(self._serve_tasks):
+            task.cancel()
+        for task in list(self._serve_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._serve_tasks.clear()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._control is not None:
+            self._control.close()
+            await self._control.wait_closed()
+            self._control = None
+        self._started = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.namespace!r}" if self.namespace else ""
+        return (f"<ProcessCluster{label} n={len(self.nodes)} "
+                f"{'started' if self._started else 'stopped'}>")
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """Published ``pid -> (host, port)`` node listener addresses
+        (kernel-assigned, reported by each child's hello)."""
+        return {pid: (addr.host, addr.port)
+                for pid, addr in self.addresses.items()}
+
+    # ------------------------------------------------------------------ #
+    # Control channel
+    # ------------------------------------------------------------------ #
+    async def _accept(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._serve_tasks.add(task)
+        pid: Optional[int] = None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for obj in decoder.feed(data):
+                    kind = obj["type"]
+                    if kind == "hello":
+                        pid = obj["id"]
+                        self._writers[pid] = writer
+                        self.addresses[pid] = NodeAddress(
+                            pid, self.host, obj["port"])
+                        self._hello[pid].set()
+                    elif kind == "deliver":
+                        self._archive_delivery(obj)
+                    elif kind == "reply":
+                        self._resolve_reply(pid, obj)
+                    elif kind == "error":
+                        raise RuntimeError(
+                            f"server process {obj.get('id')}: "
+                            f"{obj.get('error')}")
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            if task is not None:
+                self._serve_tasks.discard(task)
+            if pid is not None:
+                self._fail_pending(pid)
+            writer.close()
+
+    def _archive_delivery(self, obj: dict) -> None:
+        node = self.nodes[obj["id"]]
+        if "digest" in obj:
+            node.digests.append(
+                (obj["round"],
+                 tuple((d[0], d[1], d[2], d[3]) for d in obj["digest"])))
+            messages: tuple = ()
+        else:
+            messages = tuple((origin, batch_from_json(batch))
+                             for origin, batch in obj["messages"])
+        record = DeliveredRound(round=obj["round"], messages=messages,
+                                removed=tuple(obj["removed"]),
+                                wall_time=obj["wall"])
+        node.delivered.append(record)
+        node.progress.set()
+        for callback in node.deliver_callbacks:
+            callback(record)
+
+    def _resolve_reply(self, pid: Optional[int], obj: dict) -> None:
+        future = self._pending.pop((pid, obj["req"]), None)
+        if future is None or future.done():
+            return
+        error = obj.get("error")
+        if error is None:
+            future.set_result(obj)
+        elif error.startswith("TimeoutError"):
+            future.set_exception(TimeoutError(error))
+        else:
+            future.set_exception(RuntimeError(
+                f"server process {pid}: {error}"))
+
+    def _fail_pending(self, pid: int) -> None:
+        for key in [k for k in self._pending if k[0] == pid]:
+            future = self._pending.pop(key)
+            if not future.done():
+                future.set_exception(ConnectionError(
+                    f"server process {pid} disconnected"))
+
+    async def _rpc(self, pid: int, obj: dict, *,
+                   timeout: Optional[float] = None) -> dict:
+        writer = self._writers.get(pid)
+        if writer is None or writer.is_closing():
+            raise ConnectionError(f"no control channel to server {pid}")
+        self._req_counter += 1
+        req = self._req_counter
+        future = asyncio.get_running_loop().create_future()
+        self._pending[(pid, req)] = future
+        writer.write(encode_frame(dict(obj, req=req)))
+        await writer.drain()
+        if timeout is not None:
+            return await asyncio.wait_for(future, timeout)
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # Membership / introspection (mirrors LocalCluster)
+    # ------------------------------------------------------------------ #
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self.nodes))
+
+    @property
+    def alive_members(self) -> tuple[int, ...]:
+        return tuple(pid for pid in self.members if pid not in self._failed)
+
+    def _live_nodes(self) -> list[_ProcessNode]:
+        return [self.nodes[pid] for pid in self.alive_members]
+
+    def next_seq(self, server_id: int) -> int:
+        return self._seq[server_id]
+
+    # ------------------------------------------------------------------ #
+    # Application API
+    # ------------------------------------------------------------------ #
+    async def submit(self, server_id: int, data, *, nbytes: int = 64) -> None:
+        await self.submit_request(
+            Request(origin=server_id, seq=self._seq[server_id],
+                    nbytes=nbytes, data=data))
+
+    async def submit_request(self, request: Request) -> None:
+        self._seq[request.origin] = max(self._seq[request.origin],
+                                        request.seq + 1)
+        await self._rpc(request.origin,
+                        {"type": "submit",
+                         "request": request_to_json(request)})
+
+    async def submit_requests(self, origin: int,
+                              requests: Iterable[Request]) -> None:
+        """Bulk submit at one origin — one control frame for the whole
+        sequence (the benchmark pre-loads thousands of requests; one RPC
+        per request would dominate the measurement)."""
+        rows = []
+        for request in requests:
+            self._seq[request.origin] = max(self._seq[request.origin],
+                                            request.seq + 1)
+            rows.append(request_to_json(request))
+        if rows:
+            await self._rpc(origin, {"type": "submit_many",
+                                     "requests": rows})
+
+    # ------------------------------------------------------------------ #
+    # Failure operations
+    # ------------------------------------------------------------------ #
+    async def _join_proc(self, pid: int, timeout: float = 5.0) -> None:
+        proc = self._procs.get(pid)
+        if proc is None:
+            return
+        deadline = time.monotonic() + timeout
+        while proc.is_alive() and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if proc.is_alive():
+            proc.terminate()
+            deadline = time.monotonic() + 2.0
+            while proc.is_alive() and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+        if proc.is_alive():     # pragma: no cover - last resort
+            proc.kill()
+        proc.join(timeout=1.0)
+
+    async def _shutdown_child(self, pid: int, timeout: float = 5.0) -> None:
+        try:
+            await self._rpc(pid, {"type": "stop"}, timeout=timeout)
+        except (ConnectionError, RuntimeError, asyncio.TimeoutError,
+                TimeoutError):
+            pass
+        await self._join_proc(pid, timeout)
+
+    async def fail(self, server_id: int) -> None:
+        """Fail-stop *server_id*: its process is shut down and every
+        monitor is notified deterministically (same contract as
+        ``LocalCluster.fail``)."""
+        if server_id in self._failed:
+            return
+        self._failed.add(server_id)
+        await self._shutdown_child(server_id)
+        for pid in self.alive_members:
+            await self._rpc(pid, {"type": "mark_down", "peer": server_id})
+            if server_id in set(self.graph.predecessors(pid)):
+                await self._rpc(pid, {"type": "notify_failure",
+                                      "suspect": server_id})
+
+    # ------------------------------------------------------------------ #
+    # Round driving
+    # ------------------------------------------------------------------ #
+    async def run_rounds(self, rounds: int, *, timeout: float = 30.0
+                         ) -> list[dict[int, DeliveredRound]]:
+        """Run *rounds* full rounds and return, per round, the delivery
+        record of every live node.
+
+        The round-driving loop runs inside each child: the parent computes
+        ONE absolute delivered-round target, sends it to every child in a
+        single ``run`` command, and collects the streamed deliveries — so
+        steady-state throughput never waits on control round-trips, and
+        every child issues exactly the broadcasts its slowest peer needs
+        (see :func:`_run_until`)."""
+        results: list[dict[int, DeliveredRound]] = []
+        live = self.alive_members
+        if not live or rounds <= 0:
+            return results
+        base = min(self.nodes[pid].delivered_rounds for pid in live)
+        child_timeout = timeout * rounds
+        guard = child_timeout + 30.0
+        replies = await asyncio.gather(*(
+            self._rpc(pid, {"type": "run", "until": base + rounds,
+                            "timeout": child_timeout}, timeout=guard)
+            for pid in live))
+        for pid, reply in zip(live, replies):
+            self.nodes[pid].broadcast_rounds = reply.get(
+                "broadcast_rounds", self.nodes[pid].broadcast_rounds)
+        for idx in range(rounds):
+            per_node = {}
+            for pid in self.alive_members:
+                per_node[pid] = await self.nodes[pid].wait_for_round(
+                    base + idx, timeout=timeout)
+            results.append(per_node)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Agreement
+    # ------------------------------------------------------------------ #
+    def agreement_holds(self) -> bool:
+        """Every live node delivered identical message sequences for the
+        rounds it completed (digest-for-digest in ``report="digest"``
+        mode)."""
+        nodes = self._live_nodes()
+        digest_mode = self.report == "digest"
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                common = min(a.delivered_rounds, b.delivered_rounds)
+                for r in range(common):
+                    da, db = a.delivered[r], b.delivered[r]
+                    if da.round != db.round:
+                        return False
+                    if digest_mode:
+                        if a.digests[r] != b.digests[r]:
+                            return False
+                        continue
+                    if [(o, batch.count,
+                         tuple(req.data for req in batch.requests))
+                            for o, batch in da.messages] != \
+                       [(o, batch.count,
+                         tuple(req.data for req in batch.requests))
+                            for o, batch in db.messages]:
+                        return False
+        return True

@@ -568,8 +568,8 @@ class TestCrossBackendAcceptance:
     and TCP — identical per-request delivery order and KV end state,
     including one origin failover mid-run, with no duplicate applies."""
 
-    def run_population(self, backend):
-        with make(backend) as dep:
+    def run_population(self, backend, **kwargs):
+        with make(backend, **kwargs) as dep:
             client, rsm = make_client(dep, max_batch_requests=8)
             pop = ClosedLoopPopulation(client, 10, window=2, num_keys=4)
             pop.run(2)
@@ -595,3 +595,19 @@ class TestCrossBackendAcceptance:
         assert sim_dupes == tcp_dupes == {0}
         assert sim_resub == tcp_resub and sim_resub > 0
         assert sim_resolved == tcp_resolved > 0
+
+    def test_json_codec_matches_binary_wire(self):
+        """Differential oracle at the acceptance level: the same population
+        over TCP under the original JSON wire image and the binary codec —
+        byte-different frames, identical agreed outcome."""
+        binary = self.run_population("tcp")             # codec="binary"
+        json_ = self.run_population("tcp", codec="json")
+        assert binary == json_
+
+    def test_process_runtime_matches_inproc(self):
+        """The acceptance population through one-OS-process-per-server:
+        the same order, state, failover and dedup behaviour as in-process
+        TCP and the simulator."""
+        inproc = self.run_population("tcp")
+        proc = self.run_population("tcp", runtime="process")
+        assert inproc == proc
