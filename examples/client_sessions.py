@@ -35,6 +35,7 @@ from repro.api import (
     Client,
     Deployment,
     Overloaded,
+    RateLimited,
     ReplicatedKVStore,
     ReplicatedStateMachine,
     create_deployment,
@@ -96,6 +97,45 @@ def scenario(deployment: Deployment) -> tuple:
         print("  backpressure: third un-acked submit rejected "
               "(max_in_flight=2, admission='reject')")
     deployment.run_rounds(1)             # drain the throttled session
+
+    # Phase 4: per-session rate limits + read-your-writes local reads.
+    # A metered session gets 2 tokens per delivered round; the third
+    # submit within one round bounces, and a round later the bucket has
+    # refilled.
+    metered_client = Client(deployment, rsm=kv, admission="reject")
+    metered = metered_client.session("metered", rate_limit=2, burst=2)
+    metered.submit(("set", "metered", 1))
+    metered.submit(("set", "metered", 2))
+    try:
+        metered.submit(("set", "metered", 3))
+        raise AssertionError("expected RateLimited")
+    except RateLimited:
+        print("  rate limit: third submit within one round rejected "
+              "(rate_limit=2/round)")
+    deployment.run_rounds(1)             # acks the two, refills the bucket
+    acked = metered.submit(("set", "metered", 3))
+    deployment.run_rounds(1)
+    assert acked.done, "refilled bucket admitted the retry"
+
+    # Read-your-writes: after the ack, a local read through the session
+    # is guaranteed to observe the write — a replica lagging the
+    # session's high-water round escalates to an agreed read instead of
+    # returning stale state.
+    value = metered.read("metered", consistency="local")
+    assert value == 3, f"read-your-writes saw {value!r}"
+    print(f"  read-your-writes: local read metered={value} "
+          f"(served locally {metered_client.local_reads_served}, "
+          f"escalated {metered_client.local_reads_escalated})")
+
+    # Awaitable handles: the same lifecycle as an asyncio future.  On the
+    # simulator the future is already completed once the round ran; on
+    # TCP it resolves on the deployment's event loop.
+    awaited = sessions[0].submit(("set", "user0/awaited", True))
+    future = awaited.future()
+    deployment.run_rounds(1)
+    assert future.done() and future.result() is awaited.delivery
+    print(f"  awaitable: handle.future() resolved at round "
+          f"{awaited.round}")
 
     assert deployment.check_agreement(), "Lemma 3.5 holds"
     return kv.assert_convergence()

@@ -64,6 +64,7 @@ __all__ = [
     "ClientSession",
     "ClientRequestHandle",
     "Overloaded",
+    "RateLimited",
     "ShardedService",
     "ServiceHandle",
     "ShardDelivery",
@@ -157,4 +158,5 @@ from .client import (  # noqa: E402  (imports the service layer)
     ClientRequestHandle,
     ClientSession,
     Overloaded,
+    RateLimited,
 )

@@ -35,6 +35,7 @@ either — see ``examples/travel_reservation.py``.
 from __future__ import annotations
 
 import abc
+import asyncio
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
@@ -129,6 +130,7 @@ class RequestHandle:
         self._event: Optional[DeliveryEvent] = None
         self._cancelled = False
         self._callbacks: list[Callable[["RequestHandle"], None]] = []
+        self._cancel_callbacks: list[Callable[["RequestHandle"], None]] = []
 
     # -- identity ------------------------------------------------------ #
     @property
@@ -173,6 +175,18 @@ class RequestHandle:
         else:
             self._callbacks.append(callback)
 
+    def add_cancel_callback(
+            self, callback: Callable[["RequestHandle"], None]) -> None:
+        """Call ``callback(handle)`` if the request is ever cancelled —
+        its origin failed before the round was agreed — (now, if it
+        already is).  The cancellation half of the future bridge: a
+        bridged :class:`asyncio.Future` needs to fail, not hang, when the
+        origin dies."""
+        if self._cancelled:
+            callback(self)
+        else:
+            self._cancel_callbacks.append(callback)
+
     def result(self, timeout: Optional[float] = None) -> DeliveryEvent:
         """Block until the request is agreed and return its delivery event.
 
@@ -206,8 +220,11 @@ class RequestHandle:
             callback(self)
 
     def _cancel(self) -> None:
-        if self._event is None:
+        if self._event is None and not self._cancelled:
             self._cancelled = True
+            callbacks, self._cancel_callbacks = self._cancel_callbacks, []
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (f"round={self.round}" if self.done
@@ -239,6 +256,9 @@ class Deployment(abc.ABC):
         self._round_start_subscribers: list[Callable[[], None]] = []
         self._epoch = 0
         self._started = False
+        #: lazily created fallback loop for :meth:`future_of` on backends
+        #: without a real event loop (the simulator)
+        self._future_loop: Optional[asyncio.AbstractEventLoop] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -254,6 +274,9 @@ class Deployment(abc.ABC):
         if self._started:
             self._do_stop()
             self._started = False
+        if self._future_loop is not None:
+            self._future_loop.close()
+            self._future_loop = None
 
     def __enter__(self) -> "Deployment":
         self.start()
@@ -374,6 +397,37 @@ class Deployment(abc.ABC):
         windows."""
         for callback in self._round_start_subscribers:
             callback()
+
+    def future_of(self, handle: Any) -> "asyncio.Future":
+        """An :class:`asyncio.Future` resolving with the handle's
+        :class:`DeliveryEvent` — the awaitable face of the request
+        lifecycle.  Accepts protocol-level :class:`RequestHandle`\\ s and
+        client ingress handles alike (duck-typed on ``add_done_callback``
+        / ``add_cancel_callback``); cancellation surfaces as
+        :class:`RequestCancelled`.
+
+        Base implementation: the future lives on a deployment-owned
+        fallback loop that never needs to run — drive the deployment
+        (``run_rounds`` / ``result()``) and the future is already
+        completed when awaited.  Backends with a real event loop (TCP)
+        override this so the future resolves on that loop."""
+        loop = self._future_loop
+        if loop is None:
+            loop = self._future_loop = asyncio.new_event_loop()
+        future = loop.create_future()
+
+        def fulfil(resolved: Any) -> None:
+            if not future.done():
+                future.set_result(resolved.delivery)
+
+        def abort(cancelled: Any) -> None:
+            if not future.done():
+                future.set_exception(RequestCancelled(
+                    f"request {cancelled.key} cancelled"))
+
+        handle.add_done_callback(fulfil)
+        handle.add_cancel_callback(abort)
+        return future
 
     @abc.abstractmethod
     def fail(self, pid: int) -> None:

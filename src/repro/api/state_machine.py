@@ -28,6 +28,58 @@ from .deployment import DeliveryEvent, Deployment
 __all__ = ["StateMachine", "ReplicatedStateMachine", "ReplicatedKVStore"]
 
 
+class _DedupTable:
+    """Exactly-once dedup over ``(client, seq)`` in bounded memory.
+
+    A plain set grows by one entry per request **ever** applied — a
+    long-running session leaks its entire history.  But per-session seqs
+    are allocated monotonically and batches preserve submission order, so
+    nearly every applied seq extends a contiguous prefix: track, per
+    client, a *watermark* (every seq ``<= wm`` applied) plus a sparse set
+    of out-of-order seqs above it (possible across failover resubmission,
+    where a retried older seq can trail a newer one).  Advancing the
+    prefix drains the sparse set, so steady state holds O(reorder window)
+    integers per session, not O(total requests).
+    """
+
+    __slots__ = ("_clients",)
+
+    def __init__(self) -> None:
+        #: client -> [watermark, sparse out-of-order seqs above it]
+        self._clients: dict[str, list] = {}
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        entry = self._clients.get(key[0])
+        if entry is None:
+            return False
+        return key[1] <= entry[0] or key[1] in entry[1]
+
+    def add(self, key: tuple[str, int]) -> None:
+        client, seq = key
+        entry = self._clients.get(client)
+        if entry is None:
+            entry = self._clients[client] = [-1, set()]
+        wm, sparse = entry
+        if seq == wm + 1:
+            wm += 1
+            while wm + 1 in sparse:
+                wm += 1
+                sparse.discard(wm)
+            entry[0] = wm
+        elif seq > wm:
+            sparse.add(seq)
+
+    def watermark(self, client: str) -> int:
+        entry = self._clients.get(client)
+        return -1 if entry is None else entry[0]
+
+    def state_size(self) -> int:
+        """Retained dedup entries: one watermark per client plus the
+        sparse out-of-order seqs — the quantity the O(window) memory
+        test bounds."""
+        return sum(1 + len(entry[1]) for entry in self._clients.values())
+
+
 @runtime_checkable
 class StateMachine(Protocol):
     """The application-facing state-machine protocol.
@@ -74,8 +126,11 @@ class ReplicatedStateMachine:
         #: still have been agreed — the duplicate must not re-apply.
         #: Every replica sees the same agreed order, so the tables (and
         #: therefore the skip decisions) are identical everywhere.
-        self._applied: dict[int, set[tuple[str, int]]] = {
-            pid: set() for pid in self.replicas}
+        #: Compacted per client to a contiguous-prefix watermark plus a
+        #: sparse out-of-order set (see :class:`_DedupTable`) so dedup
+        #: memory is O(sessions + reorder window), not O(requests ever).
+        self._applied: dict[int, _DedupTable] = {
+            pid: _DedupTable() for pid in self.replicas}
         #: per-replica ``(client, seq) -> apply output`` (the read-back
         #: path of client request handles)
         self._client_results: dict[int, dict[tuple[str, int], Any]] = {
@@ -84,6 +139,10 @@ class ReplicatedStateMachine:
         #: the no-duplicate-applies acceptance check)
         self.duplicates_skipped: dict[int, int] = {
             pid: 0 for pid in self.replicas}
+        #: per-replica (epoch, round) of the latest applied delivery —
+        #: the marker read-your-writes local reads compare against
+        self._markers: dict[int, tuple[int, int]] = {
+            pid: (-1, -1) for pid in self.replicas}
         deployment.on_deliver(self._on_node_deliver, per_node=True)
 
     # ------------------------------------------------------------------ #
@@ -108,6 +167,7 @@ class ReplicatedStateMachine:
             else:
                 outputs.append(machine.apply(event.round, origin, request))
         self.heights[pid] += 1
+        self._markers[pid] = (event.epoch, event.round)
 
     # ------------------------------------------------------------------ #
     def replica(self, pid: int) -> StateMachine:
@@ -129,6 +189,26 @@ class ReplicatedStateMachine:
         if pid is None:
             pid = self.deployment.alive_members[0]
         return (client, seq) in self._applied[pid]
+
+    def applied_marker(self, pid: Optional[int] = None) -> tuple[int, int]:
+        """The ``(epoch, round)`` of the latest delivery replica *pid* has
+        applied (default: the replica :meth:`read_local` consults — the
+        lowest-id alive member); ``(-1, -1)`` before any delivery.
+
+        The read-your-writes gate: a session's own writes are visible at
+        the replica once this marker has reached the session's high-water
+        delivered round."""
+        if pid is None:
+            pid = self.deployment.alive_members[0]
+        return self._markers[pid]
+
+    def dedup_state_size(self, pid: Optional[int] = None) -> int:
+        """Entries retained by replica *pid*'s exactly-once dedup table
+        (watermarks + sparse out-of-order seqs) — O(sessions + reorder
+        window), not O(requests ever applied)."""
+        if pid is None:
+            pid = self.deployment.alive_members[0]
+        return self._applied[pid].state_size()
 
     def read_local(self, key: Any, pid: Optional[int] = None) -> Any:
         """A **local** (non-linearisable) read of *key* at replica *pid*

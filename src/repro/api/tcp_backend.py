@@ -193,22 +193,33 @@ class TcpDeployment(Deployment):
     # ------------------------------------------------------------------ #
     # Async integration
     # ------------------------------------------------------------------ #
-    def future_of(self, handle: RequestHandle) -> "asyncio.Future":
+    def future_of(self, handle) -> "asyncio.Future":
         """An :class:`asyncio.Future` (on the deployment's loop) that
         resolves with the handle's :class:`DeliveryEvent` — the awaitable
-        face of the request lifecycle for async callers."""
+        face of the request lifecycle for async callers.
+
+        Accepts protocol-level :class:`RequestHandle`\\ s and client
+        ingress handles alike (duck-typed on ``add_done_callback`` /
+        ``add_cancel_callback``); their key spaces never collide — client
+        keys are ``(str, int)``, protocol keys ``(int, int)`` — so one
+        registry serves both.  A client handle's future survives origin
+        failover (the handle only cancels when the whole group is gone);
+        cancellation surfaces as :class:`RequestCancelled`."""
         self.start()
         future = self._futures.get(handle.key)
         if future is None:
             future = self._loop.create_future()
             self._futures[handle.key] = future
 
-            def fulfil(resolved: RequestHandle) -> None:
+            def fulfil(resolved) -> None:
                 if not future.done():
                     future.set_result(resolved.delivery)
 
+            def abort(cancelled) -> None:
+                if not future.done():
+                    future.set_exception(RequestCancelled(
+                        f"request {cancelled.key} cancelled"))
+
             handle.add_done_callback(fulfil)
-            if handle.cancelled and not future.done():
-                future.set_exception(RequestCancelled(
-                    f"request {handle.key} cancelled"))
+            handle.add_cancel_callback(abort)
         return future

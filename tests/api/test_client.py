@@ -12,6 +12,7 @@ from repro.api import (
     Client,
     ClientRequestHandle,
     Overloaded,
+    RateLimited,
     ReplicatedKVStore,
     ReplicatedStateMachine,
     RequestCancelled,
@@ -611,3 +612,165 @@ class TestCrossBackendAcceptance:
         inproc = self.run_population("tcp")
         proc = self.run_population("tcp", runtime="process")
         assert inproc == proc
+
+
+# --------------------------------------------------------------------- #
+# Per-session rate limits
+# --------------------------------------------------------------------- #
+class TestRateLimits:
+    def test_reject_when_bucket_empty(self):
+        dep = make()
+        client = Client(dep, admission="reject")
+        s = client.session("a", rate_limit=2, burst=2)
+        s.submit(1)
+        s.submit(2)
+        with pytest.raises(RateLimited):
+            s.submit(3)
+
+    def test_bucket_refills_per_delivered_round(self):
+        dep = make()
+        client = Client(dep, admission="reject")
+        s = client.session("a", rate_limit=2, burst=2)
+        s.submit(1)
+        s.submit(2)
+        dep.run_rounds(1)            # flushes + refills (+2, capped at 2)
+        s.submit(3)
+        s.submit(4)
+        with pytest.raises(RateLimited):
+            s.submit(5)
+
+    def test_burst_caps_accumulation(self):
+        dep = make()
+        client = Client(dep, admission="reject")
+        s = client.session("a", rate_limit=5, burst=1)
+        dep.run_rounds(3)            # idle rounds must not stockpile tokens
+        s.submit(1)
+        with pytest.raises(RateLimited):
+            s.submit(2)
+
+    def test_block_mode_drives_rounds_until_refill(self):
+        dep = make()
+        client = Client(dep)         # admission="block"
+        s = client.session("a", rate_limit=1)
+        h1 = s.submit(1)
+        h2 = s.submit(2)             # blocks: drives a round, bucket refills
+        assert h1.done               # the driven round agreed the first
+        dep.run_rounds(1)
+        assert h2.done
+
+    def test_rate_limited_is_overloaded(self):
+        # callers guarding on Overloaded keep working
+        assert issubclass(RateLimited, Overloaded)
+
+    def test_unlimited_sessions_unaffected(self):
+        dep = make()
+        client = Client(dep, admission="reject")
+        limited = client.session("a", rate_limit=1)
+        free = client.session("b")
+        limited.submit(1)
+        with pytest.raises(RateLimited):
+            limited.submit(2)
+        for i in range(10):          # no bucket on the free session
+            free.submit(i)
+
+    def test_validation(self):
+        dep = make()
+        client = Client(dep)
+        with pytest.raises(ValueError, match="rate_limit"):
+            client.session("a", rate_limit=0)
+        with pytest.raises(ValueError, match="burst needs"):
+            client.session("b", burst=4)
+        with pytest.raises(ValueError, match="burst must"):
+            client.session("c", rate_limit=1, burst=0.5)
+
+
+# --------------------------------------------------------------------- #
+# Read-your-writes local reads
+# --------------------------------------------------------------------- #
+class TestReadYourWrites:
+    def test_local_read_served_once_replica_caught_up(self):
+        dep = make()
+        client, rsm = make_client(dep)
+        s = client.session("a", origin=0)
+        s.submit(("set", "k", 7))
+        dep.run_rounds(1)
+        assert s.high_water_round == rsm.applied_marker()
+        assert s.read("k", consistency="local") == 7
+        assert client.local_reads_served == 1
+        assert client.local_reads_escalated == 0
+
+    def test_local_read_escalates_when_replica_lags(self):
+        dep = make()
+        client, rsm = make_client(dep)
+        s = client.session("a", origin=0)
+        s.submit(("set", "k", 7))
+        dep.run_rounds(1)
+        # pretend the session was acknowledged at a round no replica has
+        # applied yet (the lagging-replica case that must not serve stale
+        # state): the read escalates to an agreed read and still answers
+        client._col_hw_round[s.slot] = 10 ** 6
+        assert s.read("k", consistency="local") == 7
+        assert client.local_reads_escalated == 1
+        # the escalation rode a no-op round through agreement
+        assert rsm.applied_marker()[1] > 0
+
+    def test_explicit_pid_bypasses_the_gate(self):
+        dep = make()
+        client, _rsm = make_client(dep)
+        s = client.session("a", origin=0)
+        s.submit(("set", "k", 7))
+        dep.run_rounds(1)
+        client._col_hw_round[s.slot] = 10 ** 6   # would force escalation
+        before = client.local_reads_escalated
+        assert s.read("k", consistency="local", pid=1) == 7
+        assert client.local_reads_escalated == before
+
+    def test_fresh_session_reads_locally(self):
+        # no writes -> high water (-1, -1) -> any replica qualifies
+        dep = make()
+        client, _rsm = make_client(dep)
+        s = client.session("a", origin=0)
+        assert s.read("k", consistency="local") is None
+        assert client.local_reads_served == 1
+
+
+# --------------------------------------------------------------------- #
+# Awaitable handles
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ["sim", "tcp"])
+class TestAwaitableHandles:
+    def test_future_resolves_with_delivery(self, backend):
+        with make(backend) as dep:
+            client, _rsm = make_client(dep)
+            s = client.session("a", origin=0)
+            h = s.submit(("set", "k", 1))
+            future = h.future()
+            assert not future.done()
+            dep.run_rounds(1)
+            assert future.done()
+            assert future.result() is h.delivery
+
+    def test_future_survives_origin_failover(self, backend):
+        with make(backend) as dep:
+            client, _rsm = make_client(dep)
+            s = client.session("alice", origin=0)
+            h = s.submit(("set", "k", 1))
+            future = h.future()
+            client.flush()
+            dep.fail(0)
+            dep.run_rounds(2)
+            assert h.done and h.attempts == 2
+            assert future.done() and future.result() is h.delivery
+
+    def test_future_rejects_on_whole_group_death(self, backend):
+        with make(backend, n=6) as dep:
+            client, _rsm = make_client(dep)
+            s = client.session("alice", origin=0)
+            h = s.submit(("set", "k", 1))
+            future = h.future()
+            for pid in dep.members:
+                dep.fail(pid)
+            client.flush()
+            assert h.cancelled and future.done()
+            with pytest.raises(RequestCancelled):
+                future.result()

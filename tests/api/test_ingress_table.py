@@ -1,0 +1,225 @@
+"""The flat session table: differential equivalence and scale behaviour.
+
+The dirty-set flush is a pure optimisation — it must produce the exact
+per-origin envelopes, in the exact order, that a full walk of every
+session produces (clean sessions contribute nothing to a flush, so
+skipping them cannot be observable).  The full-scan walk survives on the
+client as ``_flush_full_scan`` precisely to be this oracle: the
+hypothesis differential drives one seeded closed-loop population through
+each path and compares the byte image of the agreed log.
+
+The failover-at-scale test covers the other acceptance bar: C >= 10^3
+sessions through an origin failure with zero duplicate applies and
+per-session order preserved, while the O(1) in-flight counter stays equal
+to the old full-table recount (kept as ``_in_flight_scan``).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import (
+    Client,
+    ReplicatedKVStore,
+    ReplicatedStateMachine,
+    create_deployment,
+)
+from repro.graphs import gs_digraph
+from repro.workloads import ClosedLoopPopulation
+
+
+def make(backend="sim", n=8, d=3, **kwargs):
+    return create_deployment(backend, gs_digraph(n, d), **kwargs)
+
+
+def log_image(deployment) -> str:
+    """The agreed log as one JSON byte string: (epoch, round, per-origin
+    raw payloads) — any packing difference (membership, order, grouping,
+    content) changes it."""
+    image = [
+        [event.epoch, event.round,
+         [[origin, [request.data for request in batch.requests]]
+          for origin, batch in event.messages]]
+        for event in deployment.deliveries()
+    ]
+    return json.dumps(image, sort_keys=True)
+
+
+def run_population(backend: str, *, full_scan: bool, num_clients: int,
+                   window: int, steps: int, max_batch_requests):
+    """One seeded closed-loop run; returns the agreed-log byte image and
+    the client's flush counters."""
+    with make(backend) as dep:
+        client = Client(dep, max_batch_requests=max_batch_requests)
+        if full_scan:
+            # instance override: the round-start hook calls
+            # self._flush_group, so every flush now walks every slot
+            client._flush_group = client._flush_full_scan
+        population = ClosedLoopPopulation(client, num_clients,
+                                          window=window)
+        population.run(steps)
+        counters = (population.submitted, population.resolved,
+                    client.batches_flushed, client.requests_flushed)
+        image = log_image(dep)
+    return image, counters
+
+
+# --------------------------------------------------------------------- #
+# Differential: dirty-set flush vs full-scan oracle
+# --------------------------------------------------------------------- #
+class TestDirtySetDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(num_clients=st.integers(min_value=1, max_value=10),
+           window=st.integers(min_value=1, max_value=4),
+           steps=st.integers(min_value=1, max_value=4),
+           max_batch_requests=st.one_of(st.none(),
+                                        st.integers(min_value=1,
+                                                    max_value=8)))
+    def test_identical_agreed_log_sim(self, num_clients, window, steps,
+                                      max_batch_requests):
+        fast = run_population("sim", full_scan=False,
+                              num_clients=num_clients, window=window,
+                              steps=steps,
+                              max_batch_requests=max_batch_requests)
+        slow = run_population("sim", full_scan=True,
+                              num_clients=num_clients, window=window,
+                              steps=steps,
+                              max_batch_requests=max_batch_requests)
+        assert fast == slow
+
+    def test_identical_agreed_log_tcp(self):
+        params = dict(num_clients=6, window=2, steps=3,
+                      max_batch_requests=4)
+        fast = run_population("tcp", full_scan=False, **params)
+        slow = run_population("tcp", full_scan=True, **params)
+        assert fast == slow
+
+    def test_identical_through_packing_caps_and_failover(self):
+        """The two flush paths agree through the hard cases: per-origin
+        caps closing origins mid-scan and an origin failing with
+        envelopes in flight."""
+        images = []
+        for full_scan in (False, True):
+            with make() as dep:
+                client = Client(dep, max_batch_requests=3)
+                if full_scan:
+                    client._flush_group = client._flush_full_scan
+                population = ClosedLoopPopulation(client, 12, window=2)
+                population.run(2)
+                population.top_up()
+                client.flush()
+                dep.fail(0)
+                population.run(3)
+                images.append((log_image(dep), population.resolved,
+                               client.resubmitted))
+        assert images[0] == images[1]
+
+
+# --------------------------------------------------------------------- #
+# Failover at scale
+# --------------------------------------------------------------------- #
+class RecordingKV(ReplicatedKVStore):
+    """KV store that records every applied (client, seq) — the
+    zero-duplicate-applies and order-preservation witness."""
+
+    def __init__(self):
+        super().__init__()
+        self.applied_ids = []
+
+    def apply(self, round_no, origin, request):
+        self.applied_ids.append((request.client, request.seq))
+        return super().apply(round_no, origin, request)
+
+
+class TestFailoverAtScale:
+    def test_thousand_sessions_zero_duplicate_applies_in_order(self):
+        with make() as dep:
+            rsm = ReplicatedStateMachine(dep, RecordingKV)
+            client = Client(dep, rsm=rsm)
+            population = ClosedLoopPopulation(client, 1000, window=1)
+            population.run(2)
+            # leave a round's envelopes sitting at their origins, then
+            # kill one of them
+            population.top_up()
+            client.flush()
+            dep.fail(0)
+            population.run(4)
+            assert population.cancelled == 0
+            assert client.resubmitted > 0, \
+                "failure with in-flight envelopes must exercise requeue"
+            assert population.resolved == population.submitted
+            for pid in dep.alive_members:
+                ids = rsm.replicas[pid].applied_ids
+                assert len(ids) == len(set(ids)), \
+                    f"replica {pid} applied a (client, seq) twice"
+                last = {}
+                for client_id, seq in ids:
+                    assert last.get(client_id, -1) < seq, \
+                        (f"replica {pid} applied {client_id} out of "
+                         f"order: seq {seq} after {last[client_id]}")
+                    last[client_id] = seq
+            rsm.assert_convergence()
+            assert dep.check_agreement()
+            # the O(1) admission counter equals the old full recount
+            assert client.in_flight == client._in_flight_scan() == 0
+
+    def test_in_flight_counter_matches_scan_throughout(self):
+        """The incrementally maintained counter equals the old O(C) scan
+        at every observable point of a failover-heavy run (the debug
+        assertion the satellite asks for)."""
+        with make() as dep:
+            client = Client(dep)
+            population = ClosedLoopPopulation(client, 200, window=2)
+            assert client.in_flight == client._in_flight_scan() == 0
+            population.top_up()
+            assert client.in_flight == client._in_flight_scan() == 400
+            client.flush()
+            assert client.in_flight == client._in_flight_scan() == 400
+            dep.fail(0)
+            population.step()
+            assert client.in_flight == client._in_flight_scan()
+            population.run(3)
+            assert client.in_flight == client._in_flight_scan()
+
+
+# --------------------------------------------------------------------- #
+# Table mechanics
+# --------------------------------------------------------------------- #
+class TestSessionTable:
+    def test_idle_sessions_never_enter_the_dirty_set(self):
+        with make() as dep:
+            client = Client(dep)
+            for i in range(500):
+                client.session(f"idle{i}")
+            busy = client.session("busy")
+            busy.submit(["set", "k", 1])
+            (shard_dirty,) = client._dirty.values()
+            assert shard_dirty == {busy.slot}
+            dep.run_rounds(1)
+            assert not any(client._dirty.values())
+
+    def test_slot_columns_track_session_state(self):
+        with make() as dep:
+            client = Client(dep)
+            s = client.session("alice")
+            assert s.pending == 0 and s.outstanding == 0
+            h = s.submit(["set", "k", 1], nbytes=16)
+            assert s.pending == 1 and client._col_buffered_bytes[s.slot] == 16
+            client.flush()
+            assert s.pending == 0 and s.outstanding == 1
+            assert client._col_buffered_bytes[s.slot] == 0
+            dep.run_rounds(1)
+            assert h.done and s.outstanding == 0
+            assert s.high_water_round == (h.delivery.epoch, h.round)
+
+    def test_auto_ids_survive_interleaved_explicit_names(self):
+        with make() as dep:
+            client = Client(dep)
+            first = client.session()             # c0
+            client.session("c1")                 # explicit, collides w/ len
+            second = client.session()            # must skip to c2
+            third = client.session()             # c3
+            assert first.client_id == "c0"
+            assert second.client_id == "c2"
+            assert third.client_id == "c3"

@@ -137,3 +137,81 @@ class TestReplicatedKVStore:
                 results[backend] = rsm.results()
         assert snapshots["sim"] == snapshots["tcp"]
         assert results["sim"] == results["tcp"]
+
+
+# --------------------------------------------------------------------- #
+# Dedup-table compaction
+# --------------------------------------------------------------------- #
+class TestDedupCompaction:
+    def test_contiguous_session_holds_one_watermark(self):
+        """A long-running in-order session compacts to a single watermark:
+        dedup memory is O(sessions), not O(requests ever applied)."""
+        from repro.api.client import Client
+
+        with make("sim") as dep:
+            rsm = ReplicatedStateMachine(dep, ReplicatedKVStore)
+            client = Client(dep, rsm=rsm)
+            s = client.session("alice", origin=0)
+            for step in range(60):
+                s.submit(("set", "k", step))
+                dep.run_rounds(1)
+            # 60 applied requests, one retained entry (the watermark)
+            assert rsm.dedup_state_size() == 1
+            assert rsm.has_applied("alice", 0)
+            assert rsm.has_applied("alice", 59)
+            assert not rsm.has_applied("alice", 60)
+
+    def test_out_of_order_seqs_stay_sparse_then_drain(self):
+        from repro.api.state_machine import _DedupTable
+
+        table = _DedupTable()
+        table.add(("a", 1))
+        table.add(("a", 3))
+        assert ("a", 1) in table and ("a", 3) in table
+        assert ("a", 0) not in table and ("a", 2) not in table
+        assert table.state_size() == 3          # watermark + {1, 3}
+        assert table.watermark("a") == -1
+        table.add(("a", 0))                     # prefix reaches 0, drains 1
+        assert table.watermark("a") == 1
+        assert table.state_size() == 2          # watermark + {3}
+        table.add(("a", 2))                     # drains 3 too
+        assert table.watermark("a") == 3
+        assert table.state_size() == 1
+        for seq in range(4):
+            assert ("a", seq) in table
+
+    def test_bounded_memory_across_failover_resubmission(self):
+        """The failover race: the original envelope WAS agreed and the
+        retry arrives later — dedup verdicts (duplicates_skipped,
+        has_applied) are unchanged by compaction and the table stays
+        O(window)."""
+        from repro.api.client import Client
+
+        with make("sim", n=8) as dep:
+            rsm = ReplicatedStateMachine(dep, ReplicatedKVStore)
+            client = Client(dep, rsm=rsm)
+            s = client.session("alice", origin=0)
+            for step in range(10):
+                s.submit(("set", "k", step))
+                dep.run_rounds(1)
+            h = s.submit(("set", "k", "final"))
+            client.flush()
+            dep.fail(0)
+            dep.run_rounds(3)
+            assert h.done
+            assert rsm.has_applied("alice", h.seq)
+            assert set(rsm.duplicates_skipped.values()) == {0}
+            for pid in dep.alive_members:
+                assert rsm.dedup_state_size(pid) <= 2
+            rsm.assert_convergence()
+
+    def test_per_client_tables_are_independent(self):
+        from repro.api.state_machine import _DedupTable
+
+        table = _DedupTable()
+        table.add(("a", 0))
+        table.add(("b", 5))
+        assert table.watermark("a") == 0
+        assert table.watermark("b") == -1
+        assert ("b", 5) in table and ("b", 0) not in table
+        assert table.state_size() == 3          # a's wm, b's wm + {5}

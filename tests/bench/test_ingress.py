@@ -1,0 +1,88 @@
+"""The million-session ingress sweep: row schema, dirty-set scaling
+evidence, and the committed trajectory's acceptance bar."""
+
+import pytest
+
+from repro.bench.ingress import (
+    DIRTY_ACTIVE,
+    DIRTY_COST_CEILING,
+    DIRTY_TOTAL,
+    INGRESS_BENCH_PATH,
+    SWEEP_SESSION_COUNTS,
+    _percentile,
+    ingress_point,
+    load_committed,
+)
+
+ROW_KEYS = {
+    "backend", "num_sessions", "active_sessions", "request_rate",
+    "flush_s_per_round", "latency_rounds_p50", "latency_rounds_p99",
+    "latency_s_p50", "latency_s_p99", "measured_requests", "wall_s",
+}
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))
+        assert _percentile(samples, 0.50) == 50
+        assert _percentile(samples, 0.99) == 99
+        assert _percentile([7], 0.99) == 7
+        assert _percentile([], 0.5) is None
+
+
+class TestIngressPoint:
+    def test_row_schema_and_closed_loop_accounting(self):
+        row = ingress_point(40, active=20, steps=3, warmup_steps=1)
+        assert ROW_KEYS <= set(row)
+        assert row["num_sessions"] == 40 and row["active_sessions"] == 20
+        # window=1 closed loop: every step's submissions resolve in-step
+        assert row["requests_resolved"] == row["requests_submitted"]
+        assert row["measured_requests"] > 0
+        assert row["latency_samples"] == row["measured_requests"]
+        assert row["latency_rounds_p50"] >= 1
+        assert row["flush_calls"] == 2
+        assert row["request_rate"] > 0
+
+    def test_idle_sessions_do_not_change_the_agreed_stream(self):
+        """Deterministic in virtual time: the active population's agreed
+        request count and rate are identical whether or not idle rows
+        pad the session table."""
+        busy = ingress_point(30, steps=3, warmup_steps=1)
+        padded = ingress_point(300, active=30, steps=3, warmup_steps=1)
+        assert padded["measured_requests"] == busy["measured_requests"]
+        assert padded["request_rate"] == pytest.approx(
+            busy["request_rate"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ingress_point(0)
+        with pytest.raises(ValueError):
+            ingress_point(10, active=11)
+        with pytest.raises(ValueError):
+            ingress_point(10, steps=2, warmup_steps=2)
+
+
+class TestCommittedTrajectory:
+    def test_committed_file_meets_the_acceptance_bar(self):
+        committed = load_committed(INGRESS_BENCH_PATH)
+        assert committed is not None, \
+            "BENCH_ingress.json missing; run python -m repro.bench.ingress --sweep"
+        assert committed["session_counts"] == sorted(SWEEP_SESSION_COUNTS)
+        by_count = {row["num_sessions"]: row for row in committed["rows"]}
+        # the headline row: C = 10^5 sustained, with latency percentiles
+        top = by_count[100_000]
+        assert top["requests_resolved"] >= 100_000
+        assert top["latency_rounds_p50"] is not None
+        assert top["latency_rounds_p99"] is not None
+        assert top["latency_s_p99"] is not None
+        # the dirty-set evidence: 10^5 total with 10^3 active costs about
+        # the same per round as 10^3 all-active (within the 2x ceiling)
+        verdict = committed["dirty_scaling"]
+        assert verdict["total_sessions"] == DIRTY_TOTAL
+        assert verdict["active_sessions"] == DIRTY_ACTIVE
+        assert verdict["ceiling"] == DIRTY_COST_CEILING
+        assert verdict["ratio"] <= verdict["ceiling"]
+        assert verdict["ok"] is True
+        # the real-runtime leg rode along
+        assert committed["tcp_row"]["backend"] == "tcp"
+        assert committed["tcp_row"]["requests_resolved"] > 0
