@@ -33,11 +33,12 @@ from ..sim.failure_detector import (
     HeartbeatFailureDetector,
     PerfectFailureDetector,
 )
-from ..sim.failures import FailureInjector
+from ..sim.failures import FailureEvent, FailureInjector
 from ..sim.network import LogPParams, Network, TCP_PARAMS
 from ..sim.trace import RoundTrace
 from .batching import Batch
 from .config import AllConcurConfig
+from .interfaces import Deliver
 from .server import AllConcurServer
 from .sim_node import SimNode
 
@@ -106,7 +107,7 @@ class SimCluster:
         # when a server fails, tell the network so its in-flight sends stop
         self.injector.subscribe(self._on_failure_event)
 
-    def _on_failure_event(self, ev) -> None:
+    def _on_failure_event(self, ev: FailureEvent) -> None:
         self.network.mark_failed(ev.pid)
         watch = self._round_watch
         if watch is not None:
@@ -186,9 +187,12 @@ class SimCluster:
             if node.alive:
                 node.fill_window(payload=payloads.get(pid))
 
-    def run(self, **kwargs) -> float:
+    def run(self, *, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> float:
         """Run the underlying simulator (same keyword arguments)."""
-        return self.sim.run(**kwargs)
+        return self.sim.run(until=until, max_events=max_events,
+                            stop_when=stop_when)
 
     def run_until_round(self, round_no: int, *,
                         max_events: int = 50_000_000) -> float:
@@ -207,7 +211,7 @@ class SimCluster:
             return self.sim.now
         sim = self.sim
 
-        def watch(pid: int, effect) -> None:
+        def watch(pid: int, effect: Deliver) -> None:
             if effect.round >= round_no and pid in remaining:
                 remaining.discard(pid)
                 if not remaining:

@@ -55,11 +55,11 @@ immediately uses the shrunk membership.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from .batching import Batch, Request, RequestQueue
 from .config import AllConcurConfig, FDMode
-from .interfaces import Deliver, RoundAdvance, Send
+from .interfaces import Deliver, Effect, RoundAdvance, Send
 from .membership import MembershipIndex, bits_tuple, mask_of
 from .messages import Backward, Broadcast, FailureNotice, Forward, Message
 from .partition import PartitionGuard
@@ -111,7 +111,7 @@ class AllConcurServer:
         #: it is A-delivered (the request-lifecycle hook of ``repro.api``:
         #: each outcome carries the ``(round, origin, seq)`` coordinates of
         #: every agreed request)
-        self._delivery_subscribers: list = []
+        self._delivery_subscribers: list[Callable[[RoundOutcome], None]] = []
         #: predecessors this server decided to ignore (suspected failed)
         self.ignored_predecessors: set[int] = set()
         #: failure pairs carried across rounds for re-broadcast (line 12)
@@ -178,7 +178,7 @@ class AllConcurServer:
     def _graph_successors(self, p: int) -> tuple[int, ...]:
         return self.graph.successors(p)
 
-    def _admit_window_rounds(self, effects: list, *,
+    def _admit_window_rounds(self, effects: list[Effect], *,
                              auto_broadcast: bool = True) -> None:
         """Create contexts for every window round that lacks one.
 
@@ -283,7 +283,8 @@ class AllConcurServer:
         """Queue an application request for the next A-broadcast message."""
         self.queue.submit(request)
 
-    def subscribe_deliveries(self, callback) -> None:
+    def subscribe_deliveries(
+            self, callback: Callable[[RoundOutcome], None]) -> None:
         """Register ``callback(outcome: RoundOutcome)``, invoked on every
         A-delivery (in strict round order).
 
@@ -297,7 +298,8 @@ class AllConcurServer:
         such as simulated time is available."""
         self._delivery_subscribers.append(callback)
 
-    def unsubscribe_deliveries(self, callback) -> None:
+    def unsubscribe_deliveries(
+            self, callback: Callable[[RoundOutcome], None]) -> None:
         """Remove a delivery subscriber registered with
         :meth:`subscribe_deliveries` (no-op if absent)."""
         try:
@@ -316,7 +318,7 @@ class AllConcurServer:
                 return ctx
         return None
 
-    def start_round(self, *, payload: Optional[Batch] = None) -> list:
+    def start_round(self, *, payload: Optional[Batch] = None) -> list[Effect]:
         """A-broadcast a round's message (line 1 of Algorithm 1).
 
         The message goes to the lowest window round the server has not yet
@@ -331,13 +333,13 @@ class AllConcurServer:
         ctx = self._next_broadcast_slot()
         if ctx is None:
             return []
-        effects: list = []
+        effects: list[Effect] = []
         self._abroadcast(ctx, payload if payload is not None
                          else self.queue.drain(), effects)
         self._check_termination(effects)
         return effects
 
-    def fill_window(self, *, payload: Optional[Batch] = None) -> list:
+    def fill_window(self, *, payload: Optional[Batch] = None) -> list[Effect]:
         """A-broadcast into every open window slot (pipelined round start).
 
         *payload*, if given, goes to the first slot; later slots drain the
@@ -346,7 +348,7 @@ class AllConcurServer:
         """
         if self.failed:
             return []
-        effects: list = []
+        effects: list[Effect] = []
         while self._next_broadcast_slot() is not None:
             effects += self.start_round(payload=payload)
             payload = None
@@ -355,7 +357,7 @@ class AllConcurServer:
     # ------------------------------------------------------------------ #
     # Failure detector input
     # ------------------------------------------------------------------ #
-    def notify_failure(self, suspect: int) -> list:
+    def notify_failure(self, suspect: int) -> list[Effect]:
         """Local FD suspects predecessor *suspect* (``<FAIL, suspect, p_i>``
         with ``k = i`` — a notification from the local failure detector)."""
         if self.failed:
@@ -366,7 +368,7 @@ class AllConcurServer:
             raise ValueError(
                 f"server {self.id} does not monitor {suspect}; the FD only "
                 f"watches predecessors in G")
-        effects: list = []
+        effects: list[Effect] = []
         if self._member_mask >> suspect & 1:
             self.ignored_predecessors.add(suspect)
             notice = FailureNotice(round=self.round, failed=suspect,
@@ -378,15 +380,15 @@ class AllConcurServer:
     # ------------------------------------------------------------------ #
     # Network input
     # ------------------------------------------------------------------ #
-    def handle_message(self, src: int, message: Message) -> list:
+    def handle_message(self, src: int, message: Message) -> list[Effect]:
         """Process a protocol message received from transport peer *src*."""
         if self.failed:
             return []
-        effects: list = []
+        effects: list[Effect] = []
         self._dispatch(src, message, effects)
         return effects
 
-    def _dispatch(self, src: int, message: Message, effects: list) -> None:
+    def _dispatch(self, src: int, message: Message, effects: list[Effect]) -> None:
         rnd = message.round
         if rnd > self._window_hi:
             # Beyond the window (or beyond the epoch barrier): buffer until
@@ -435,7 +437,7 @@ class AllConcurServer:
     # BCAST handling (lines 14-20)
     # ------------------------------------------------------------------ #
     def _abroadcast(self, ctx: RoundContext, payload: Batch,
-                    effects: list) -> None:
+                    effects: list[Effect]) -> None:
         ctx.has_broadcast = True
         self._dirty.add(ctx.round)
         message = Broadcast(round=ctx.round, origin=self.id, payload=payload)
@@ -444,7 +446,7 @@ class AllConcurServer:
             effects.append(Send(message=message, targets=self._successors))
 
     def _process_broadcast(self, ctx: RoundContext, message: Broadcast,
-                           effects: list) -> None:
+                           effects: list[Effect]) -> None:
         # A-broadcast own message, at the latest as a reaction to receiving
         # someone else's (line 15).  The reaction fills every open slot from
         # the frontier up to the received round — never the received round
@@ -470,7 +472,7 @@ class AllConcurServer:
     # FAIL handling (lines 21-40)
     # ------------------------------------------------------------------ #
     def _disseminate_failure(self, ctx: RoundContext, notice: FailureNotice,
-                             effects: list) -> None:
+                             effects: list[Effect]) -> None:
         """Disseminate each distinct notification once per round (line 22)."""
         seen = ctx.disseminated_failures.get(notice.failed, 0)
         rbit = 1 << notice.reporter
@@ -479,7 +481,7 @@ class AllConcurServer:
             if self._successors:
                 effects.append(Send(message=notice, targets=self._successors))
 
-    def _process_failure(self, notice: FailureNotice, effects: list) -> None:
+    def _process_failure(self, notice: FailureNotice, effects: list[Effect]) -> None:
         """Apply a failure notification to its round and every later active
         round.
 
@@ -507,7 +509,7 @@ class AllConcurServer:
     # FWD / BWD handling (§3.3.2)
     # ------------------------------------------------------------------ #
     def _process_forward(self, ctx: RoundContext, message: Forward,
-                         effects: list) -> None:
+                         effects: list[Effect]) -> None:
         if self.config.fd_mode != FDMode.EVENTUAL:
             return
         obit = 1 << message.origin
@@ -520,7 +522,7 @@ class AllConcurServer:
             effects.append(Send(message=message, targets=self._successors))
 
     def _process_backward(self, ctx: RoundContext, message: Backward,
-                          effects: list) -> None:
+                          effects: list[Effect]) -> None:
         if self.config.fd_mode != FDMode.EVENTUAL:
             return
         obit = 1 << message.origin
@@ -536,7 +538,7 @@ class AllConcurServer:
     # ------------------------------------------------------------------ #
     # Termination, delivery and round transition (lines 5-13)
     # ------------------------------------------------------------------ #
-    def _maybe_decide(self, ctx: RoundContext, effects: list) -> None:
+    def _maybe_decide(self, ctx: RoundContext, effects: list[Effect]) -> None:
         """◇P mode: once a round's tracking completes, announce the decided
         message set — FWD over G and BWD over G^T (§3.3.2).  Rounds decide
         independently of delivery order."""
@@ -552,7 +554,7 @@ class AllConcurServer:
         if self._predecessors:
             effects.append(Send(message=bwd, targets=self._predecessors))
 
-    def _check_termination(self, effects: list) -> None:
+    def _check_termination(self, effects: list[Effect]) -> None:
         """Decide completed rounds and A-deliver from the frontier, in
         strict round order.
 
@@ -588,7 +590,7 @@ class AllConcurServer:
                 return
             self._deliver(ctx, effects)
 
-    def _deliver(self, ctx: RoundContext, effects: list) -> None:
+    def _deliver(self, ctx: RoundContext, effects: list[Effect]) -> None:
         ctx.delivered = True
         ordered = tuple(sorted(ctx.known.items(), key=lambda kv: kv[0]))
         removed = tuple(p for p in ctx.members
@@ -603,7 +605,7 @@ class AllConcurServer:
         self._advance_round(ctx, removed, effects)
 
     def _advance_round(self, ctx: RoundContext, removed: tuple[int, ...],
-                       effects: list) -> None:
+                       effects: list[Effect]) -> None:
         del self._contexts[ctx.round]
         self.round += 1
         if removed:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..sim.engine import Simulator
-from ..sim.failures import FailureInjector
+from ..sim.failures import FailureEvent, FailureInjector
 from ..sim.network import Network
 from ..sim.trace import DeliveryRecord, RoundTrace
 from .batching import Batch, Request
@@ -53,7 +53,7 @@ class SimNode:
         injector.subscribe(self._on_failure_event)
         network.attach(server.id, self._on_network_message)
 
-    def _on_failure_event(self, ev) -> None:
+    def _on_failure_event(self, ev: FailureEvent) -> None:
         if ev.pid == self.server.id:
             self._alive = False
 

@@ -72,7 +72,9 @@ class TrackingDigraph:
         seen = {self.target}
         frontier = deque([self.target])
         adj: dict[int, list[int]] = {}
-        for a, b in self.edges:
+        # Sorted so the BFS visit order (and hence any order-sensitive
+        # consumer of the result) is independent of set-hash order.
+        for a, b in sorted(self.edges):
             adj.setdefault(a, []).append(b)
         while frontier:
             v = frontier.popleft()
@@ -131,9 +133,12 @@ class MessageTracker:
         if owner not in self.members:
             raise ValueError(f"owner {owner} must be a member")
         self._succ = successors_fn
+        # Sorted so the dict's (insertion) order — which every
+        # .values()/.items() walk inherits — is member order, not
+        # set-hash order.
         self.graphs: dict[int, TrackingDigraph] = {
             p: TrackingDigraph.initial(p)
-            for p in self.members if p != owner
+            for p in sorted(self.members) if p != owner
         }
         #: F_i — the set of received failure notifications (failed, reporter)
         self.failure_pairs: set[tuple[int, int]] = set()

@@ -173,7 +173,8 @@ class Digraph:
         treats failed servers: they stay addressable but are never used.
         """
         gone = set(removed)
-        for v in gone:
+        # Sorted so which out-of-range vertex raises first is stable.
+        for v in sorted(gone):
             self._check_vertex(v)
         edges = ((u, v) for u, v in self.edges()
                  if u not in gone and v not in gone)

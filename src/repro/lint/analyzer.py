@@ -1,0 +1,82 @@
+"""File walking, rule dispatch, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding
+from .policy import DEFAULT_POLICY, Policy, module_of_path
+from .registry import RuleContext, all_rules, known_rule_ids
+from .suppress import apply_suppressions, collect_suppressions
+
+__all__ = ["lint_source", "lint_paths", "iter_python_files"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
+                        ".pytest_cache", "build", "dist"})
+
+
+def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def lint_source(source: str, path: str, *,
+                module: Optional[str] = None,
+                policy: Policy = DEFAULT_POLICY) -> list[Finding]:
+    """Lint one source text; *path* is used for reporting and (unless
+    *module* overrides it) for policy scoping."""
+    if module is None:
+        module = module_of_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=exc.offset or 0, rule_id="E000",
+                        message=f"syntax error: {exc.msg}")]
+    ctx = RuleContext(path=path, module=module, source=source,
+                      parents=_build_parents(tree))
+    raw: list[Finding] = []
+    for rule in all_rules():
+        if not policy.applies(rule.id, module):
+            continue
+        raw.extend(rule.check(tree, ctx))
+    suppressions = collect_suppressions(source)
+    findings = list(apply_suppressions(raw, suppressions,
+                                       known_rule_ids(), path))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a deterministic .py file list."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_paths(paths: Sequence[str], *,
+               policy: Policy = DEFAULT_POLICY) -> list[Finding]:
+    """Lint every .py file under *paths*."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(Finding(path=file_path, line=1, col=0,
+                                    rule_id="E001",
+                                    message=f"unreadable: {exc}"))
+            continue
+        findings.extend(lint_source(source, file_path, policy=policy))
+    return sorted(findings, key=Finding.sort_key)

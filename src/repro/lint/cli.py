@@ -1,0 +1,43 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analyzer import lint_paths
+from .reporters import render_json, render_rule_catalog, render_text
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism & concurrency static analysis for the "
+                    "AllConcur reproduction (CI gate: exits 1 on any "
+                    "unsuppressed finding).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+
+    findings = lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Name-resolution helpers shared by the rule checkers.
+
+The rules match *qualified* call targets (``time.monotonic``,
+``asyncio.create_task``, ``os.urandom`` …).  Source code reaches those
+through import aliases (``import time as t``, ``from asyncio import
+create_task``), so every file gets an :class:`ImportMap` translating the
+local name a call site uses back to the canonical dotted path.
+Resolution is lexical and best-effort — a name smuggled through a
+variable (``f = time.time; f()``) escapes it, which is acceptable for a
+repo-policy gate (and the differential tests still back it up).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["ImportMap", "dotted_name", "resolve_call"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias -> canonical dotted prefix, collected per module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a`` -> ``a``; ``import a.b as
+                    # c`` binds ``c`` -> ``a.b``.
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue        # relative imports stay repo-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> str:
+        """Canonicalise the leading segment of a dotted name."""
+        head, _, rest = name.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return name
+        return f"{target}.{rest}" if rest else target
+
+
+def resolve_call(node: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted name of a call target, or None if not static."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    return imports.resolve(name)

@@ -1,0 +1,102 @@
+"""Rule registry: every rule self-describes for ``--list-rules``.
+
+A rule is a pure function ``check(tree, ctx) -> Iterable[Finding]`` plus
+the catalog metadata (id, severity, summary, example).  Rules register
+themselves at import time via :func:`rule`; the registry is the single
+source of truth for the CLI catalog, the policy table, and the
+suppression validator (S902 rejects ids that are not registered).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from .findings import Finding, Severity
+
+__all__ = ["Rule", "RuleContext", "rule", "all_rules", "get_rule"]
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule may consult besides the AST itself."""
+
+    path: str                     #: path as reported in findings
+    module: str                   #: dotted module, e.g. ``repro.sim.engine``
+    source: str                   #: full source text
+    #: parent links for the whole tree (child node -> enclosing node),
+    #: built once per file by the analyzer
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str,
+                severity: Severity = Severity.ERROR) -> Finding:
+        return Finding(path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule_id=rule_id, message=message, severity=severity)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur: Optional[ast.AST] = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+
+Checker = Callable[[ast.Module, RuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    id: str
+    severity: Severity
+    summary: str
+    example: str
+    check: Checker
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, *, summary: str, example: str,
+         severity: Severity = Severity.ERROR) -> Callable[[Checker], Checker]:
+    """Register *checker* under *rule_id* (decorator)."""
+
+    def decorate(checker: Checker) -> Checker:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(id=rule_id, severity=severity,
+                                  summary=summary, example=example,
+                                  check=checker)
+        return checker
+
+    return decorate
+
+
+def _load_rules() -> None:
+    # Importing the rule modules populates the registry via decorators.
+    from . import rules_asyncio      # noqa: F401
+    from . import rules_determinism  # noqa: F401
+    from . import rules_frozen      # noqa: F401
+    from . import rules_locks       # noqa: F401
+    from . import suppress          # noqa: F401  (registers S901-S903)
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id."""
+    _load_rules()
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    _load_rules()
+    return _REGISTRY.get(rule_id)
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Every registered rule id (the S-series registers itself from the
+    suppression module so the catalog stays the single source of truth)."""
+    _load_rules()
+    return frozenset(_REGISTRY)

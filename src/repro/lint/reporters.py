@@ -1,0 +1,47 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["render_text", "render_json", "render_rule_catalog"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "repro.lint: clean (0 findings)"
+    lines = [f.render() for f in findings]
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    summary = ", ".join(f"{rid}: {count}"
+                        for rid, count in sorted(by_rule.items()))
+    lines.append(f"repro.lint: {len(findings)} finding"
+                 f"{'s' if len(findings) != 1 else ''} ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [f.to_json() for f in findings],
+        "count": len(findings),
+        "clean": not findings,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """Self-documentation for ``--list-rules``."""
+    lines = ["repro.lint rule catalog", ""]
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.severity}]  {rule.summary}")
+        lines.append(f"       e.g.  {rule.example}")
+    lines.append("")
+    lines.append("Suppress a finding with: "
+                 "# lint: ignore[RULE-ID] <reason>  (reason required; "
+                 "standalone comment lines apply to the next code line)")
+    return "\n".join(lines)

@@ -1,0 +1,308 @@
+"""D-rules: determinism of the protocol core / simulator / graphs.
+
+The differential oracles (bitmask vs set data plane, dirty-set vs
+full-scan ingress, binary vs JSON codec) compare *byte-identical* agreed
+logs across runs and backends, and the benchmark JSONs are committed
+with the expectation that a re-run on the same seed reproduces them.
+Anything inside ``repro.core`` / ``repro.sim`` / ``repro.graphs`` must
+therefore be a pure function of its explicit inputs and seeds: no wall
+clocks, no process-global RNG, no allocation-dependent ordering, and no
+iteration order leaking out of hash-based containers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Union
+
+from .findings import Finding
+from .names import ImportMap, dotted_name, resolve_call
+from .registry import RuleContext, rule
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_ENTROPY = frozenset({
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+})
+
+#: the one blessed constructor: a seeded, instance-scoped RNG
+_SEEDED_RNG = frozenset({"random.Random"})
+
+
+@rule("D101",
+      summary="wall-clock read in a deterministic module "
+              "(repro.core/sim/graphs run on virtual time only)",
+      example="now = time.monotonic()   # use the simulator clock instead")
+def check_wall_clock(tree: ast.Module,
+                     ctx: RuleContext) -> Iterable[Finding]:
+    imports = ImportMap(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call(node, imports)
+        if name in _WALL_CLOCK:
+            yield ctx.finding(
+                "D101", node,
+                f"call to {name}() reads the wall clock; deterministic "
+                f"modules must take time from the simulator's virtual "
+                f"clock or an explicit parameter")
+
+
+@rule("D102",
+      summary="process-global or OS randomness in a deterministic module "
+              "(only a seeded random.Random(seed) instance is allowed)",
+      example="x = random.random()   # use self._rng = random.Random(seed)")
+def check_global_rng(tree: ast.Module,
+                     ctx: RuleContext) -> Iterable[Finding]:
+    imports = ImportMap(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = resolve_call(node, imports)
+        if name is None:
+            continue
+        if name in _SEEDED_RNG:
+            continue        # policy allowance: seeded instance RNG
+        if name in _ENTROPY or name.startswith("secrets."):
+            yield ctx.finding(
+                "D102", node,
+                f"call to {name}() draws OS entropy; deterministic "
+                f"modules must derive randomness from an explicit seed")
+        elif name.startswith("random."):
+            yield ctx.finding(
+                "D102", node,
+                f"call to {name}() uses the process-global RNG; use a "
+                f"seeded random.Random(seed) instance (the simulator "
+                f"engine owns one) so runs replay bit-identically")
+
+
+_ORDERING_CALLS = frozenset({"sorted", "min", "max"})
+
+
+@rule("D103",
+      summary="id()-based ordering or keying (CPython allocation "
+              "addresses differ across runs and hosts)",
+      example="sorted(nodes, key=id)   # sort on a stable field instead")
+def check_id_ordering(tree: ast.Module,
+                      ctx: RuleContext) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = dotted_name(node.func)
+        if func in _ORDERING_CALLS:
+            for kw in node.keywords:
+                if kw.arg == "key" and isinstance(kw.value, ast.Name) \
+                        and kw.value.id == "id":
+                    yield ctx.finding(
+                        "D103", node,
+                        f"{func}(..., key=id) orders by allocation "
+                        f"address, which differs run to run; key on a "
+                        f"stable attribute instead")
+        if isinstance(node.func, ast.Name) and node.func.id == "id" \
+                and len(node.args) == 1:
+            if any(isinstance(anc, ast.Call)
+                   and dotted_name(anc.func) in _ORDERING_CALLS
+                   for anc in ctx.ancestors(node)):
+                yield ctx.finding(
+                    "D103", node,
+                    "id(...) inside an ordering expression depends on "
+                    "allocation addresses; order on a stable field")
+
+
+# --------------------------------------------------------------------- #
+# D104: set iteration order
+# --------------------------------------------------------------------- #
+
+_SET_CTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({"union", "intersection", "difference",
+                          "symmetric_difference", "copy"})
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet",
+                              "AbstractSet", "MutableSet",
+                              "typing.Set", "typing.FrozenSet",
+                              "typing.AbstractSet", "typing.MutableSet"})
+#: sinks whose result is independent of iteration order
+_ORDER_INSENSITIVE = frozenset({"sorted", "min", "max", "sum", "any",
+                                "all", "len", "set", "frozenset"})
+#: conversion calls that freeze the (arbitrary) set order into a sequence
+_SEQUENCE_CTORS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+_Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+               ast.Lambda]
+_SCOPE_TYPES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+                ast.Lambda)
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation, e.g. "set[int]"
+        base = node.value.split("[", 1)[0].strip()
+        return base in _SET_ANNOTATIONS
+    name = dotted_name(node)
+    return name in _SET_ANNOTATIONS if name else False
+
+
+class _SetTypes:
+    """Lexical, per-scope inference of which names hold sets."""
+
+    def __init__(self, tree: ast.Module, ctx: RuleContext) -> None:
+        self.ctx = ctx
+        self.scope_names: dict[ast.AST, set[str]] = {}
+        self.class_attrs: dict[ast.AST, set[str]] = {}
+        self._collect(tree)
+
+    def _nearest(self, node: ast.AST,
+                 kinds: tuple[type, ...]) -> Optional[ast.AST]:
+        for anc in self.ctx.ancestors(node):
+            if isinstance(anc, kinds):
+                return anc
+        return None
+
+    def _scope_of(self, node: ast.AST) -> ast.AST:
+        return self._nearest(node, _SCOPE_TYPES) or node
+
+    def _add_name(self, node: ast.AST, name: str) -> None:
+        self.scope_names.setdefault(self._scope_of(node), set()).add(name)
+
+    def _add_attr(self, node: ast.AST, name: str) -> None:
+        cls = self._nearest(node, (ast.ClassDef,))
+        if cls is not None:
+            self.class_attrs.setdefault(cls, set()).add(name)
+
+    def _collect(self, tree: ast.Module) -> None:
+        # Two passes: assignments can reference set-typed names defined
+        # by *other* assignments in the same scope; one extra pass keeps
+        # chains like ``a = set(); b = a | other`` inferable.
+        for _ in range(2):
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign):
+                    if not self.is_set_expr(node.value):
+                        continue
+                    for target in node.targets:
+                        self._record_target(target)
+                elif isinstance(node, ast.AnnAssign):
+                    if _annotation_is_set(node.annotation) or (
+                            node.value is not None
+                            and self.is_set_expr(node.value)):
+                        self._record_target(node.target)
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    args = node.args
+                    for arg in (args.posonlyargs + args.args
+                                + args.kwonlyargs):
+                        if _annotation_is_set(arg.annotation):
+                            self.scope_names.setdefault(
+                                node, set()).add(arg.arg)
+
+    def _record_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self._add_name(target, target.id)
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            self._add_attr(target, target.attr)
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CTORS:
+                return True
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _SET_METHODS:
+                return self.is_set_expr(func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self.is_set_expr(node.left) \
+                or self.is_set_expr(node.right)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_set_expr(v) for v in node.values)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body) \
+                or self.is_set_expr(node.orelse)
+        if isinstance(node, ast.Name):
+            scope = self._scope_of(node)
+            return node.id in self.scope_names.get(scope, ())
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            cls = self._nearest(node, (ast.ClassDef,))
+            return node.attr in self.class_attrs.get(cls, ()) \
+                if cls is not None else False
+        return False
+
+
+def _consumed_order_insensitively(node: ast.AST,
+                                  ctx: RuleContext) -> bool:
+    """True when *node* (a comprehension/genexp) is the direct argument
+    of an order-insensitive sink such as ``sorted(...)``."""
+    parent = ctx.parents.get(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        name = dotted_name(parent.func)
+        if name in _ORDER_INSENSITIVE:
+            return True
+    return False
+
+
+def _iteration_sites(tree: ast.Module, types: _SetTypes,
+                     ctx: RuleContext) -> Iterator[tuple[ast.AST, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if types.is_set_expr(node.iter):
+                yield node.iter, "for-loop over a set"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            if _consumed_order_insensitively(node, ctx):
+                continue
+            for gen in node.generators:
+                if types.is_set_expr(gen.iter):
+                    kind = {"ListComp": "list comprehension",
+                            "GeneratorExp": "generator expression",
+                            "DictComp": "dict comprehension"}[
+                                type(node).__name__]
+                    yield gen.iter, f"{kind} over a set"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_seq_ctor = (isinstance(func, ast.Name)
+                           and func.id in _SEQUENCE_CTORS)
+            is_join = (isinstance(func, ast.Attribute)
+                       and func.attr == "join")
+            if (is_seq_ctor or is_join) and len(node.args) == 1 \
+                    and types.is_set_expr(node.args[0]):
+                label = func.id if isinstance(func, ast.Name) else "join"
+                yield node.args[0], f"{label}(...) over a set"
+
+
+@rule("D104",
+      summary="iteration over a set/frozenset without an enclosing "
+              "sorted() in a deterministic module (hash-order leaks "
+              "into scheduling, encoding, or hashing)",
+      example="for p in peers_set: emit(p)   # for p in sorted(peers_set)")
+def check_set_iteration(tree: ast.Module,
+                        ctx: RuleContext) -> Iterable[Finding]:
+    types = _SetTypes(tree, ctx)
+    seen: set[tuple[int, int]] = set()
+    for node, what in _iteration_sites(tree, types, ctx):
+        key = (node.lineno, node.col_offset)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield ctx.finding(
+            "D104", node,
+            f"{what}: set iteration order is hash/insertion dependent "
+            f"and may leak into a deterministic path; wrap the set in "
+            f"sorted(...) or consume it order-insensitively")

@@ -1,0 +1,54 @@
+"""F-rules: frozen-dataclass construction hygiene.
+
+The wire types (``Request``, ``Batch``) are frozen dataclasses whose
+``__init__`` enforces invariants.  The binary codec's decode fast path
+deliberately bypasses that with ``object.__new__`` + ``__dict__.update``
+(~5x faster, covered by cross-codec differential tests) — but that
+construction style is safe *only* there, where every field is filled
+from a just-validated frame.  Anywhere else it silently produces
+half-initialised frozen objects, so the pattern is whitelisted to
+``repro.runtime.wire`` by policy (see :mod:`repro.lint.policy`) and
+flagged everywhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .findings import Finding
+from .names import dotted_name
+from .registry import RuleContext, rule
+
+
+@rule("F401",
+      summary="frozen-dataclass bypass (object.__new__ / __dict__ "
+              "mutation) outside the whitelisted codec fast path",
+      example="req = object.__new__(Request); req.__dict__.update(...)")
+def check_frozen_bypass(tree: ast.Module,
+                        ctx: RuleContext) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name == "object.__new__":
+                yield ctx.finding(
+                    "F401", node,
+                    "object.__new__ skips __init__ validation of frozen "
+                    "wire types; only the repro.runtime.wire decode "
+                    "fast path is whitelisted for this (by policy)")
+            elif name is not None and name.endswith(".__dict__.update"):
+                yield ctx.finding(
+                    "F401", node,
+                    "__dict__.update on a (frozen) instance bypasses "
+                    "dataclass immutability; whitelisted only in the "
+                    "repro.runtime.wire decode fast path")
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    base = dotted_name(target.value)
+                    if base is not None and base.endswith(".__dict__"):
+                        yield ctx.finding(
+                            "F401", target,
+                            "__dict__[...] assignment bypasses frozen-"
+                            "dataclass immutability; whitelisted only "
+                            "in the repro.runtime.wire decode fast path")

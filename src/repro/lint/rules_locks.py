@@ -1,0 +1,96 @@
+"""L-rules: lock discipline in the TCP runtime.
+
+Encodes the PR 6 incident: ``RuntimeNode._connect``'s 40-attempt dial
+retry loop awaited ``asyncio.open_connection`` and ``asyncio.sleep``
+while the caller held ``self._lock`` — the node's own round driving
+stalled for the full ~41 s backoff whenever a successor died, long
+enough to look like a lost round.  The rule flags awaiting network or
+sleep primitives *lexically* inside an ``async with <...lock...>:``
+body: slow I/O belongs outside the protocol lock's critical section.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .findings import Finding
+from .names import dotted_name
+from .registry import RuleContext, rule
+
+#: fully-dotted awaitables that never belong under a lock
+_SLOW_QUALIFIED = frozenset({
+    "asyncio.sleep",
+    "asyncio.open_connection",
+    "asyncio.start_server",
+    "asyncio.wait_for",
+    "asyncio.wait",
+    "asyncio.gather",
+})
+
+#: method names (last attribute segment) that mean network/timer I/O
+_SLOW_METHODS = frozenset({
+    "sleep", "open_connection", "wait_for", "wait", "gather",
+    "drain", "read", "readline", "readexactly", "readuntil",
+    "wait_closed", "connect", "_connect", "accept", "getaddrinfo",
+    "sock_recv", "sock_sendall", "sock_connect", "sock_accept",
+})
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    name = dotted_name(item.context_expr)
+    if name is None and isinstance(item.context_expr, ast.Call):
+        name = dotted_name(item.context_expr.func)
+    return name is not None and "lock" in name.lower()
+
+
+def _slow_await_target(node: ast.Await) -> str | None:
+    value = node.value
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    if name in _SLOW_QUALIFIED:
+        return name
+    last = name.rsplit(".", 1)[-1]
+    if last in _SLOW_METHODS:
+        return name
+    return None
+
+
+def _awaits_in_body(body: list[ast.stmt]) -> Iterator[ast.Await]:
+    """Awaits lexically inside *body*, not descending into nested
+    function definitions (their awaits run under their own caller)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule("L301",
+      summary="await of a network/sleep primitive while holding a lock "
+              "(async with ...lock: — the PR 6 stall class)",
+      example="async with self._lock: await asyncio.open_connection(h, p)")
+def check_await_under_lock(tree: ast.Module,
+                           ctx: RuleContext) -> Iterable[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AsyncWith):
+            continue
+        if not any(_is_lock_context(item) for item in node.items):
+            continue
+        for awaited in _awaits_in_body(node.body):
+            target = _slow_await_target(awaited)
+            if target is not None:
+                yield ctx.finding(
+                    "L301", awaited,
+                    f"await {target}(...) while holding the lock: the "
+                    f"critical section blocks every other coroutine for "
+                    f"the full I/O/backoff duration (PR 6 stalled round "
+                    f"driving ~41s this way); move the await outside "
+                    f"the lock or copy state and release first")

@@ -1,0 +1,157 @@
+"""Per-line suppression comments: ``# lint: ignore[RULE-ID] reason``.
+
+A suppression applies to the findings of the named rule(s) on its own
+line, or — when written as a standalone comment line — on the next
+non-comment line (for statements that are too long to share a line with
+a justification).  Multiple ids separate with commas:
+``# lint: ignore[D104, A201] reason``.
+
+The suppression inventory is itself linted so it cannot rot:
+
+* **S901** — suppression without a reason string.  Every exception must
+  explain itself to the next reader; the acceptance bar for the repo is
+  zero unexplained suppressions.
+* **S902** — suppression naming an unknown rule id (typo'd suppressions
+  silently suppress nothing, then rot).
+* **S903** — suppression that matched no finding (the code was fixed or
+  the rule changed; delete the comment).
+
+S-rules are registered like any other rule so ``--list-rules`` shows
+them, but they are emitted by the analyzer's suppression pass, not by a
+tree checker — and they cannot themselves be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .findings import Finding
+from .registry import RuleContext, rule
+
+__all__ = ["Suppression", "collect_suppressions", "apply_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*lint:\s*ignore\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*)$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ignore comment."""
+
+    line: int                     #: line the comment sits on
+    applies_to: int               #: line whose findings it suppresses
+    rule_ids: tuple[str, ...]
+    reason: str
+    used: bool = field(default=False)
+
+
+def _meta_rule(tree: ast.Module, ctx: RuleContext) -> Iterable[Finding]:
+    """S-rules are produced by :func:`apply_suppressions`, not here."""
+    return ()
+
+
+rule("S901", summary="suppression comment without a reason "
+                     "(every exception must explain itself)",
+     example="x = random.random()  # lint: ignore[D102]")(_meta_rule)
+rule("S902", summary="suppression naming an unknown rule id "
+                     "(typo suppresses nothing, then rots)",
+     example="# lint: ignore[D999] no such rule")(_meta_rule)
+rule("S903", summary="suppression that matched no finding "
+                     "(stale — delete the comment)",
+     example="x = 1  # lint: ignore[D102] fixed long ago")(_meta_rule)
+
+_S_RULES = frozenset({"S901", "S902", "S903"})
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Parse every ignore comment, resolving standalone comments to the
+    next code line."""
+    out: list[Suppression] = []
+    standalone: list[tuple[int, Suppression]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover
+        return out
+
+    code_lines: set[int] = set()
+    comment_lines: dict[int, str] = {}
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comment_lines[tok.start[0]] = tok.string
+        elif tok.type not in (tokenize.NL, tokenize.NEWLINE,
+                              tokenize.INDENT, tokenize.DEDENT,
+                              tokenize.ENCODING, tokenize.ENDMARKER):
+            code_lines.add(tok.start[0])
+
+    for line_no, comment in sorted(comment_lines.items()):
+        match = _PATTERN.search(comment)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in
+                    match.group("ids").split(",") if part.strip())
+        supp = Suppression(line=line_no, applies_to=line_no,
+                           rule_ids=ids,
+                           reason=match.group("reason").strip())
+        if line_no in code_lines:
+            out.append(supp)
+        else:
+            standalone.append((line_no, supp))
+
+    ordered_code = sorted(code_lines)
+    for line_no, supp in standalone:
+        nxt = next((ln for ln in ordered_code if ln > line_no), None)
+        if nxt is not None:
+            supp.applies_to = nxt
+        out.append(supp)
+    return out
+
+
+def apply_suppressions(findings: Iterable[Finding],
+                       suppressions: list[Suppression],
+                       known_ids: frozenset[str],
+                       path: str) -> Iterator[Finding]:
+    """Drop suppressed findings; emit S901/S902/S903 meta findings."""
+    by_line: dict[int, list[Suppression]] = {}
+    for supp in suppressions:
+        by_line.setdefault(supp.applies_to, []).append(supp)
+
+    for finding in findings:
+        matched = None
+        for supp in by_line.get(finding.line, ()):
+            if finding.rule_id in supp.rule_ids and supp.reason:
+                matched = supp
+                break
+        if matched is not None:
+            matched.used = True
+            continue
+        yield finding
+
+    for supp in suppressions:
+        if not supp.reason:
+            yield Finding(
+                path=path, line=supp.line, col=0, rule_id="S901",
+                message=f"suppression of {', '.join(supp.rule_ids) or '?'}"
+                        f" has no reason: write WHY the finding is safe "
+                        f"here (# lint: ignore[ID] reason)")
+            continue
+        unknown = [rid for rid in supp.rule_ids
+                   if rid not in known_ids or rid in _S_RULES]
+        if unknown or not supp.rule_ids:
+            yield Finding(
+                path=path, line=supp.line, col=0, rule_id="S902",
+                message=f"suppression names unknown/unsuppressable rule "
+                        f"id(s) {unknown or ['<empty>']}: see "
+                        f"--list-rules for the catalog")
+            continue
+        if not supp.used:
+            yield Finding(
+                path=path, line=supp.line, col=0, rule_id="S903",
+                message=f"stale suppression of "
+                        f"{', '.join(supp.rule_ids)}: no finding on "
+                        f"line {supp.applies_to} — delete the comment")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .events import EventHandle, EventQueue
 from .events import _CANCELLABLE
@@ -69,14 +69,14 @@ class Simulator:
 
     # ------------------------------------------------------------------ #
     def schedule(self, delay: float, callback: Callable[..., None],
-                 *args, priority: int = 0) -> EventHandle:
+                 *args: Any, priority: int = 0) -> EventHandle:
         """Schedule *callback(*args)* after *delay* seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         return self._queue.push(self._now + delay, callback, args, priority)
 
     def schedule_at(self, time: float, callback: Callable[..., None],
-                    *args, priority: int = 0) -> EventHandle:
+                    *args: Any, priority: int = 0) -> EventHandle:
         """Schedule *callback(*args)* at absolute virtual *time*."""
         if time < self._now:
             raise SimulationError(
@@ -84,7 +84,7 @@ class Simulator:
         return self._queue.push(time, callback, args, priority)
 
     def post(self, time: float, callback: Callable[..., None],
-             args: tuple = (), priority: int = 0) -> None:
+             args: tuple[Any, ...] = (), priority: int = 0) -> None:
         """Fast-path scheduling at absolute *time*: no cancel handle.  This
         is the hot path of the network and workload layers — the
         overwhelming majority of events are never cancelled, so the

@@ -37,7 +37,7 @@ materialises an :class:`Event` view of fast entries on demand.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 __all__ = ["Event", "EventQueue", "EventHandle"]
 
@@ -56,7 +56,8 @@ class Event:
                  "sort_key")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[..., None], args: tuple = (),
+                 callback: Callable[..., None],
+                 args: tuple[Any, ...] = (),
                  cancelled: bool = False) -> None:
         self.time = time
         self.priority = priority
@@ -109,14 +110,14 @@ class EventQueue:
     def __init__(self) -> None:
         #: (time, priority, seq, callback, args) fast entries mixed with
         #: (time, priority, seq, Event, _CANCELLABLE) cancellable entries
-        self._heap: list[tuple] = []
+        self._heap: list[tuple[Any, ...]] = []
         self._next_seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, time: float, callback: Callable[..., None],
-             args: tuple = (), priority: int = 0) -> EventHandle:
+             args: tuple[Any, ...] = (), priority: int = 0) -> EventHandle:
         """Schedule *callback(*args)* at *time*; returns a cancel handle."""
         seq = self._next_seq
         self._next_seq = seq + 1
@@ -125,7 +126,7 @@ class EventQueue:
         return EventHandle(ev)
 
     def push_fast(self, time: float, callback: Callable[..., None],
-                  args: tuple = (), priority: int = 0) -> None:
+                  args: tuple[Any, ...] = (), priority: int = 0) -> None:
         """Fast path for the common never-cancelled event: no
         :class:`Event` and no :class:`EventHandle` are allocated."""
         seq = self._next_seq

@@ -26,8 +26,10 @@ termination has to deal with (the ``p0`` example of §2.3).
 
 from __future__ import annotations
 
+import random
+
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from typing import Callable, Iterable, Optional, Protocol
 
 from .engine import Simulator
 
@@ -90,7 +92,7 @@ class DelayModel(Protocol):
     distribution; these delay models provide that ``T``.
     """
 
-    def sample(self, rng) -> float:  # pragma: no cover - protocol
+    def sample(self, rng: random.Random) -> float:  # pragma: no cover - protocol
         ...
 
 
@@ -98,7 +100,7 @@ class DelayModel(Protocol):
 class NoJitter:
     """Deterministic network: no extra delay."""
 
-    def sample(self, rng) -> float:
+    def sample(self, rng: random.Random) -> float:
         return 0.0
 
 
@@ -108,7 +110,7 @@ class ExponentialJitter:
 
     mean: float
 
-    def sample(self, rng) -> float:
+    def sample(self, rng: random.Random) -> float:
         return rng.expovariate(1.0 / self.mean) if self.mean > 0 else 0.0
 
 
@@ -119,7 +121,7 @@ class UniformJitter:
     low: float
     high: float
 
-    def sample(self, rng) -> float:
+    def sample(self, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
 
 
@@ -306,7 +308,8 @@ class Network:
             self._push(arrival, self._deliver, (src, dst, message), 1)
         return True
 
-    def send_burst(self, src: int, targets, message: object,
+    def send_burst(self, src: int, targets: Iterable[int],
+                   message: object,
                    nbytes: int = 0) -> int:
         """Send one copy of *message* to each destination in *targets*
         (serialised at the sender, in order) — behaviourally identical to
@@ -355,7 +358,8 @@ class Network:
         self._send_free[src] = departure
         return count
 
-    def multicast(self, src: int, dsts, message: object, *,
+    def multicast(self, src: int, dsts: Iterable[int],
+                  message: object, *,
                   nbytes: int = 0) -> int:
         """Send *message* to every destination in *dsts* (serialised at the
         sender, in the given order).  Returns the number of copies sent."""
@@ -415,7 +419,8 @@ class Network:
                 push(done, finish, (receiver, src, dst, message), 2)
         self._recv_free[dst] = free
 
-    def _finish_recv(self, receiver, src: int, dst: int,
+    def _finish_recv(self, receiver: Callable[[int, int, object], None],
+                     src: int, dst: int,
                      message: object) -> None:
         """Complete one coalesced receive: account the delivery and invoke
         the receiver — or drop, if the destination failed while the copy

@@ -1,0 +1,27 @@
+"""Shared helpers for the lint-rule fixture tests."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+
+@pytest.fixture
+def lint():
+    """Lint a dedented snippet under a virtual module path.
+
+    Default module is ``repro.sim.fixture`` so the D-rules apply; pass
+    ``module=`` to target other policy scopes.
+    """
+
+    def run(source, *, module="repro.sim.fixture", path=None):
+        if path is None:
+            path = "src/" + module.replace(".", "/") + ".py"
+        return lint_source(textwrap.dedent(source), path, module=module)
+
+    return run
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]

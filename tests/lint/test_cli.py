@@ -1,0 +1,113 @@
+"""CLI surface: formats, exit codes, and the self-documenting catalog."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import all_rules
+from repro.lint.cli import main
+from repro.lint.reporters import render_rule_catalog
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    return code, capsys.readouterr().out
+
+
+BAD_SNIPPET = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "scratch.py").write_text(BAD_SNIPPET)
+    return tmp_path
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code, out = run_cli([str(tmp_path)], capsys)
+        assert code == 0
+        assert "clean" in out
+
+    def test_findings_exit_nonzero(self, bad_tree, capsys):
+        code, out = run_cli([str(bad_tree)], capsys)
+        assert code == 1
+        assert "D101" in out
+
+    def test_json_format(self, bad_tree, capsys):
+        code, out = run_cli([str(bad_tree), "--format=json"], capsys)
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["clean"] is False
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "D101"
+        assert finding["line"] == 4
+
+    def test_json_clean(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        code, out = run_cli([str(tmp_path), "--format=json"], capsys)
+        assert code == 0
+        assert json.loads(out)["clean"] is True
+
+    def test_syntax_error_is_a_finding(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        code, out = run_cli([str(tmp_path)], capsys)
+        assert code == 1
+        assert "E000" in out
+
+
+class TestRuleCatalog:
+    def test_list_rules_nonempty(self, capsys):
+        # the catalog cannot rot: every registered rule documents itself
+        code, out = run_cli(["--list-rules"], capsys)
+        assert code == 0
+        rules = all_rules()
+        assert len(rules) >= 9
+        for rule in rules:
+            assert rule.id in out
+            assert rule.summary.split("(")[0].strip()[:30] in out
+
+    def test_every_rule_has_id_severity_summary_example(self):
+        for rule in all_rules():
+            assert rule.id and rule.id[0] in "DALFS"
+            assert rule.summary
+            assert rule.example
+            assert str(rule.severity) in ("error", "warning")
+
+    def test_expected_families_present(self):
+        ids = {rule.id for rule in all_rules()}
+        assert {"D101", "D102", "D103", "D104",
+                "A201", "A202", "L301", "F401",
+                "S901", "S902", "S903"} <= ids
+
+    def test_catalog_mentions_suppression_syntax(self):
+        text = render_rule_catalog()
+        assert "lint: ignore[RULE-ID]" in text
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_entry_point(self, bad_tree):
+        # the CI job runs exactly this
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + env.get("PYTHONPATH", "").split(os.pathsep))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(bad_tree),
+             "--format=json"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 1
+        assert json.loads(proc.stdout)["count"] == 1

@@ -1,0 +1,89 @@
+"""The gate itself: ``python -m repro.lint src/`` is clean, every
+suppression in the tree is explained, and deliberately reintroducing
+the PR 3 / PR 6 incident patterns makes the analyzer fail."""
+
+import pathlib
+import re
+import textwrap
+
+from repro.lint import DEFAULT_POLICY, lint_paths, lint_source
+from repro.lint.analyzer import iter_python_files
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestSrcTreeIsClean:
+    def test_lint_src_is_clean(self):
+        findings = lint_paths([str(SRC)])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_every_suppression_in_src_has_a_reason(self):
+        # belt and braces on top of S901: grep the raw text too, so even
+        # a comment the tokenizer misses cannot smuggle in a bare ignore
+        pattern = re.compile(r"#\s*lint:\s*ignore\[[^\]]*\]\s*(\S?)")
+        for path in iter_python_files([str(SRC)]):
+            for line_no, line in enumerate(
+                    pathlib.Path(path).read_text().splitlines(), 1):
+                match = pattern.search(line)
+                if match:
+                    assert match.group(1), (
+                        f"{path}:{line_no}: suppression without a reason")
+
+    def test_wire_fast_path_is_policy_encoded_not_suppressed(self):
+        # the F401 exemption for the codec fast path must come from the
+        # policy table, not per-line ignores in wire.py
+        wire = SRC / "repro" / "runtime" / "wire.py"
+        text = wire.read_text()
+        assert "object.__new__" in text         # fast path still there
+        assert "lint: ignore" not in text
+        assert not DEFAULT_POLICY.applies("F401", "repro.runtime.wire")
+        assert DEFAULT_POLICY.applies("F401", "repro.runtime.node")
+
+
+def _lint_runtime_snippet(source):
+    return lint_source(textwrap.dedent(source),
+                       "src/repro/runtime/scratch.py")
+
+
+class TestIncidentRegressions:
+    """Reintroducing either shipped-and-fixed bug class must fail the
+    gate (and hence the CI lint job)."""
+
+    def test_pr3_task_leak_fails_the_gate(self):
+        # PR 3: conn-handler tasks spawned and dropped, leaking across
+        # stop() — the exact class A201 encodes
+        findings = _lint_runtime_snippet("""
+            import asyncio
+
+            class Node:
+                async def connect_peers(self):
+                    asyncio.create_task(self._heartbeat_loop())
+                    asyncio.create_task(self._timeout_loop())
+        """)
+        assert [f.rule_id for f in findings] == ["A201", "A201"]
+
+    def test_pr6_await_under_lock_fails_the_gate(self):
+        # PR 6: the dial-retry loop awaited open_connection + sleep
+        # backoff while holding the node lock (~41s stall)
+        findings = _lint_runtime_snippet("""
+            import asyncio
+
+            class Node:
+                async def _get_writer(self, peer, addr):
+                    async with self._lock:
+                        for attempt in range(40):
+                            try:
+                                _r, w = await asyncio.open_connection(
+                                    addr.host, addr.port)
+                                return w
+                            except OSError:
+                                await asyncio.sleep(0.05 * (attempt + 1))
+        """)
+        assert {f.rule_id for f in findings} == {"L301"}
+        assert len(findings) == 2
+
+    def test_current_runtime_does_not_regress(self):
+        # the real node.py/proc.py stay clean under the same rules
+        findings = lint_paths([str(SRC / "repro" / "runtime")])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,27 @@
+"""mypy --strict gate over repro.core + repro.sim.
+
+The strict scope is configured in pyproject.toml ([tool.mypy]); this test
+runs the same invocation as the CI `lint` job.  mypy is an optional tool —
+when it is not installed (the runtime has no typing-tool dependencies) the
+test skips and CI remains the enforcement point.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(importlib.util.find_spec("mypy") is None,
+                    reason="mypy not installed; enforced by the CI lint job")
+def test_strict_scope_is_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "-p", "repro.core", "-p", "repro.sim"],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, (
+        f"mypy --strict over repro.core + repro.sim failed:\n"
+        f"{proc.stdout}\n{proc.stderr}")

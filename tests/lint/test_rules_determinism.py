@@ -1,0 +1,294 @@
+"""D-rule fixtures: each rule fires on the broken form, stays silent on
+the fixed form, and respects an explained suppression."""
+
+from .conftest import rule_ids
+
+
+# --------------------------------------------------------------------- #
+# D101 wall clock
+# --------------------------------------------------------------------- #
+
+class TestD101WallClock:
+    def test_fires_on_time_time(self, lint):
+        findings = lint("""
+            import time
+
+            def stamp():
+                return time.time()
+        """)
+        assert rule_ids(findings) == ["D101"]
+        assert "wall clock" in findings[0].message
+
+    def test_fires_on_monotonic_and_sleep(self, lint):
+        findings = lint("""
+            import time
+
+            def wait():
+                time.sleep(0.1)
+                return time.monotonic()
+        """)
+        assert rule_ids(findings) == ["D101", "D101"]
+
+    def test_fires_through_import_alias(self, lint):
+        findings = lint("""
+            from time import monotonic as mono
+
+            def stamp():
+                return mono()
+        """)
+        assert rule_ids(findings) == ["D101"]
+
+    def test_fires_on_datetime_now(self, lint):
+        findings = lint("""
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """)
+        assert rule_ids(findings) == ["D101"]
+
+    def test_silent_on_virtual_clock(self, lint):
+        findings = lint("""
+            def stamp(sim):
+                return sim.now
+        """)
+        assert findings == []
+
+    def test_silent_outside_deterministic_scope(self, lint):
+        findings = lint("""
+            import time
+
+            def stamp():
+                return time.time()
+        """, module="repro.runtime.fixture")
+        assert findings == []
+
+    def test_suppression_with_reason_honored(self, lint):
+        findings = lint("""
+            import time
+
+            def stamp():
+                return time.time()  # lint: ignore[D101] debug-only counter
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# D102 global RNG / entropy
+# --------------------------------------------------------------------- #
+
+class TestD102GlobalRng:
+    def test_fires_on_module_level_random(self, lint):
+        findings = lint("""
+            import random
+
+            def roll():
+                return random.random()
+        """)
+        assert rule_ids(findings) == ["D102"]
+
+    def test_fires_on_from_import(self, lint):
+        findings = lint("""
+            from random import randint
+
+            def roll():
+                return randint(1, 6)
+        """)
+        assert rule_ids(findings) == ["D102"]
+
+    def test_fires_on_os_urandom_and_uuid4(self, lint):
+        findings = lint("""
+            import os
+            import uuid
+
+            def token():
+                return os.urandom(8), uuid.uuid4()
+        """)
+        assert rule_ids(findings) == ["D102", "D102"]
+
+    def test_seeded_random_instance_allowed_by_policy(self, lint):
+        # The allowance is encoded in the rule, not a suppression: a
+        # seeded instance RNG is the one blessed randomness source.
+        findings = lint("""
+            import random
+
+            class Engine:
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+
+                def roll(self):
+                    return self._rng.random()
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# D103 id() ordering
+# --------------------------------------------------------------------- #
+
+class TestD103IdOrdering:
+    def test_fires_on_key_id(self, lint):
+        findings = lint("""
+            def order(nodes):
+                return sorted(nodes, key=id)
+        """)
+        assert "D103" in rule_ids(findings)
+
+    def test_fires_on_id_inside_ordering_call(self, lint):
+        findings = lint("""
+            def order(nodes):
+                return sorted(nodes, key=lambda n: id(n))
+        """)
+        assert "D103" in rule_ids(findings)
+
+    def test_silent_on_stable_key(self, lint):
+        findings = lint("""
+            def order(nodes):
+                return sorted(nodes, key=lambda n: n.pid)
+        """)
+        assert findings == []
+
+    def test_silent_on_id_outside_ordering(self, lint):
+        findings = lint("""
+            def log_identity(node):
+                return id(node)
+        """)
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# D104 set iteration
+# --------------------------------------------------------------------- #
+
+class TestD104SetIteration:
+    def test_fires_on_for_loop_over_set_local(self, lint):
+        findings = lint("""
+            def emit(pids):
+                peers = set(pids)
+                out = []
+                for p in peers:
+                    out.append(p)
+                return out
+        """)
+        assert rule_ids(findings) == ["D104"]
+
+    def test_fires_on_set_literal_loop(self, lint):
+        findings = lint("""
+            def emit():
+                for p in {3, 1, 2}:
+                    yield p
+        """)
+        assert rule_ids(findings) == ["D104"]
+
+    def test_fires_on_self_attribute_set(self, lint):
+        findings = lint("""
+            class Tracker:
+                def __init__(self, members):
+                    self.members = set(members)
+
+                def order(self):
+                    return [p for p in self.members]
+        """)
+        assert rule_ids(findings) == ["D104"]
+
+    def test_fires_on_annotated_parameter(self, lint):
+        findings = lint("""
+            def drain(failed: set[int]):
+                return list(failed)
+        """)
+        assert rule_ids(findings) == ["D104"]
+
+    def test_fires_on_dict_comprehension_over_set(self, lint):
+        findings = lint("""
+            def index(members):
+                live = frozenset(members)
+                return {p: [] for p in live}
+        """)
+        assert rule_ids(findings) == ["D104"]
+
+    def test_fires_on_set_union_expression(self, lint):
+        findings = lint("""
+            def merge(a, b):
+                both = set(a) | set(b)
+                return tuple(both)
+        """)
+        assert rule_ids(findings) == ["D104"]
+
+    def test_sorted_wrap_is_clean(self, lint):
+        findings = lint("""
+            def emit(pids):
+                peers = set(pids)
+                out = []
+                for p in sorted(peers):
+                    out.append(p)
+                return out
+        """)
+        assert findings == []
+
+    def test_order_insensitive_sinks_are_clean(self, lint):
+        findings = lint("""
+            def stats(pids):
+                peers = set(pids)
+                return (len(peers), sum(peers), min(peers), max(peers),
+                        any(p > 3 for p in peers),
+                        sorted(x + 1 for x in peers))
+        """)
+        assert findings == []
+
+    def test_set_comprehension_over_set_is_clean(self, lint):
+        # set -> set never materialises an order
+        findings = lint("""
+            def grow(pids):
+                peers = set(pids)
+                return {p + 1 for p in peers}
+        """)
+        assert findings == []
+
+    def test_silent_on_lists_and_dicts(self, lint):
+        findings = lint("""
+            def emit(rows):
+                order = list(rows)
+                index = {}
+                for r in order:
+                    index[r] = True
+                return [k for k in index]
+        """)
+        assert findings == []
+
+    def test_local_name_scoping_no_cross_function_bleed(self, lint):
+        # ``edges`` is a set in one function, a list in another: only
+        # the set-scope iteration is flagged.
+        findings = lint("""
+            def a():
+                edges = set()
+                return list(edges)
+
+            def b():
+                edges = [1, 2]
+                return list(edges)
+        """)
+        assert rule_ids(findings) == ["D104"]
+        assert findings[0].line == 4    # the list(edges) inside a()
+
+    def test_suppression_with_reason_honored(self, lint):
+        findings = lint("""
+            def emit(pids):
+                peers = set(pids)
+                out = []
+                for p in peers:  # lint: ignore[D104] commutative fold
+                    out.append(p)
+                return out
+        """)
+        assert findings == []
+
+    def test_standalone_suppression_applies_to_next_line(self, lint):
+        findings = lint("""
+            def emit(pids):
+                peers = set(pids)
+                out = []
+                # lint: ignore[D104] order folded into a set afterwards
+                for p in peers:
+                    out.append(p)
+                return set(out)
+        """)
+        assert findings == []

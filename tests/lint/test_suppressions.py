@@ -1,0 +1,64 @@
+"""Suppression machinery: reasons are mandatory, ids are validated,
+stale suppressions are findings themselves."""
+
+from .conftest import rule_ids
+
+BROKEN = """
+    import time
+
+    def stamp():
+        return time.time(){comment}
+"""
+
+
+class TestSuppressionHygiene:
+    def test_reason_required_s901(self, lint):
+        findings = lint(BROKEN.format(
+            comment="  # lint: ignore[D101]"))
+        assert sorted(rule_ids(findings)) == ["D101", "S901"]
+
+    def test_unknown_rule_id_s902(self, lint):
+        findings = lint(BROKEN.format(
+            comment="  # lint: ignore[D999] wrong id"))
+        assert sorted(rule_ids(findings)) == ["D101", "S902"]
+
+    def test_stale_suppression_s903(self, lint):
+        findings = lint("""
+            def stamp(sim):
+                return sim.now  # lint: ignore[D101] not actually needed
+        """)
+        assert rule_ids(findings) == ["S903"]
+        assert "stale" in findings[0].message
+
+    def test_s_rules_cannot_be_suppressed(self, lint):
+        findings = lint("""
+            def stamp(sim):
+                return sim.now  # lint: ignore[S903] quiet the meta rule
+        """)
+        assert "S902" in rule_ids(findings)
+
+    def test_wrong_rule_id_does_not_suppress(self, lint):
+        findings = lint(BROKEN.format(
+            comment="  # lint: ignore[D102] mismatched id"))
+        assert "D101" in rule_ids(findings)
+
+    def test_multiple_ids_one_comment(self, lint):
+        findings = lint("""
+            import time
+            import random
+
+            def stamp():
+                return time.time() + random.random()  # lint: ignore[D101, D102] debug telemetry only
+        """)
+        assert findings == []
+
+    def test_reason_is_preserved_case(self, lint):
+        # suppressing one rule leaves the other finding intact
+        findings = lint("""
+            import time
+            import random
+
+            def stamp():
+                return time.time() + random.random()  # lint: ignore[D101] telemetry
+        """)
+        assert rule_ids(findings) == ["D102"]
