@@ -1,0 +1,89 @@
+"""Shared parsed-AST cache.
+
+Every lint pass needs the same artefacts per file — source text, parsed
+tree, child→parent links — and the analyzer now has *two* consumers of
+them: the per-file lexical rules and the whole-program pass (call graph,
+taint engine, exhaustiveness checks).  Parsing ``src/`` twice would double
+the dominant cost of a lint run, and the meta-test suite lints the tree
+several times per session, so the cache is also shared *across*
+``lint_paths`` calls (keyed by mtime+size, it survives as a module-level
+default and invalidates itself when a file changes on disk).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ParsedFile", "ASTCache", "default_cache"]
+
+
+def build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child node -> enclosing node, for the whole tree."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+@dataclass
+class ParsedFile:
+    """One successfully parsed source file (or in-memory snippet)."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    _parents: Optional[dict[ast.AST, ast.AST]] = field(
+        default=None, repr=False)
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Parent links, built on first use and then shared by every rule."""
+        if self._parents is None:
+            self._parents = build_parents(self.tree)
+        return self._parents
+
+
+class ASTCache:
+    """Path -> :class:`ParsedFile`, invalidated on mtime/size change.
+
+    ``SyntaxError`` and ``OSError`` propagate to the caller (the analyzer
+    turns them into E000/E001 findings); failed parses are not cached, so
+    a fixed file re-parses cleanly on the next run.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[tuple[int, int], ParsedFile]] = {}
+
+    def parse(self, path: str) -> ParsedFile:
+        """Parse *path*, reusing the cached tree when the file is unchanged."""
+        stat = os.stat(path)
+        key = (stat.st_mtime_ns, stat.st_size)
+        entry = self._entries.get(path)
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        parsed = ParsedFile(path=path, source=source,
+                            tree=ast.parse(source, filename=path))
+        self._entries[path] = (key, parsed)
+        return parsed
+
+    def parse_source(self, source: str, path: str) -> ParsedFile:
+        """Parse an in-memory snippet (never cached — no stat identity)."""
+        return ParsedFile(path=path, source=source,
+                          tree=ast.parse(source, filename=path))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_DEFAULT = ASTCache()
+
+
+def default_cache() -> ASTCache:
+    """The process-wide cache shared by every ``lint_paths`` call."""
+    return _DEFAULT

@@ -3,13 +3,32 @@
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from typing import Optional, Sequence
 
 from .analyzer import lint_paths
 from .reporters import render_json, render_rule_catalog, render_text
 
-__all__ = ["main"]
+__all__ = ["main", "changed_paths"]
+
+
+def changed_paths(ref: str) -> Optional[frozenset[str]]:
+    """Repo-relative ``.py`` paths changed since *ref* (``git diff``).
+
+    Returns None when git is unavailable or the ref is unknown — the
+    caller falls back to a full report rather than silently passing.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--", "*.py"],
+            capture_output=True, text=True, timeout=30, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return frozenset(line.strip() for line in proc.stdout.splitlines()
+                     if line.strip())
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -25,17 +44,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default="text", help="report format")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--changed-only", metavar="GIT-REF",
+                        default=None,
+                        help="report findings only in files changed "
+                             "since GIT-REF (the whole-program pass "
+                             "still analyzes everything, so cross-file "
+                             "effects of the change are seen)")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="also write the report to FILE (used by "
+                             "CI to upload the JSON report artifact)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(render_rule_catalog())
         return 0
 
-    findings = lint_paths(args.paths)
-    if args.format == "json":
-        print(render_json(findings))
-    else:
-        print(render_text(findings))
+    changed = None
+    if args.changed_only is not None:
+        changed = changed_paths(args.changed_only)
+        if changed is None:
+            print(f"repro.lint: cannot diff against "
+                  f"{args.changed_only!r}; reporting all findings",
+                  file=sys.stderr)
+
+    findings = lint_paths(args.paths, changed_only=changed)
+    report = render_json(findings) if args.format == "json" \
+        else render_text(findings)
+    print(report)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
     return 1 if findings else 0
 
 

@@ -1,0 +1,321 @@
+"""X-rules: protocol exhaustiveness across every dispatch site.
+
+The repo's protocol surface is a pair of closed unions — ``Effect =
+Union[Send, Deliver, RoundAdvance]`` and ``Message = Union[Broadcast,
+FailureNotice, Forward, Backward]`` — plus the binary codec's envelope
+kind constants (``_K_BCAST`` … ``_K_CONTROL``).  Each is dispatched in
+several places (the sim and TCP embeddings' effect executors, the
+server's message handler, both codecs' encoders/decoders).  Adding a
+member to the union or a kind constant without updating *every*
+dispatcher is a silent protocol hole: the new member falls through an
+``else: raise`` at the first live round, or worse, is quietly dropped.
+
+* **X501** — a dispatch site (``isinstance`` / ``type() is`` chain or
+  ``match``) that tests two or more members of a program-defined union
+  but not all of them.  A trailing ``else: raise`` does **not** excuse
+  the gap: the rule exists precisely so the hole is found at lint time,
+  not at the first raise in production.
+* **X502** — the same for integer kind-constant families: module
+  constants sharing a ``PREFIX_`` (two or more members, int values,
+  e.g. ``_K_BCAST``/``_K_FAIL``/…), dispatched by ``==`` comparisons or
+  ``match`` cases against the same subject.
+
+Both rules group tests per (function, subject expression): the codec's
+sequential ``if kind == _K_x: return`` style counts as one dispatch
+site, the same as a strict ``elif`` chain or a ``match``.  Membership
+is matched by simple (unqualified) class/constant name, which resolves
+cross-module dispatchers (``from .messages import Broadcast``) without
+needing the test expressions to be import-resolvable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .callgraph import FunctionInfo, Program, _body_walk
+from .findings import Finding
+from .names import dotted_name
+from .registry import ProgramContext, program_rule
+
+__all__ = ["collect_unions", "collect_constant_families"]
+
+
+# --------------------------------------------------------------------- #
+# Declarations: unions and constant families
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class UnionDecl:
+    """``Name = Union[A, B, C]`` (or PEP 604) at module level."""
+
+    name: str                     #: e.g. "Effect"
+    module: str
+    members: frozenset[str]       #: simple class names
+
+
+@dataclass(frozen=True)
+class ConstFamily:
+    """Module-level int constants sharing a ``PREFIX_``."""
+
+    prefix: str                   #: e.g. "_K_"
+    module: str
+    members: frozenset[str]       #: e.g. {"_K_BCAST", "_K_FAIL", ...}
+
+
+def _union_member_names(value: ast.expr) -> Optional[list[str]]:
+    """Member simple names of a ``Union[...]`` / ``A | B`` expression."""
+    if isinstance(value, ast.Subscript):
+        base = dotted_name(value.value)
+        if base not in ("Union", "typing.Union"):
+            return None
+        elts = value.slice.elts if isinstance(value.slice, ast.Tuple) \
+            else [value.slice]
+        names = [dotted_name(e) for e in elts]
+    elif isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitOr):
+        names = []
+        stack: list[ast.expr] = [value]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, ast.BitOr):
+                stack.extend((node.left, node.right))
+            else:
+                names.append(dotted_name(node))
+    else:
+        return None
+    if any(n is None for n in names):
+        return None
+    return [n.rsplit(".", 1)[-1] for n in names if n is not None]
+
+
+def collect_unions(program: Program) -> list[UnionDecl]:
+    """Module-level unions whose members are all in-program classes."""
+    class_names = {cls.name for cls in program.classes.values()}
+    out: list[UnionDecl] = []
+    for info in program.modules.values():
+        for node in info.tree.body:
+            if not isinstance(node, ast.Assign) \
+                    or len(node.targets) != 1 \
+                    or not isinstance(node.targets[0], ast.Name):
+                continue
+            members = _union_member_names(node.value)
+            if members is None or len(members) < 2:
+                continue
+            if not all(m in class_names for m in members):
+                continue            # e.g. int | None — not a protocol union
+            out.append(UnionDecl(name=node.targets[0].id,
+                                 module=info.module,
+                                 members=frozenset(members)))
+    return sorted(out, key=lambda u: (u.module, u.name))
+
+
+def collect_constant_families(program: Program) -> list[ConstFamily]:
+    """Int-constant families: ``_K_BCAST = 0; _K_FAIL = 1; ...``."""
+    by_key: dict[tuple[str, str], set[str]] = {}
+    for info in program.modules.values():
+        for node in info.tree.body:
+            if not isinstance(node, ast.Assign) \
+                    or len(node.targets) != 1 \
+                    or not isinstance(node.targets[0], ast.Name):
+                continue
+            if not (isinstance(node.value, ast.Constant)
+                    and type(node.value.value) is int):
+                continue
+            name = node.targets[0].id
+            if "_" not in name.strip("_") or name != name.upper():
+                continue
+            prefix = name.rsplit("_", 1)[0] + "_"
+            by_key.setdefault((info.module, prefix), set()).add(name)
+    return sorted(
+        (ConstFamily(prefix=prefix, module=module,
+                     members=frozenset(members))
+         for (module, prefix), members in by_key.items()
+         if len(members) >= 2),
+        key=lambda f: (f.module, f.prefix))
+
+
+# --------------------------------------------------------------------- #
+# Dispatch-site collection
+# --------------------------------------------------------------------- #
+
+@dataclass
+class DispatchSite:
+    """All membership tests one function makes against one subject."""
+
+    node: ast.AST                 #: first test (finding anchor)
+    tested: set[str] = field(default_factory=set)
+
+
+def _subject_key(expr: ast.expr) -> Optional[str]:
+    """Stable grouping key for a dispatch subject expression."""
+    name = dotted_name(expr)
+    if name is not None:
+        return name
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id == "type" and len(expr.args) == 1:
+        inner = dotted_name(expr.args[0])
+        if inner is not None:
+            return f"type({inner})"
+    return None
+
+
+def _tested_class_names(expr: ast.expr) -> list[str]:
+    """Class simple names out of an isinstance second argument."""
+    elts = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    out = []
+    for elt in elts:
+        name = dotted_name(elt)
+        if name is not None:
+            out.append(name.rsplit(".", 1)[-1])
+    return out
+
+
+def _record(sites: dict[str, DispatchSite], subject: str,
+            node: ast.AST, names: Iterable[str]) -> None:
+    site = sites.setdefault(subject, DispatchSite(node=node))
+    site.tested.update(names)
+
+
+def class_dispatch_sites(fn: FunctionInfo) -> dict[str, DispatchSite]:
+    """Subject key -> class-membership tests inside *fn* (X501)."""
+    sites: dict[str, DispatchSite] = {}
+    for node in _body_walk(fn.node):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id == "isinstance" \
+                and len(node.args) == 2:
+            subject = _subject_key(node.args[0])
+            if subject is not None:
+                _record(sites, subject, node,
+                        _tested_class_names(node.args[1]))
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                and isinstance(node.ops[0], ast.Is):
+            subject = _subject_key(node.left)
+            name = dotted_name(node.comparators[0])
+            if subject is not None and name is not None:
+                _record(sites, subject, node,
+                        [name.rsplit(".", 1)[-1]])
+        elif isinstance(node, ast.Match):
+            subject = _subject_key(node.subject)
+            if subject is None:
+                continue
+            names: list[str] = []
+            for case in node.cases:
+                for pat in ast.walk(case.pattern):
+                    if isinstance(pat, ast.MatchClass):
+                        name = dotted_name(pat.cls)
+                        if name is not None:
+                            names.append(name.rsplit(".", 1)[-1])
+            if names:
+                _record(sites, subject, node, names)
+    return sites
+
+
+def constant_dispatch_sites(fn: FunctionInfo) -> dict[str, DispatchSite]:
+    """Subject key -> kind-constant equality tests inside *fn* (X502)."""
+    sites: dict[str, DispatchSite] = {}
+    for node in _body_walk(fn.node):
+        if isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                and isinstance(node.ops[0], ast.Eq):
+            for subj_expr, const_expr in ((node.left,
+                                           node.comparators[0]),
+                                          (node.comparators[0],
+                                           node.left)):
+                subject = _subject_key(subj_expr)
+                const = dotted_name(const_expr)
+                if subject is None or const is None:
+                    continue
+                name = const.rsplit(".", 1)[-1]
+                if name == name.upper() and "_" in name.strip("_"):
+                    _record(sites, subject, node, [name])
+        elif isinstance(node, ast.Match):
+            subject = _subject_key(node.subject)
+            if subject is None:
+                continue
+            names = []
+            for case in node.cases:
+                for pat in ast.walk(case.pattern):
+                    if isinstance(pat, ast.MatchValue):
+                        name = dotted_name(pat.value)
+                        if name is not None:
+                            names.append(name.rsplit(".", 1)[-1])
+            if names:
+                _record(sites, subject, node, names)
+    return sites
+
+
+# --------------------------------------------------------------------- #
+# The rules
+# --------------------------------------------------------------------- #
+
+def _fmt_missing(missing: frozenset[str]) -> str:
+    return ", ".join(sorted(missing))
+
+
+@program_rule(
+    "X501",
+    summary="dispatch over a protocol union (Effect/Message) tests "
+            "some members but not all — adding a member must update "
+            "every dispatcher, and else:raise only finds the hole at "
+            "runtime",
+    example="if isinstance(e, Send): ...\n"
+            "       elif isinstance(e, Deliver): ...   "
+            "# RoundAdvance unhandled")
+def check_union_exhaustive(pctx: ProgramContext) -> Iterable[Finding]:
+    program = pctx.program
+    unions = collect_unions(program)
+    if not unions:
+        return
+    for fn in program.functions.values():
+        for subject, site in sorted(class_dispatch_sites(fn).items()):
+            if len(site.tested) < 2:
+                continue
+            candidates = [u for u in unions
+                          if site.tested <= u.members]
+            if not candidates:
+                continue
+            union = min(candidates,
+                        key=lambda u: (len(u.members), u.name))
+            missing = union.members - site.tested
+            if missing:
+                yield pctx.finding(
+                    "X501", fn.path, site.node,
+                    f"dispatch on {subject!r} in {fn.qname}() handles "
+                    f"{len(site.tested)} of {len(union.members)} "
+                    f"{union.name} members; unhandled: "
+                    f"{_fmt_missing(missing)} — add the arm (or an "
+                    f"explicit isinstance test before a raise)")
+
+
+@program_rule(
+    "X502",
+    summary="dispatch over a wire kind-constant family (e.g. _K_*) "
+            "tests some constants but not all — a new envelope kind "
+            "without a dispatcher arm is a silent protocol hole",
+    example="if kind == _K_BCAST: ...\n"
+            "       elif kind == _K_FAIL: ...   # _K_FWD.._K_CONTROL "
+            "unhandled")
+def check_kind_exhaustive(pctx: ProgramContext) -> Iterable[Finding]:
+    program = pctx.program
+    families = collect_constant_families(program)
+    if not families:
+        return
+    for fn in program.functions.values():
+        for subject, site in sorted(
+                constant_dispatch_sites(fn).items()):
+            for family in families:
+                tested = site.tested & family.members
+                if len(tested) < 2:
+                    continue
+                missing = family.members - tested
+                if missing:
+                    yield pctx.finding(
+                        "X502", fn.path, site.node,
+                        f"dispatch on {subject!r} in {fn.qname}() "
+                        f"handles {len(tested)} of "
+                        f"{len(family.members)} {family.prefix}* "
+                        f"constants; unhandled: "
+                        f"{_fmt_missing(missing)} — add the arm so "
+                        f"new kinds cannot fall through silently")

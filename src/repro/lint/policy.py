@@ -68,6 +68,16 @@ DEFAULT_POLICY = Policy(
         "A202": ("repro.runtime",),
         "L301": ("repro.runtime",),
         "F401": ("repro",),
+        # Whole-program rules.  D201 additionally gates the runtime:
+        # its sinks (envelope payloads, RoundContext stores) are agreed
+        # state no matter which package constructs them — but not the
+        # benches, which legitimately embed wall-clock timestamps in
+        # payloads to measure latency.
+        "D201": _DETERMINISTIC + ("repro.runtime",),
+        "A301": ("repro.runtime",),
+        "L401": ("repro.runtime",),
+        "X501": ("repro",),
+        "X502": ("repro",),
     },
     exemptions={
         "F401": ((

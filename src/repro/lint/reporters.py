@@ -25,8 +25,14 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
+#: Bump only on breaking changes to the JSON payload shape; CI uploads
+#: the report as a build artifact, so downstream tooling keys on this.
+SCHEMA_VERSION = 1
+
+
 def render_json(findings: Sequence[Finding]) -> str:
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "findings": [f.to_json() for f in findings],
         "count": len(findings),
         "clean": not findings,

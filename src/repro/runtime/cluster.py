@@ -24,7 +24,7 @@ by the transport-agnostic facade in :mod:`repro.api`
 from __future__ import annotations
 
 import asyncio
-from typing import Iterable, Optional, Sequence
+from typing import Any, Optional
 
 from ..core.batching import Batch, Request
 from ..core.config import AllConcurConfig
@@ -80,7 +80,7 @@ class LocalCluster:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc) -> None:
+    async def __aexit__(self, *exc: object) -> None:
         await self.stop()
 
     async def start(self) -> None:
@@ -137,7 +137,8 @@ class LocalCluster:
         never collide on an ``(origin, seq)`` key)."""
         return self._seq[server_id]
 
-    async def submit(self, server_id: int, data, *, nbytes: int = 64) -> None:
+    async def submit(self, server_id: int, data: Any, *,
+                     nbytes: int = 64) -> None:
         """Submit an application request at *server_id*."""
         await self.submit_request(
             Request(origin=server_id, seq=self._seq[server_id],
@@ -219,7 +220,7 @@ class LocalCluster:
 
         for idx in range(rounds):
             await refill(min(rounds, idx + depth))
-            per_node = {}
+            per_node: dict[int, DeliveredRound] = {}
             for pid in self.alive_members:
                 per_node[pid] = await self.nodes[pid].wait_for_round(
                     base + idx, timeout=timeout)

@@ -168,10 +168,14 @@ class FrameDecoder:
         self._buffer = bytearray()
         self.max_frame_bytes = max_frame_bytes
 
-    def feed(self, data: bytes) -> list[dict[str, Any]]:
-        """Feed raw bytes; return every complete frame decoded so far."""
+    def feed(self, data: bytes) -> list[Any]:
+        """Feed raw bytes; return every complete frame decoded so far.
+
+        Items are whatever JSON value the frame body held — the runtime
+        only ever sends objects, but a decoder cannot assume that (the
+        codec layer above rejects non-object frames explicitly)."""
         self._buffer.extend(data)
-        frames: list[dict[str, Any]] = []
+        frames: list[Any] = []
         while True:
             if len(self._buffer) < _LEN.size:
                 break

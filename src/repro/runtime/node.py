@@ -27,7 +27,7 @@ from ..core.interfaces import Deliver, Effect, RoundAdvance, Send
 from ..core.messages import Backward, Message
 from ..core.server import AllConcurServer
 from .framing import canonical_payload
-from .wire import WireCodec, get_codec
+from .wire import DecodedFrame, WireCodec, get_codec
 
 __all__ = ["RuntimeNode", "NodeAddress", "DeliveredRound"]
 
@@ -87,15 +87,23 @@ class RuntimeNode:
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         #: live inbound connection handlers (cancelled on stop so no
         #: coroutine outlives the event loop)
-        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
         self._writers: dict[int, asyncio.StreamWriter] = {}
+        #: per-peer outbound frame queues, drained by one sender task
+        #: each.  Effects are applied *synchronously* under the protocol
+        #: lock and only enqueue frames; all socket awaits (dial retry,
+        #: drain) happen in the sender tasks, outside the lock — the
+        #: PR 6 stall class is structurally impossible, and per-peer
+        #: FIFO order is preserved by the single queue per peer.
+        self._outboxes: dict[int, asyncio.Queue[bytes]] = {}
+        self._senders: dict[int, asyncio.Task[None]] = {}
         self._last_heard: dict[int, float] = {}
         self._suspected: set[int] = set()
         #: peers known to be down: sends are dropped instead of retrying
         #: the dial (a dead listener would otherwise stall the whole
         #: effect-execution pipeline for the full reconnect backoff)
         self._down: set[int] = set()
-        self._tasks: list[asyncio.Task] = []
+        self._tasks: list[asyncio.Task[None]] = []
         self._lock = asyncio.Lock()
         self._stopped = asyncio.Event()
 
@@ -140,9 +148,12 @@ class RuntimeNode:
     async def stop(self) -> None:
         """Close every connection and stop background tasks."""
         self._stopped.set()
-        for task in self._tasks:
+        senders = list(self._senders.values())
+        self._senders.clear()
+        self._outboxes.clear()
+        for task in self._tasks + senders:
             task.cancel()
-        for task in self._tasks:
+        for task in self._tasks + senders:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
@@ -202,13 +213,13 @@ class RuntimeNode:
         """A-broadcast into the next open window slot (with the default
         ``pipeline_depth`` of 1: the current round's message)."""
         async with self._lock:
-            await self._execute(self.server.start_round(payload=payload))
+            self._execute(self.server.start_round(payload=payload))
 
     async def fill_window(self, *, payload: Optional[Batch] = None) -> None:
         """A-broadcast into every open window slot — all ``pipeline_depth``
         rounds the server may run concurrently."""
         async with self._lock:
-            await self._execute(self.server.fill_window(payload=payload))
+            self._execute(self.server.fill_window(payload=payload))
 
     def on_deliver(self, callback: Callable[[DeliveredRound], None]) -> None:
         """Register a callback invoked on every A-delivered round."""
@@ -229,7 +240,7 @@ class RuntimeNode:
         self._suspected.add(suspect)
         self.mark_down(suspect)
         async with self._lock:
-            await self._execute(self.server.notify_failure(suspect))
+            self._execute(self.server.notify_failure(suspect))
 
     @property
     def delivered_rounds(self) -> int:
@@ -316,7 +327,7 @@ class RuntimeNode:
                 self._conn_tasks.discard(task)
             writer.close()
 
-    async def _handle_frame(self, item) -> None:
+    async def _handle_frame(self, item: DecodedFrame) -> None:
         if isinstance(item, dict):                     # control frame
             if item.get("type") == "heartbeat":
                 self._last_heard[int(item["from"])] = time.monotonic()
@@ -325,15 +336,19 @@ class RuntimeNode:
         sender, message = item
         self._last_heard[sender] = time.monotonic()
         async with self._lock:
-            await self._execute(self.server.handle_message(sender, message))
+            self._execute(self.server.handle_message(sender, message))
 
     # ------------------------------------------------------------------ #
     # Effects
     # ------------------------------------------------------------------ #
-    async def _execute(self, effects: list[Effect]) -> None:
+    def _execute(self, effects: list[Effect]) -> None:
+        """Apply protocol effects synchronously (called under the lock).
+
+        Nothing here may await: sends only *enqueue* frames, and the
+        per-peer sender tasks do the socket I/O outside the lock."""
         for effect in effects:
             if isinstance(effect, Send):
-                await self._send_effect(effect)
+                self._send_effect(effect)
             elif isinstance(effect, Deliver):
                 record = DeliveredRound(
                     round=effect.round, messages=effect.messages,
@@ -344,17 +359,42 @@ class RuntimeNode:
             elif isinstance(effect, RoundAdvance):
                 continue
 
-    async def _send_effect(self, effect: Send) -> None:
+    def _send_effect(self, effect: Send) -> None:
         frame = self.codec.encode_message(self.id, effect.message)
         for target in effect.targets:
-            writer = await self._get_writer(target)
+            self._enqueue_frame(target, frame)
+
+    def _enqueue_frame(self, peer: int, frame: bytes) -> None:
+        """Queue *frame* for *peer*, lazily starting its sender task.
+
+        Enqueueing happens under the protocol lock, so the per-peer
+        queue sees frames in effect order; the single sender per peer
+        preserves that order on the wire."""
+        if peer in self._down or self._stopped.is_set():
+            return
+        queue = self._outboxes.get(peer)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._outboxes[peer] = queue
+            self._senders[peer] = asyncio.create_task(
+                self._sender_loop(peer, queue))
+        queue.put_nowait(frame)
+
+    async def _sender_loop(self, peer: int,
+                           queue: "asyncio.Queue[bytes]") -> None:
+        """Drain one peer's outbox: dial (with backoff) and write, both
+        outside the protocol lock.  Frames to a down peer are dropped,
+        matching the fail-stop model."""
+        while not self._stopped.is_set():
+            frame = await queue.get()
+            writer = await self._get_writer(peer)
             if writer is None:
                 continue
             try:
                 writer.write(frame)
                 await writer.drain()
             except (ConnectionResetError, BrokenPipeError):
-                self._writers.pop(target, None)
+                self._writers.pop(peer, None)
 
     # ------------------------------------------------------------------ #
     # Failure detector (heartbeats over the same connections)

@@ -55,7 +55,8 @@ import multiprocessing
 import os
 import time
 import traceback
-from typing import Iterable, Optional
+from multiprocessing.process import BaseProcess
+from typing import Any, Callable, Iterable, Optional
 
 from ..core.batching import Batch, Request
 from ..core.config import AllConcurConfig
@@ -152,28 +153,33 @@ async def _child(server_id: int, config: AllConcurConfig, host: str,
                        codec=codec)
     await node.start_listening()
 
-    reader = writer = None
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
     for attempt in range(40):
         try:
             reader, writer = await asyncio.open_connection(host, control_port)
             break
         except OSError:
             await asyncio.sleep(0.05 * (attempt + 1))
-    if writer is None:
+    if reader is None or writer is None:
         raise ConnectionError(f"server {server_id} cannot reach the "
                               f"control channel on port {control_port}")
+    # non-Optional bindings for the closures below (narrowing does not
+    # cross function boundaries)
+    ctrl_reader = reader
+    ctrl_writer = writer
 
-    outbox: asyncio.Queue = asyncio.Queue()
+    outbox: asyncio.Queue[bytes] = asyncio.Queue()
 
     async def pump() -> None:
         while True:
             frame = await outbox.get()
-            writer.write(frame)
-            await writer.drain()
+            ctrl_writer.write(frame)
+            await ctrl_writer.drain()
 
     pump_task = asyncio.create_task(pump())
 
-    def send(obj: dict) -> None:
+    def send(obj: dict[str, Any]) -> None:
         outbox.put_nowait(encode_frame(obj))
 
     #: set on every A-delivery — wakes the round-driving loop immediately
@@ -205,12 +211,12 @@ async def _child(server_id: int, config: AllConcurConfig, host: str,
                   "broadcast_rounds": node.broadcast_rounds,
                   "delivered_rounds": node.delivered_rounds})
 
-    tasks: set = set()
+    tasks: set[asyncio.Task[None]] = set()
     decoder = FrameDecoder()
     stopping = False
     try:
         while not stopping:
-            data = await reader.read(65536)
+            data = await ctrl_reader.read(65536)
             if not data:
                 break               # parent gone: shut down
             for obj in decoder.feed(data):
@@ -273,12 +279,12 @@ async def _child(server_id: int, config: AllConcurConfig, host: str,
         except (asyncio.CancelledError, Exception):
             pass
         while not outbox.empty():       # flush the goodbye frames
-            writer.write(outbox.get_nowait())
+            ctrl_writer.write(outbox.get_nowait())
         try:
-            await writer.drain()
+            await ctrl_writer.drain()
         except (ConnectionError, OSError):
             pass
-        writer.close()
+        ctrl_writer.close()
 
 
 # --------------------------------------------------------------------- #
@@ -294,10 +300,11 @@ class _ProcessNode:
         self.id = pid
         self._cluster = cluster
         self.delivered: list[DeliveredRound] = []
-        #: per-round ``(origin, count, nbytes, digest)`` tuples
-        #: (``report="digest"`` mode only)
-        self.digests: list[tuple] = []
-        self.deliver_callbacks = []
+        #: per-round ``(round, ((origin, count, nbytes, digest), ...))``
+        #: rows (``report="digest"`` mode only)
+        self.digests: list[tuple[int, tuple[tuple[int, int, int, str],
+                                            ...]]] = []
+        self.deliver_callbacks: list[Callable[[DeliveredRound], None]] = []
         self.broadcast_rounds = 0
         #: set whenever a deliver frame for this node is archived — wakes
         #: parent-side waiters without a fixed polling interval
@@ -311,7 +318,7 @@ class _ProcessNode:
     def address(self) -> NodeAddress:
         return self._cluster.addresses[self.id]
 
-    def on_deliver(self, callback) -> None:
+    def on_deliver(self, callback: Callable[[DeliveredRound], None]) -> None:
         self.deliver_callbacks.append(callback)
 
     async def wait_for_round(self, round_no: int, *,
@@ -372,11 +379,14 @@ class ProcessCluster:
         self._failed: set[int] = set()
         self._started = False
 
-        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._procs: dict[int, BaseProcess] = {}
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._hello: dict[int, asyncio.Event] = {}
-        self._pending: dict[tuple[int, int], asyncio.Future] = {}
-        self._serve_tasks: set = set()
+        #: ``(pid, req) -> reply future`` (pid is None until a connection
+        #: has said hello, so the key mirrors ``_resolve_reply``'s view)
+        self._pending: dict[tuple[Optional[int], int],
+                            asyncio.Future[dict[str, Any]]] = {}
+        self._serve_tasks: set[asyncio.Task[None]] = set()
         self._control: Optional[asyncio.AbstractServer] = None
         self._req_counter = 0
 
@@ -385,7 +395,7 @@ class ProcessCluster:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc) -> None:
+    async def __aexit__(self, *exc: object) -> None:
         await self.stop()
 
     def _start_method(self) -> str:
@@ -483,7 +493,7 @@ class ProcessCluster:
                 for obj in decoder.feed(data):
                     kind = obj["type"]
                     if kind == "hello":
-                        pid = obj["id"]
+                        pid = int(obj["id"])
                         self._writers[pid] = writer
                         self.addresses[pid] = NodeAddress(
                             pid, self.host, obj["port"])
@@ -505,13 +515,13 @@ class ProcessCluster:
                 self._fail_pending(pid)
             writer.close()
 
-    def _archive_delivery(self, obj: dict) -> None:
+    def _archive_delivery(self, obj: dict[str, Any]) -> None:
         node = self.nodes[obj["id"]]
         if "digest" in obj:
             node.digests.append(
                 (obj["round"],
                  tuple((d[0], d[1], d[2], d[3]) for d in obj["digest"])))
-            messages: tuple = ()
+            messages: tuple[tuple[int, Batch], ...] = ()
         else:
             messages = tuple((origin, batch_from_json(batch))
                              for origin, batch in obj["messages"])
@@ -523,7 +533,7 @@ class ProcessCluster:
         for callback in node.deliver_callbacks:
             callback(record)
 
-    def _resolve_reply(self, pid: Optional[int], obj: dict) -> None:
+    def _resolve_reply(self, pid: Optional[int], obj: dict[str, Any]) -> None:
         future = self._pending.pop((pid, obj["req"]), None)
         if future is None or future.done():
             return
@@ -543,14 +553,15 @@ class ProcessCluster:
                 future.set_exception(ConnectionError(
                     f"server process {pid} disconnected"))
 
-    async def _rpc(self, pid: int, obj: dict, *,
-                   timeout: Optional[float] = None) -> dict:
+    async def _rpc(self, pid: int, obj: dict[str, Any], *,
+                   timeout: Optional[float] = None) -> dict[str, Any]:
         writer = self._writers.get(pid)
         if writer is None or writer.is_closing():
             raise ConnectionError(f"no control channel to server {pid}")
         self._req_counter += 1
         req = self._req_counter
-        future = asyncio.get_running_loop().create_future()
+        future: asyncio.Future[dict[str, Any]] = \
+            asyncio.get_running_loop().create_future()
         self._pending[(pid, req)] = future
         writer.write(encode_frame(dict(obj, req=req)))
         await writer.drain()
@@ -578,7 +589,8 @@ class ProcessCluster:
     # ------------------------------------------------------------------ #
     # Application API
     # ------------------------------------------------------------------ #
-    async def submit(self, server_id: int, data, *, nbytes: int = 64) -> None:
+    async def submit(self, server_id: int, data: Any, *,
+                     nbytes: int = 64) -> None:
         await self.submit_request(
             Request(origin=server_id, seq=self._seq[server_id],
                     nbytes=nbytes, data=data))
@@ -595,7 +607,7 @@ class ProcessCluster:
         """Bulk submit at one origin — one control frame for the whole
         sequence (the benchmark pre-loads thousands of requests; one RPC
         per request would dominate the measurement)."""
-        rows = []
+        rows: list[dict[str, Any]] = []
         for request in requests:
             self._seq[request.origin] = max(self._seq[request.origin],
                                             request.seq + 1)
@@ -674,7 +686,7 @@ class ProcessCluster:
             self.nodes[pid].broadcast_rounds = reply.get(
                 "broadcast_rounds", self.nodes[pid].broadcast_rounds)
         for idx in range(rounds):
-            per_node = {}
+            per_node: dict[int, DeliveredRound] = {}
             for pid in self.alive_members:
                 per_node[pid] = await self.nodes[pid].wait_for_round(
                     base + idx, timeout=timeout)

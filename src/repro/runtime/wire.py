@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import marshal
 import struct
-from typing import Any, Union
+from typing import Any, Union, cast
 
 from ..core.batching import Batch, Request
 from ..core.messages import Backward, Broadcast, FailureNotice, Forward, Message
@@ -59,7 +59,7 @@ from .framing import (
 )
 
 __all__ = ["WIRE_VERSION", "WireCodec", "JsonCodec", "BinaryCodec",
-           "get_codec", "CODECS"]
+           "get_codec", "CODECS", "DecodedFrame"]
 
 #: Version byte leading every binary frame body.  Bumped whenever the
 #: envelope layout changes; a decoder that sees any other value raises.
@@ -80,7 +80,7 @@ _K_CONTROL = 4
 _JSON_PROTOCOL_KINDS = frozenset({"bcast", "fail", "fwd", "bwd"})
 
 #: One decoded frame: protocol traffic or a control dict.
-DecodedFrame = Union[tuple[int, Message], dict]
+DecodedFrame = Union[tuple[int, Message], dict[str, Any]]
 
 
 class WireCodec:
@@ -98,7 +98,7 @@ class WireCodec:
         """One protocol message as a complete frame."""
         raise NotImplementedError
 
-    def encode_control(self, obj: dict) -> bytes:
+    def encode_control(self, obj: dict[str, Any]) -> bytes:
         """One control frame (e.g. a heartbeat) as a complete frame."""
         raise NotImplementedError
 
@@ -145,7 +145,7 @@ class JsonCodec(WireCodec):
     def encode_message(self, sender: int, message: Message) -> bytes:
         return encode_frame(encode_message(sender, message))
 
-    def encode_control(self, obj: dict) -> bytes:
+    def encode_control(self, obj: dict[str, Any]) -> bytes:
         return encode_frame(obj)
 
     def decoder(self, *, max_frame_bytes: int = MAX_FRAME_BYTES
@@ -208,16 +208,17 @@ def _decode_envelope(env: Any) -> DecodedFrame:
     if kind == _K_BCAST:
         _k, sender, rnd, origin, count, nbytes, rows = env
         new = object.__new__
+        requests: tuple[Request, ...]
         if rows:
-            requests = []
-            append = requests.append
+            decoded: list[Request] = []
+            append = decoded.append
             for o, s, nb, st, d, c in rows:
                 request = new(Request)
                 request.__dict__.update(
                     origin=o, seq=s, nbytes=nb, submit_time=st,
                     data=d, client=c)
                 append(request)
-            requests = tuple(requests)
+            requests = tuple(decoded)
         else:
             requests = ()
         batch = new(Batch)
@@ -241,7 +242,7 @@ def _decode_envelope(env: Any) -> DecodedFrame:
     raise ValueError(f"unknown envelope kind {kind!r}")
 
 
-def _frame(envelope: tuple) -> bytes:
+def _frame(envelope: tuple[Any, ...]) -> bytes:
     body = _VERSION_BYTE + marshal.dumps(envelope)
     if len(body) > MAX_FRAME_BYTES:
         raise ValueError(f"frame too large ({len(body)} bytes)")
@@ -263,24 +264,30 @@ class BinaryCodec(WireCodec):
     name = "binary"
 
     def encode_message(self, sender: int, message: Message) -> bytes:
+        # exact-type dispatch through one type() lookup; the casts mirror
+        # what each branch established (mypy cannot narrow through `t`)
         t = type(message)
         if t is Broadcast:
-            batch = message.payload
+            bcast = cast(Broadcast, message)
+            batch = bcast.payload
             rows = tuple(
                 (r.origin, r.seq, r.nbytes, r.submit_time, r.data, r.client)
                 for r in batch.requests)
-            return _frame((_K_BCAST, sender, message.round, message.origin,
+            return _frame((_K_BCAST, sender, bcast.round, bcast.origin,
                            batch.count, batch.nbytes, rows))
         if t is FailureNotice:
-            return _frame((_K_FAIL, sender, message.round, message.failed,
-                           message.reporter))
+            fail = cast(FailureNotice, message)
+            return _frame((_K_FAIL, sender, fail.round, fail.failed,
+                           fail.reporter))
         if t is Forward:
-            return _frame((_K_FWD, sender, message.round, message.origin))
+            fwd = cast(Forward, message)
+            return _frame((_K_FWD, sender, fwd.round, fwd.origin))
         if t is Backward:
-            return _frame((_K_BWD, sender, message.round, message.origin))
+            bwd = cast(Backward, message)
+            return _frame((_K_BWD, sender, bwd.round, bwd.origin))
         raise TypeError(f"cannot encode {type(message)!r}")
 
-    def encode_control(self, obj: dict) -> bytes:
+    def encode_control(self, obj: dict[str, Any]) -> bytes:
         return _frame((_K_CONTROL, obj))
 
     def decoder(self, *, max_frame_bytes: int = MAX_FRAME_BYTES

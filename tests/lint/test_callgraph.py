@@ -1,0 +1,263 @@
+"""Call-graph resolution: the edges every whole-program rule stands on."""
+
+import textwrap
+
+from repro.lint.astcache import ASTCache, default_cache
+from repro.lint.callgraph import Program
+
+
+def build_program(**modules):
+    """Program from ``module_path="source"`` pairs (dots as ``__``)."""
+    files = []
+    for key, source in modules.items():
+        module = key.replace("__", ".")
+        path = "src/" + module.replace(".", "/") + ".py"
+        parsed = default_cache().parse_source(
+            textwrap.dedent(source), path)
+        files.append((module, parsed))
+    return Program.build(files)
+
+
+def callees_of(program, qname):
+    return [callee for _site, callee in program.callees(qname)]
+
+
+class TestImportResolution:
+    def test_from_import_with_alias(self):
+        program = build_program(
+            repro__sim__util="""
+                def helper():
+                    return 1
+            """,
+            repro__sim__main="""
+                from repro.sim.util import helper as h
+
+                def caller():
+                    return h()
+            """)
+        assert callees_of(program, "repro.sim.main.caller") == \
+            ["repro.sim.util.helper"]
+
+    def test_module_alias_dotted_call(self):
+        program = build_program(
+            repro__sim__util="""
+                def helper():
+                    return 1
+            """,
+            repro__sim__main="""
+                import repro.sim.util as u
+
+                def caller():
+                    return u.helper()
+            """)
+        assert callees_of(program, "repro.sim.main.caller") == \
+            ["repro.sim.util.helper"]
+
+    def test_relative_import_resolves_against_module_path(self):
+        program = build_program(
+            repro__core__server="""
+                class Server:
+                    def __init__(self):
+                        pass
+            """,
+            repro__runtime__node="""
+                from ..core.server import Server
+
+                def boot():
+                    return Server()
+            """)
+        assert callees_of(program, "repro.runtime.node.boot") == \
+            ["repro.core.server.Server.__init__"]
+
+    def test_unresolvable_call_gets_external_not_edge(self):
+        program = build_program(
+            repro__sim__main="""
+                import socket
+
+                def caller(mystery):
+                    mystery.poke()
+                    socket.create_connection(("h", 1))
+            """)
+        fn = program.functions["repro.sim.main.caller"]
+        assert callees_of(program, fn.qname) == []
+        externals = [s.external for s in fn.calls if s.external]
+        assert "socket.create_connection" in externals
+
+
+class TestMethodResolution:
+    def test_self_method_through_base_class(self):
+        program = build_program(
+            repro__sim__mod="""
+                class Base:
+                    def ping(self):
+                        return 1
+
+                class Child(Base):
+                    def caller(self):
+                        return self.ping()
+            """)
+        assert callees_of(program, "repro.sim.mod.Child.caller") == \
+            ["repro.sim.mod.Base.ping"]
+
+    def test_self_attr_instance_method(self):
+        program = build_program(
+            repro__sim__mod="""
+                class Worker:
+                    def run(self):
+                        return 1
+
+                class Owner:
+                    def __init__(self):
+                        self._w = Worker()
+
+                    def go(self):
+                        self._w.run()
+            """)
+        assert callees_of(program, "repro.sim.mod.Owner.go") == \
+            ["repro.sim.mod.Worker.run"]
+
+    def test_local_variable_instance_method(self):
+        program = build_program(
+            repro__sim__mod="""
+                class Worker:
+                    def run(self):
+                        return 1
+
+                def go():
+                    w = Worker()
+                    return w.run()
+            """)
+        got = callees_of(program, "repro.sim.mod.go")
+        assert "repro.sim.mod.Worker.run" in got
+
+    def test_annotated_parameter_instance_method(self):
+        program = build_program(
+            repro__sim__mod="""
+                class Worker:
+                    def run(self):
+                        return 1
+
+                def go(w: Worker):
+                    return w.run()
+            """)
+        assert callees_of(program, "repro.sim.mod.go") == \
+            ["repro.sim.mod.Worker.run"]
+
+    def test_conflicting_attr_assignment_drops_inference(self):
+        program = build_program(
+            repro__sim__mod="""
+                class A:
+                    def run(self):
+                        return 1
+
+                class B:
+                    def run(self):
+                        return 2
+
+                class Owner:
+                    def __init__(self, flag):
+                        self._w = A()
+                        if flag:
+                            self._w = B()
+
+                    def go(self):
+                        self._w.run()
+            """)
+        # either-class attr: conservatively no edge rather than a wrong one
+        assert callees_of(program, "repro.sim.mod.Owner.go") == []
+
+
+class TestRegistryIndirection:
+    def test_factory_gets_edges_to_registered_inits(self):
+        program = build_program(
+            repro__api__backends="""
+                from repro.api import register_backend
+
+                class TcpBackend:
+                    def __init__(self):
+                        self.kind = "tcp"
+
+                def _register():
+                    register_backend("tcp", TcpBackend)
+            """,
+            repro__api__factory="""
+                def create_deployment(name):
+                    pass
+
+                def launch(name):
+                    return create_deployment(name)
+            """)
+        assert program.registered_classes == \
+            ["repro.api.backends.TcpBackend"]
+        assert "repro.api.backends.TcpBackend.__init__" in \
+            callees_of(program, "repro.api.factory.launch")
+
+
+class TestFindChain:
+    def test_shortest_chain_is_found(self):
+        program = build_program(
+            repro__sim__mod="""
+                def c():
+                    return "leaf"
+
+                def b():
+                    return c()
+
+                def a():
+                    return b()
+            """)
+        chain = program.find_chain(
+            "repro.sim.mod.a", lambda fn: fn.name == "c")
+        assert chain == ["repro.sim.mod.a", "repro.sim.mod.b",
+                         "repro.sim.mod.c"]
+
+    def test_no_match_returns_none(self):
+        program = build_program(
+            repro__sim__mod="""
+                def a():
+                    return 1
+            """)
+        assert program.find_chain(
+            "repro.sim.mod.a", lambda fn: fn.name == "zzz") is None
+
+    def test_cycles_terminate(self):
+        program = build_program(
+            repro__sim__mod="""
+                def a():
+                    return b()
+
+                def b():
+                    return a()
+            """)
+        assert program.find_chain(
+            "repro.sim.mod.a", lambda fn: fn.name == "zzz") is None
+
+
+class TestASTCache:
+    def test_unchanged_file_reuses_parse(self, tmp_path):
+        cache = ASTCache()
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        first = cache.parse(str(target))
+        assert cache.parse(str(target)) is first
+
+    def test_changed_file_reparses(self, tmp_path):
+        cache = ASTCache()
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        first = cache.parse(str(target))
+        target.write_text("x = 1234\n")
+        second = cache.parse(str(target))
+        assert second is not first
+        assert "1234" in second.source
+
+    def test_syntax_error_is_not_cached(self, tmp_path):
+        import pytest
+        cache = ASTCache()
+        target = tmp_path / "mod.py"
+        target.write_text("def f(:\n")
+        with pytest.raises(SyntaxError):
+            cache.parse(str(target))
+        assert len(cache) == 0
+        target.write_text("def f():\n    return 1\n")
+        assert cache.parse(str(target)).tree is not None

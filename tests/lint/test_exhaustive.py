@@ -1,0 +1,215 @@
+"""X501 / X502 fixtures: protocol-union and kind-constant exhaustiveness."""
+
+import textwrap
+
+from .conftest import rule_ids
+
+UNION_PRELUDE = (
+    "from typing import Union\n"
+    "\n"
+    "class Send:\n"
+    "    pass\n"
+    "\n"
+    "class Deliver:\n"
+    "    pass\n"
+    "\n"
+    "class RoundAdvance:\n"
+    "    pass\n"
+    "\n"
+    "Effect = Union[Send, Deliver, RoundAdvance]\n"
+    "\n"
+)
+
+KIND_PRELUDE = (
+    "_K_BCAST = 0\n"
+    "_K_FAIL = 1\n"
+    "_K_FWD = 2\n"
+    "\n"
+)
+
+
+def union_src(body):
+    return UNION_PRELUDE + textwrap.dedent(body)
+
+
+def kind_src(body):
+    return KIND_PRELUDE + textwrap.dedent(body)
+
+
+class TestX501:
+    def test_partial_isinstance_chain_flags_missing_member(self, lint):
+        findings = lint(union_src("""
+            def execute(effect):
+                if isinstance(effect, Send):
+                    return 1
+                if isinstance(effect, Deliver):
+                    return 2
+                raise ValueError(effect)
+        """))
+        assert rule_ids(findings) == ["X501"]
+        assert "RoundAdvance" in findings[0].message
+
+    def test_exhaustive_isinstance_chain_is_clean(self, lint):
+        findings = lint(union_src("""
+            def execute(effect):
+                if isinstance(effect, Send):
+                    return 1
+                if isinstance(effect, Deliver):
+                    return 2
+                if isinstance(effect, RoundAdvance):
+                    return 3
+        """))
+        assert findings == []
+
+    def test_pep604_union_is_collected(self, lint):
+        findings = lint("""
+            class Send:
+                pass
+
+            class Deliver:
+                pass
+
+            class RoundAdvance:
+                pass
+
+            Effect = Send | Deliver | RoundAdvance
+
+            def execute(effect):
+                if isinstance(effect, Send):
+                    return 1
+                if isinstance(effect, Deliver):
+                    return 2
+        """)
+        assert rule_ids(findings) == ["X501"]
+
+    def test_match_statement_dispatch(self, lint):
+        findings = lint(union_src("""
+            def execute(effect):
+                match effect:
+                    case Send():
+                        return 1
+                    case Deliver():
+                        return 2
+        """))
+        assert rule_ids(findings) == ["X501"]
+
+    def test_type_is_dispatch(self, lint):
+        findings = lint(union_src("""
+            def execute(effect):
+                if type(effect) is Send:
+                    return 1
+                if type(effect) is Deliver:
+                    return 2
+        """))
+        assert rule_ids(findings) == ["X501"]
+
+    def test_tuple_isinstance_covering_all_members_is_clean(self, lint):
+        findings = lint(union_src("""
+            def execute(effect):
+                if isinstance(effect, (Send, Deliver)):
+                    return 1
+                if isinstance(effect, RoundAdvance):
+                    return 2
+        """))
+        assert findings == []
+
+    def test_single_membership_test_is_not_a_dispatch(self, lint):
+        # filtering one member out is not dispatching over the union
+        findings = lint(union_src("""
+            def only_sends(effects):
+                return [e for e in effects if isinstance(e, Send)]
+        """))
+        assert findings == []
+
+    def test_union_with_external_members_is_ignored(self, lint):
+        findings = lint("""
+            from typing import Union
+
+            MaybeInt = Union[int, None]
+
+            def f(x):
+                if isinstance(x, int):
+                    return 1
+                if isinstance(x, str):
+                    return 2
+        """)
+        assert findings == []
+
+
+class TestX502:
+    def test_partial_eq_chain_flags_missing_constant(self, lint):
+        findings = lint(kind_src("""
+            def decode(kind):
+                if kind == _K_BCAST:
+                    return "b"
+                if kind == _K_FAIL:
+                    return "f"
+                raise ValueError(kind)
+        """))
+        assert rule_ids(findings) == ["X502"]
+        assert "_K_FWD" in findings[0].message
+
+    def test_exhaustive_eq_chain_is_clean(self, lint):
+        findings = lint(kind_src("""
+            def decode(kind):
+                if kind == _K_BCAST:
+                    return "b"
+                if kind == _K_FAIL:
+                    return "f"
+                if kind == _K_FWD:
+                    return "w"
+        """))
+        assert findings == []
+
+    def test_reversed_comparison_counts(self, lint):
+        findings = lint(kind_src("""
+            def decode(kind):
+                if _K_BCAST == kind:
+                    return "b"
+                if _K_FAIL == kind:
+                    return "f"
+        """))
+        assert rule_ids(findings) == ["X502"]
+
+    def test_match_against_qualified_constants(self, lint):
+        findings = lint(kind_src("""
+            import kinds
+
+            def decode(kind):
+                match kind:
+                    case kinds._K_BCAST:
+                        return "b"
+                    case kinds._K_FAIL:
+                        return "f"
+        """))
+        assert rule_ids(findings) == ["X502"]
+
+    def test_match_on_literals_is_not_a_family_dispatch(self, lint):
+        findings = lint(kind_src("""
+            def decode(kind):
+                match kind:
+                    case 0:
+                        return "zero"
+        """))
+        assert findings == []
+
+    def test_single_comparison_is_not_a_dispatch(self, lint):
+        findings = lint(kind_src("""
+            def is_control(kind):
+                return kind == _K_FWD
+        """))
+        assert findings == []
+
+    def test_lowercase_constants_are_not_a_family(self, lint):
+        findings = lint("""
+            k_a = 0
+            k_b = 1
+            k_c = 2
+
+            def decode(kind):
+                if kind == k_a:
+                    return "a"
+                if kind == k_b:
+                    return "b"
+        """)
+        assert findings == []

@@ -4,7 +4,9 @@ the PR 3 / PR 6 incident patterns makes the analyzer fail."""
 
 import pathlib
 import re
+import shutil
 import textwrap
+import time
 
 from repro.lint import DEFAULT_POLICY, lint_paths, lint_source
 from repro.lint.analyzer import iter_python_files
@@ -87,3 +89,72 @@ class TestIncidentRegressions:
         # the real node.py/proc.py stay clean under the same rules
         findings = lint_paths([str(SRC / "repro" / "runtime")])
         assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def _runtime_tree_copy(tmp_path):
+    """A private copy of ``src/repro/runtime`` to seed regressions into
+    (the package is self-contained enough for the whole-program pass).
+    The ``repro`` path component is kept so policy scoping sees the
+    same ``repro.runtime.*`` modules as the real tree."""
+    dst = tmp_path / "repro" / "runtime"
+    shutil.copytree(SRC / "repro" / "runtime", dst)
+    return dst
+
+
+class TestWholeProgramRegressions:
+    """The interprocedural bug classes the lexical rules provably miss:
+    seeding either into a copy of the real runtime tree must fail the
+    gate — with the whole-program rule, not its lexical cousin."""
+
+    def test_pr6_shape_one_call_deep_fails_the_gate(self, tmp_path):
+        # the PR 6 dial-retry loop, moved one function away from the
+        # lock: L301 cannot see across the call boundary, L401 must
+        tree = _runtime_tree_copy(tmp_path)
+        (tree / "scratch.py").write_text(textwrap.dedent("""
+            import asyncio
+
+
+            class Node:
+                async def _get_writer(self, peer, addr):
+                    async with self._lock:
+                        writer = await self._dial(addr)
+                        return writer
+
+                async def _dial(self, addr):
+                    for attempt in range(40):
+                        try:
+                            _r, w = await asyncio.open_connection(
+                                addr.host, addr.port)
+                            return w
+                        except OSError:
+                            await asyncio.sleep(0.05 * (attempt + 1))
+        """))
+        findings = lint_paths([str(tmp_path)])
+        assert {f.rule_id for f in findings} == {"L401"}
+        assert "L301" not in {f.rule_id for f in findings}
+        assert all(f.path.endswith("scratch.py") for f in findings)
+
+    def test_new_wire_kind_without_dispatch_arm_fails_the_gate(
+            self, tmp_path):
+        # add an envelope kind constant but no dispatcher arm: every
+        # codec dispatch site is now non-exhaustive
+        tree = _runtime_tree_copy(tmp_path)
+        wire = tree / "wire.py"
+        wire.write_text(wire.read_text().replace(
+            "_K_CONTROL = 4", "_K_CONTROL = 4\n_K_PING = 5"))
+        findings = lint_paths([str(tmp_path)])
+        assert findings, "seeded kind constant went undetected"
+        assert {f.rule_id for f in findings} == {"X502"}
+        assert all("_K_PING" in f.message for f in findings)
+
+
+class TestWholeProgramPerf:
+    def test_full_src_pass_stays_interactive(self):
+        # the gate runs on every CI push and locally pre-commit: the
+        # whole-program pass (parse + call graph + taint fixpoint +
+        # exhaustiveness) must stay in single-digit seconds on src/
+        start = time.perf_counter()
+        findings = lint_paths([str(SRC)])
+        elapsed = time.perf_counter() - start
+        assert findings == []
+        assert elapsed < 5.0, f"whole-program pass took {elapsed:.2f}s"

@@ -1,4 +1,4 @@
-"""mypy --strict gate over repro.core + repro.sim.
+"""mypy --strict gate over repro.core + repro.sim + repro.runtime.
 
 The strict scope is configured in pyproject.toml ([tool.mypy]); this test
 runs the same invocation as the CI `lint` job.  mypy is an optional tool —
@@ -20,8 +20,9 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
                     reason="mypy not installed; enforced by the CI lint job")
 def test_strict_scope_is_clean():
     proc = subprocess.run(
-        [sys.executable, "-m", "mypy", "-p", "repro.core", "-p", "repro.sim"],
+        [sys.executable, "-m", "mypy", "-p", "repro.core", "-p", "repro.sim",
+         "-p", "repro.runtime"],
         cwd=REPO_ROOT, capture_output=True, text=True, timeout=600)
     assert proc.returncode == 0, (
-        f"mypy --strict over repro.core + repro.sim failed:\n"
-        f"{proc.stdout}\n{proc.stderr}")
+        f"mypy --strict over repro.core + repro.sim + repro.runtime "
+        f"failed:\n{proc.stdout}\n{proc.stderr}")
