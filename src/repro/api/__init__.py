@@ -28,6 +28,8 @@ replicas fed by the agreed delivery order, with convergence assertions.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..graphs.digraph import Digraph
 from .deployment import (
     DeliveryEvent,
@@ -74,13 +76,14 @@ __all__ = [
 ]
 
 #: registry of backend constructors, keyed by their ``name``
-BACKENDS = {
+BACKENDS: dict[str, type[Deployment]] = {
     SimDeployment.name: SimDeployment,
     TcpDeployment.name: TcpDeployment,
 }
 
 
-def register_backend(name: str, cls: type, *, replace: bool = False) -> None:
+def register_backend(name: str, cls: type[Deployment], *,
+                     replace: bool = False) -> None:
     """Register a third-party :class:`Deployment` backend under *name*.
 
     Everything built on :func:`create_deployment` — including
@@ -91,10 +94,16 @@ def register_backend(name: str, cls: type, *, replace: bool = False) -> None:
     built-in ``"sim"``/``"tcp"`` backends is almost always a bug); *cls*
     must subclass :class:`Deployment` so the facade vocabulary holds.
     """
-    if not name or not isinstance(name, str):
+    # Runtime defense for untyped callers: re-check what the annotations
+    # promise, through object-typed views so strict mypy does not flag
+    # the guards as statically unreachable.
+    name_given: object = name
+    cls_given: object = cls
+    if not name_given or not isinstance(name_given, str):
         raise ValueError(f"backend name must be a non-empty string, "
                          f"got {name!r}")
-    if not (isinstance(cls, type) and issubclass(cls, Deployment)):
+    if not (isinstance(cls_given, type)
+            and issubclass(cls_given, Deployment)):
         raise TypeError(f"backend class must subclass Deployment, "
                         f"got {cls!r}")
     if name in BACKENDS and BACKENDS[name] is not cls and not replace:
@@ -123,7 +132,7 @@ def _describe_backends() -> str:
         for name, caps in list_backends().items())
 
 
-def backend_class(backend: str) -> type:
+def backend_class(backend: str) -> type[Deployment]:
     """The registered :class:`Deployment` subclass for *backend* (used for
     capability introspection before construction — e.g. whether the
     backend supports shared-engine hosting)."""
@@ -135,7 +144,7 @@ def backend_class(backend: str) -> type:
 
 
 def create_deployment(backend: str, graph: Digraph,
-                      **kwargs) -> Deployment:
+                      **kwargs: Any) -> Deployment:
     """Instantiate a deployment by backend name (``"sim"`` or ``"tcp"``,
     plus anything added via :func:`register_backend`).
 

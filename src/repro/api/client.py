@@ -68,7 +68,7 @@ from __future__ import annotations
 
 import asyncio
 from time import perf_counter
-from typing import Any, Callable, Hashable, Optional, Union
+from typing import Any, Callable, Hashable, Iterable, Optional, Union
 
 from ..core.batching import (
     CLIENT_BATCH_TAG,
@@ -214,7 +214,7 @@ class ClientRequestHandle:
                                f"(no further progress)")
         return self._event
 
-    def future(self) -> "asyncio.Future":
+    def future(self) -> "asyncio.Future[DeliveryEvent]":
         """An :class:`asyncio.Future` resolving with the handle's
         :class:`~repro.api.deployment.DeliveryEvent` — the awaitable face
         of the request lifecycle.
@@ -476,7 +476,15 @@ class Client:
         self.max_in_flight = max_in_flight
         self.admission = admission
         self.default_nbytes = default_nbytes
-        self._is_service = isinstance(target, ShardedService)
+        # narrowed views of the union target — exactly one is non-None,
+        # so typed code paths need no repeated isinstance dispatch
+        if isinstance(target, ShardedService):
+            self._service: Optional[ShardedService] = target
+            self._single: Optional[Deployment] = None
+        else:
+            self._service = None
+            self._single = target
+        self._is_service = self._service is not None
         self._rsm = rsm
         # ---- the flat session table (all slot-indexed) ---------------- #
         self._sessions: list[ClientSession] = []
@@ -545,24 +553,30 @@ class Client:
     # Target plumbing
     # ------------------------------------------------------------------ #
     def _group_list(self) -> list[tuple[Optional[int], Deployment]]:
-        if self._is_service:
-            return list(enumerate(self.target.groups))
-        return [(None, self.target)]
+        if self._service is not None:
+            return list(enumerate(self._service.groups))
+        assert self._single is not None
+        return [(None, self._single)]
 
     def _group_of(self, shard: Optional[int]) -> Deployment:
-        return self.target.group(shard) if self._is_service else self.target
+        if self._service is not None:
+            assert shard is not None, "service routes carry a shard"
+            return self._service.group(shard)
+        assert self._single is not None
+        return self._single
 
     def _rsm_for(self, shard: Optional[int],
                  key: Optional[Hashable]) -> ReplicatedStateMachine:
         """The replicated state machine reads and result look-ups resolve
         against: the service's per-shard machine (routing *key* when the
         shard is not yet known), or the client's ``rsm=``."""
-        if self._is_service:
+        service = self._service
+        if service is not None:
             if shard is None:
                 if key is None:
                     raise ValueError("a sharded-service read needs a key")
-                shard = self.target.shard_of(key)
-            rsm = self.target.machines.get(shard)
+                shard = service.shard_of(key)
+            rsm = service.machines.get(shard)
             if rsm is None:
                 raise ValueError(
                     f"shard {shard} has no state machine; construct the "
@@ -596,10 +610,11 @@ class Client:
         starts full.  Rounds are the deterministic clock shared by every
         backend, which keeps rate-limited workloads replayable.
         """
-        registry = getattr(self.target, "_ingress_session_ids", None)
+        registry: Optional[set[str]] = getattr(
+            self.target, "_ingress_session_ids", None)
         if registry is None:
             registry = set()
-            self.target._ingress_session_ids = registry
+            setattr(self.target, "_ingress_session_ids", registry)
         if client_id is None:
             # monotonic allocation, independent of the session-list length:
             # len()-based naming collided after interleaved explicit ids
@@ -655,7 +670,8 @@ class Client:
         return session
 
     def _hash_origin(self, client_id: str) -> int:
-        alive = self.target.alive_members
+        assert self._single is not None, "services route by key, not origin"
+        alive = self._single.alive_members
         if not alive:
             raise ValueError("no alive member to pin the session to")
         return alive[stable_key_hash(client_id) % len(alive)]
@@ -718,8 +734,8 @@ class Client:
             self.default_nbytes if nbytes is None else nbytes,
             routing_key=key, noop=noop)
         shard: Optional[int] = None
-        if self._is_service:
-            shard = self.target.shard_of(key)
+        if self._service is not None:
+            shard = self._service.shard_of(key)
             handle.shard_hint = shard
         buffers = self._buffers[slot]
         entries = buffers.get(shard)
@@ -740,8 +756,10 @@ class Client:
         ``submit`` and ``handle.result``."""
         before_rounds = self._delivered_rounds
         before_flight = self._in_flight_count
-        kwargs = {} if timeout is None else {"timeout": timeout}
-        self.run_rounds(1, **kwargs)
+        if timeout is None:
+            self.run_rounds(1)
+        else:
+            self.run_rounds(1, timeout=timeout)
         return (self._delivered_rounds > before_rounds
                 or self._in_flight_count < before_flight)
 
@@ -789,7 +807,7 @@ class Client:
         self.flush_calls += 1
 
     def _pack_dirty(self, shard: Optional[int], dirty: set[int],
-                    slots) -> None:
+                    slots: Iterable[int]) -> None:
         """The packing walk shared by the dirty-set flush and its
         full-scan oracle.
 
@@ -855,23 +873,26 @@ class Client:
             -> Optional[tuple[Optional[int], int]]:
         """Current ``(shard, origin)`` route of a buffered entry; None
         when no server survives to accept it (the handle is cancelled)."""
-        if self._is_service:
+        service = self._service
+        if service is not None:
+            shard = handle.shard_hint
+            assert shard is not None, "service admissions carry a shard"
             try:
-                origin = self.target.origin_in_shard(
-                    handle.shard_hint, handle.routing_key)
+                origin = service.origin_in_shard(shard, handle.routing_key)
             except ValueError as err:
                 handle._cancel(
                     f"request {handle.key} cancelled: {err}")
                 return None
-            return handle.shard_hint, origin
-        alive = self.target.alive_members
+            return shard, origin
+        assert self._single is not None
+        alive = self._single.alive_members
         if not alive:
             handle._cancel(f"request {handle.key} cancelled: no "
                            f"surviving server in the group")
             return None
         slot = handle.slot
         origin = self._col_origin[slot]
-        if origin not in alive:
+        if origin is None or origin not in alive:
             origin = self._hash_origin(handle.session.client_id)
             self._col_origin[slot] = origin
         return None, origin
@@ -953,7 +974,7 @@ class Client:
             if not env.handle.cancelled:
                 still_open.append(env)
                 continue
-            requeue = []
+            requeue: list[ClientRequestHandle] = []
             for h in env.entries:
                 if not h.done and not h.cancelled:
                     if self._inflight[h.slot].pop(h.seq, None) is not None:
@@ -1022,7 +1043,8 @@ class Client:
     # ------------------------------------------------------------------ #
     # Awaitable bridge
     # ------------------------------------------------------------------ #
-    def _future_for(self, handle: ClientRequestHandle) -> "asyncio.Future":
+    def _future_for(self, handle: ClientRequestHandle) \
+            -> "asyncio.Future[DeliveryEvent]":
         """Bridge a client handle onto the owning group's
         :meth:`~repro.api.deployment.Deployment.future_of` (the TCP
         backend resolves it on the deployment's event loop; other
@@ -1033,10 +1055,11 @@ class Client:
     # ------------------------------------------------------------------ #
     # Driving
     # ------------------------------------------------------------------ #
-    def run_rounds(self, k: int, *, timeout: float = 30.0):
+    def run_rounds(self, k: int, *, timeout: float = 30.0) -> list[Any]:
         """Advance the target *k* rounds; each round boundary packs and
         submits the sessions' buffers first (the round-start hook).
-        Returns the target's delivery events."""
+        Returns the target's delivery events (:class:`DeliveryEvent` on a
+        group, :class:`~repro.api.service.ShardDelivery` on a service)."""
         return self.target.run_rounds(k, timeout=timeout)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

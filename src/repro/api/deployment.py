@@ -282,7 +282,7 @@ class Deployment(abc.ABC):
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------ #
@@ -308,7 +308,7 @@ class Deployment(abc.ABC):
         return self._epoch
 
     @classmethod
-    def capabilities(cls) -> frozenset:
+    def capabilities(cls) -> frozenset[str]:
         """Operations this backend supports beyond the core vocabulary.
 
         ``"join"`` — membership additions via :meth:`join`;
@@ -398,7 +398,7 @@ class Deployment(abc.ABC):
         for callback in self._round_start_subscribers:
             callback()
 
-    def future_of(self, handle: Any) -> "asyncio.Future":
+    def future_of(self, handle: Any) -> "asyncio.Future[DeliveryEvent]":
         """An :class:`asyncio.Future` resolving with the handle's
         :class:`DeliveryEvent` — the awaitable face of the request
         lifecycle.  Accepts protocol-level :class:`RequestHandle`\\ s and
@@ -414,7 +414,7 @@ class Deployment(abc.ABC):
         loop = self._future_loop
         if loop is None:
             loop = self._future_loop = asyncio.new_event_loop()
-        future = loop.create_future()
+        future: "asyncio.Future[DeliveryEvent]" = loop.create_future()
 
         def fulfil(resolved: Any) -> None:
             if not future.done():
@@ -441,6 +441,23 @@ class Deployment(abc.ABC):
         raise UnsupportedOperation(
             f"{type(self).__name__} does not support join "
             f"(capabilities: {sorted(self.capabilities())})")
+
+    def fill_round(self) -> None:
+        """Phase 1 of a coordinated round (``"shared-engine"`` backends
+        only): every alive server broadcasts into its open window without
+        running engine events, so a multi-group coordinator can put all
+        groups' rounds in flight before any completes."""
+        raise UnsupportedOperation(
+            f"{type(self).__name__} does not support coordinated round "
+            f"driving (capabilities: {sorted(self.capabilities())})")
+
+    def complete_round(self) -> None:
+        """Phase 2 of a coordinated round (``"shared-engine"`` backends
+        only): run the engine until this group's round is delivered
+        everywhere."""
+        raise UnsupportedOperation(
+            f"{type(self).__name__} does not support coordinated round "
+            f"driving (capabilities: {sorted(self.capabilities())})")
 
     @abc.abstractmethod
     def check_agreement(self) -> bool:

@@ -55,6 +55,7 @@ import bisect
 import hashlib
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Hashable,
@@ -64,6 +65,9 @@ from typing import (
     Sequence,
     runtime_checkable,
 )
+
+if TYPE_CHECKING:
+    from ..sim.engine import Simulator
 
 from ..graphs.digraph import Digraph
 from .deployment import (
@@ -307,7 +311,7 @@ class ShardedService:
                  partitioner: Optional[Partitioner] = None,
                  state_machine: Optional[Callable[[], StateMachine]] = None,
                  seed: int = 1,
-                 deployment_kwargs: Optional[dict] = None) -> None:
+                 deployment_kwargs: Optional[dict[str, Any]] = None) -> None:
         from . import backend_class, create_deployment
 
         shard_graphs = list(shard_graphs)
@@ -324,11 +328,12 @@ class ShardedService:
         cls = backend_class(backend)
         kwargs = dict(deployment_kwargs or {})
         #: the shared engine on shared-engine backends, else None
-        self.engine = None
+        self.engine: Optional["Simulator"] = None
         if "shared-engine" in cls.capabilities():
-            from ..sim.engine import Simulator
+            from ..sim.engine import Simulator as _Simulator
 
-            self.engine = kwargs.pop("engine", None) or Simulator(seed=seed)
+            self.engine = (kwargs.pop("engine", None)
+                           or _Simulator(seed=seed))
         accepts_namespace = self._accepts_kwarg(cls, "namespace")
         self.groups: list[Deployment] = []
         for shard, graph in enumerate(shard_graphs):
@@ -348,7 +353,7 @@ class ShardedService:
         self._seen = [0] * len(self.groups)
 
     @staticmethod
-    def _accepts_kwarg(cls: type, name: str) -> bool:
+    def _accepts_kwarg(cls: type[Deployment], name: str) -> bool:
         """Whether the backend constructor takes *name* (third-party
         backends need not — the service then simply skips the label)."""
         import inspect
@@ -373,7 +378,7 @@ class ShardedService:
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------ #
@@ -409,7 +414,7 @@ class ShardedService:
         """Total server count across all groups."""
         return sum(group.n for group in self.groups)
 
-    def capabilities(self) -> frozenset:
+    def capabilities(self) -> frozenset[str]:
         """Capabilities every group's backend supports."""
         caps = [group.capabilities() for group in self.groups]
         return frozenset.intersection(*caps)

@@ -21,6 +21,7 @@ from ..core.config import AllConcurConfig
 from ..core.interfaces import Deliver
 from ..graphs.digraph import Digraph
 from ..sim.engine import Simulator
+from ..sim.trace import RoundTrace
 from .deployment import Deployment, DeliveryEvent, RequestHandle
 
 __all__ = ["SimDeployment"]
@@ -58,7 +59,7 @@ class SimDeployment(Deployment):
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def capabilities(cls) -> frozenset:
+    def capabilities(cls) -> frozenset[str]:
         return frozenset({"join", "time", "shared-engine"})
 
     @property
@@ -70,12 +71,12 @@ class SimDeployment(Deployment):
         return self.cluster.alive_members
 
     @property
-    def trace(self):
+    def trace(self) -> RoundTrace:
         """The current epoch's :class:`~repro.sim.trace.RoundTrace`."""
         return self.cluster.trace
 
     @property
-    def sim(self):
+    def sim(self) -> Simulator:
         """The underlying :class:`~repro.sim.engine.Simulator`."""
         return self.cluster.sim
 

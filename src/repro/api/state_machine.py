@@ -46,13 +46,13 @@ class _DedupTable:
 
     def __init__(self) -> None:
         #: client -> [watermark, sparse out-of-order seqs above it]
-        self._clients: dict[str, list] = {}
+        self._clients: dict[str, list[Any]] = {}
 
     def __contains__(self, key: tuple[str, int]) -> bool:
         entry = self._clients.get(key[0])
         if entry is None:
             return False
-        return key[1] <= entry[0] or key[1] in entry[1]
+        return bool(key[1] <= entry[0] or key[1] in entry[1])
 
     def add(self, key: tuple[str, int]) -> None:
         client, seq = key
@@ -71,13 +71,27 @@ class _DedupTable:
 
     def watermark(self, client: str) -> int:
         entry = self._clients.get(client)
-        return -1 if entry is None else entry[0]
+        return -1 if entry is None else int(entry[0])
 
     def state_size(self) -> int:
         """Retained dedup entries: one watermark per client plus the
         sparse out-of-order seqs — the quantity the O(window) memory
         test bounds."""
         return sum(1 + len(entry[1]) for entry in self._clients.values())
+
+    def snapshot(self) -> tuple[Any, ...]:
+        """Comparable, order-independent image of the dedup state —
+        part of the transferable replica image: a snapshot-installed
+        replica must keep skipping exactly the duplicates a
+        full-replay replica would skip."""
+        return tuple(sorted(
+            (client, entry[0], tuple(sorted(entry[1])))
+            for client, entry in self._clients.items()))
+
+    def restore(self, snap: tuple[Any, ...]) -> None:
+        """Inverse of :meth:`snapshot`."""
+        self._clients = {client: [watermark, set(sparse)]
+                         for client, watermark, sparse in snap}
 
 
 @runtime_checkable
@@ -233,12 +247,54 @@ class ReplicatedStateMachine:
                 f"{type(machine).__name__} state is not key-addressable: "
                 f"reads need a 'data' mapping or an items() snapshot")
 
-    def results(self, pid: Optional[int] = None) -> tuple:
+    def results(self, pid: Optional[int] = None) -> tuple[Any, ...]:
         """The ``apply`` outputs at replica *pid* (default: the lowest-id
         alive member), in agreed order."""
         if pid is None:
             pid = self.deployment.alive_members[0]
         return tuple(self._results[pid])
+
+    def transfer_state(self, pid: int) -> dict[str, Any]:
+        """The **complete** transferable image of replica *pid* — the
+        state-transfer payload for rejoining servers and shard
+        split/merge (the elastic-sharding roadmap item).
+
+        Completeness is statically gated: lint rule S601 proves every
+        attribute the apply path mutates flows into this return (or
+        :meth:`snapshots`), so a snapshot-installed replica cannot
+        silently lose the dedup table, the client read-back results,
+        the read-your-writes marker, the results log, or the duplicate
+        counter and diverge from full-replay replicas.
+        """
+        return {
+            "snapshot": self.replicas[pid].snapshot(),
+            "height": self.heights[pid],
+            "marker": tuple(self._markers[pid]),
+            "applied": self._applied[pid].snapshot(),
+            "client_results": dict(self._client_results[pid]),
+            "results": list(self._results[pid]),
+            "duplicates_skipped": self.duplicates_skipped[pid],
+        }
+
+    def install_state(self, pid: int, state: dict[str, Any]) -> None:
+        """Install a :meth:`transfer_state` image into replica *pid*
+        (inverse of :meth:`transfer_state`; the replica's machine must
+        expose ``restore(snapshot)``)."""
+        machine = self.replicas[pid]
+        restore = getattr(machine, "restore", None)
+        if restore is None:
+            raise TypeError(
+                f"{type(machine).__name__} cannot receive a state "
+                f"transfer: it defines no restore(snapshot) method")
+        restore(state["snapshot"])
+        self.heights[pid] = state["height"]
+        self._markers[pid] = (state["marker"][0], state["marker"][1])
+        table = _DedupTable()
+        table.restore(state["applied"])
+        self._applied[pid] = table
+        self._client_results[pid] = dict(state["client_results"])
+        self._results[pid] = list(state["results"])
+        self.duplicates_skipped[pid] = state["duplicates_skipped"]
 
     def snapshots(self) -> dict[int, Any]:
         """Snapshot of every alive replica at the maximum applied height
@@ -290,7 +346,7 @@ class ReplicatedKVStore:
     """
 
     def __init__(self) -> None:
-        self.data: dict = {}
+        self.data: dict[Any, Any] = {}
 
     def apply(self, round_no: int, origin: int, request: Request) -> Any:
         command = request.data
@@ -313,5 +369,9 @@ class ReplicatedKVStore:
             return self.data.get(command[1])
         raise ValueError(f"unknown KV command {op!r}")
 
-    def snapshot(self) -> tuple:
+    def snapshot(self) -> tuple[Any, ...]:
         return tuple(sorted(self.data.items()))
+
+    def restore(self, snapshot: tuple[Any, ...]) -> None:
+        """Install a :meth:`snapshot` image (state transfer)."""
+        self.data = dict(snapshot)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Optional
+from typing import Any, Coroutine, Optional, TypeVar, Union
 
 from ..core.batching import Request
 from ..core.config import AllConcurConfig
@@ -31,6 +31,8 @@ from .deployment import (
 )
 
 __all__ = ["TcpDeployment"]
+
+_T = TypeVar("_T")
 
 
 class TcpDeployment(Deployment):
@@ -61,6 +63,7 @@ class TcpDeployment(Deployment):
                  codec: str = "binary",
                  mp_context: Optional[str] = None) -> None:
         super().__init__()
+        self.cluster: Union[LocalCluster, ProcessCluster]
         if runtime == "inproc":
             self.cluster = LocalCluster(
                 graph, host=host, config=config,
@@ -80,7 +83,10 @@ class TcpDeployment(Deployment):
                              f"(expected 'inproc' or 'process')")
         self.runtime = runtime
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._futures: dict[tuple[int, int], asyncio.Future] = {}
+        # keyed by handle.key: (int, int) for protocol handles,
+        # (str, int) for client ingress handles — the spaces never collide
+        self._futures: dict[tuple[Any, int],
+                            "asyncio.Future[DeliveryEvent]"] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -98,7 +104,7 @@ class TcpDeployment(Deployment):
         its own disjoint port space."""
         return self.cluster.endpoints()
 
-    def _run(self, coro):
+    def _run(self, coro: Coroutine[Any, Any, _T]) -> _T:
         assert self._loop is not None, "deployment not started"
         return self._loop.run_until_complete(coro)
 
@@ -124,11 +130,13 @@ class TcpDeployment(Deployment):
 
     def _do_stop(self) -> None:
         self._closed = True
+        loop = self._loop
+        assert loop is not None, "deployment not started"
         self._run(self.cluster.stop())
         # let transport connection_lost callbacks run before the loop dies
         self._run(asyncio.sleep(0.01))
-        self._run(self._loop.shutdown_asyncgens())
-        self._loop.close()
+        self._run(loop.shutdown_asyncgens())
+        loop.close()
         self._loop = None
 
     def _next_seq(self, at: int) -> int:
@@ -193,7 +201,7 @@ class TcpDeployment(Deployment):
     # ------------------------------------------------------------------ #
     # Async integration
     # ------------------------------------------------------------------ #
-    def future_of(self, handle) -> "asyncio.Future":
+    def future_of(self, handle: Any) -> "asyncio.Future[DeliveryEvent]":
         """An :class:`asyncio.Future` (on the deployment's loop) that
         resolves with the handle's :class:`DeliveryEvent` — the awaitable
         face of the request lifecycle for async callers.
@@ -206,20 +214,23 @@ class TcpDeployment(Deployment):
         failover (the handle only cancels when the whole group is gone);
         cancellation surfaces as :class:`RequestCancelled`."""
         self.start()
-        future = self._futures.get(handle.key)
-        if future is None:
-            future = self._loop.create_future()
-            self._futures[handle.key] = future
+        existing = self._futures.get(handle.key)
+        if existing is not None:
+            return existing
+        loop = self._loop
+        assert loop is not None, "deployment not started"
+        future: "asyncio.Future[DeliveryEvent]" = loop.create_future()
+        self._futures[handle.key] = future
 
-            def fulfil(resolved) -> None:
-                if not future.done():
-                    future.set_result(resolved.delivery)
+        def fulfil(resolved: Any) -> None:
+            if not future.done():
+                future.set_result(resolved.delivery)
 
-            def abort(cancelled) -> None:
-                if not future.done():
-                    future.set_exception(RequestCancelled(
-                        f"request {cancelled.key} cancelled"))
+        def abort(cancelled: Any) -> None:
+            if not future.done():
+                future.set_exception(RequestCancelled(
+                    f"request {cancelled.key} cancelled"))
 
-            handle.add_done_callback(fulfil)
-            handle.add_cancel_callback(abort)
+        handle.add_done_callback(fulfil)
+        handle.add_cancel_callback(abort)
         return future

@@ -49,7 +49,7 @@ def _program_rule_findings(files: Sequence[tuple[str, ParsedFile]],
                            policy: Policy) -> list[Finding]:
     program = Program.build(files)
     module_of = {parsed.path: module for module, parsed in files}
-    pctx = ProgramContext(program=program)
+    pctx = ProgramContext(program=program, policy=policy)
     raw: list[Finding] = []
     for rule in program_rules():
         for finding in rule.check(pctx):

@@ -36,7 +36,8 @@ from typing import Callable, Iterator, Optional, Sequence, Union
 from .astcache import ParsedFile
 from .names import ImportMap, dotted_name
 
-__all__ = ["CallSite", "FunctionInfo", "ClassInfo", "ModuleInfo", "Program"]
+__all__ = ["CallSite", "FunctionInfo", "ClassInfo", "ModuleInfo", "Program",
+           "AttrWrite", "attr_writes"]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 _FUNC_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
@@ -528,3 +529,123 @@ def _strip_annotation(node: ast.expr) -> ast.expr:
 def single_file_program(parsed: ParsedFile, module: str) -> Program:
     """A one-module program (fixture tests lint snippets in isolation)."""
     return Program.build([(module, parsed)])
+
+
+# --------------------------------------------------------------------- #
+# Instance-attribute write summaries (S601 snapshot coverage, R701 races)
+# --------------------------------------------------------------------- #
+
+#: method names whose call mutates the receiver in place — enough to
+#: cover dict/set/list/deque plus the repo's own mutator verbs
+#: (``_DedupTable.add``, ``StateMachine.apply``)
+_MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "apply", "clear", "discard", "extend",
+    "insert", "pop", "popleft", "popitem", "push", "put_nowait", "remove",
+    "setdefault", "sort", "update",
+})
+
+
+@dataclass(frozen=True)
+class AttrWrite:
+    """One ``self.<attr>`` mutation site inside a function body."""
+
+    attr: str
+    #: the statement/call node the mutation happens at (finding anchor)
+    node: ast.AST
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _mutation_root(expr: ast.AST,
+                   aliases: dict[str, str]) -> Optional[str]:
+    """The ``self`` attribute ultimately mutated when *expr* — the object
+    being subscripted / attributed / method-called — is stored through:
+    ``self.X`` directly, a local alias of it (``a = self.X``), or any
+    subscript/attribute chain rooted at either."""
+    direct = _self_attr(expr)
+    if direct is not None:
+        return direct
+    if isinstance(expr, ast.Name):
+        return aliases.get(expr.id)
+    if isinstance(expr, (ast.Subscript, ast.Attribute)):
+        return _mutation_root(expr.value, aliases)
+    return None
+
+
+def _target_writes(target: ast.AST, aliases: dict[str, str],
+                   *, is_delete: bool = False) -> Iterator[str]:
+    """Attributes a store (or delete) target mutates.  A bare local name
+    rebinds the local, mutating nothing."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_writes(elt, aliases, is_delete=is_delete)
+        return
+    if isinstance(target, ast.Starred):
+        yield from _target_writes(target.value, aliases,
+                                  is_delete=is_delete)
+        return
+    direct = _self_attr(target)
+    if direct is not None:
+        yield direct                  # self.X = ... / del self.X
+        return
+    if isinstance(target, (ast.Subscript, ast.Attribute)):
+        root = _mutation_root(target.value, aliases)
+        if root is not None:
+            yield root                # self.X[k] = / a.field = (a = self.X)
+
+
+def attr_writes(fn: FunctionInfo) -> list[AttrWrite]:
+    """Every ``self.<attr>`` mutation lexically inside *fn*.
+
+    Covers direct assignment/deletion, subscript and attribute stores
+    rooted at the attribute, in-place mutator method calls
+    (``self.X.add(k)``), and the same forms through single-name local
+    aliases (``applied = self._applied[pid]; applied.add(key)`` — the
+    exact shape of ``ReplicatedStateMachine._on_node_deliver``).  Alias
+    collection is flow-insensitive; unresolvable mutations are dropped,
+    so callers under-approximate (consistent with the call graph)."""
+    aliases: dict[str, str] = {}
+    for _ in range(2):                # converge alias-of-alias chains
+        for node in _body_walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            root = _mutation_root(node.value, aliases)
+            if root is None:
+                # `a = self.X = value`: the self-attr target aliases too
+                for target in node.targets:
+                    sub = _mutation_root(target, aliases)
+                    if sub is not None:
+                        root = sub
+                        break
+            if root is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases[target.id] = root
+    writes: list[AttrWrite] = []
+    for node in _body_walk(fn.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for attr in _target_writes(target, aliases):
+                    writes.append(AttrWrite(attr=attr, node=node))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue              # bare annotation: no store
+            for attr in _target_writes(node.target, aliases):
+                writes.append(AttrWrite(attr=attr, node=node))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                for attr in _target_writes(target, aliases,
+                                           is_delete=True):
+                    writes.append(AttrWrite(attr=attr, node=node))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATOR_METHODS:
+            root = _mutation_root(node.func.value, aliases)
+            if root is not None:
+                writes.append(AttrWrite(attr=root, node=node))
+    return writes

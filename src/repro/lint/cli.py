@@ -8,7 +8,8 @@ import sys
 from typing import Optional, Sequence
 
 from .analyzer import lint_paths
-from .reporters import render_json, render_rule_catalog, render_text
+from .reporters import (render_json, render_rule_catalog, render_sarif,
+                        render_text)
 
 __all__ = ["main", "changed_paths"]
 
@@ -40,10 +41,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint "
                              "(default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
-                        default="text", help="report format")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="report format (sarif feeds GitHub code "
+                             "scanning so findings annotate PR diffs)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--regen-wire-lock", action="store_true",
+                        help="re-extract the wire schema from the given "
+                             "paths and rewrite wire_schema.lock.json "
+                             "next to the wire module (commit the "
+                             "result; W601 gates drift against it)")
     parser.add_argument("--changed-only", metavar="GIT-REF",
                         default=None,
                         help="report findings only in files changed "
@@ -59,6 +67,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_rule_catalog())
         return 0
 
+    if args.regen_wire_lock:
+        from .rules_wire_schema import regenerate_lockfile
+        lock_path = regenerate_lockfile(args.paths)
+        if lock_path is None:
+            print("repro.lint: no wire module (WIRE_VERSION) found "
+                  "under the given paths", file=sys.stderr)
+            return 1
+        print(f"repro.lint: wrote {lock_path}")
+        return 0
+
     changed = None
     if args.changed_only is not None:
         changed = changed_paths(args.changed_only)
@@ -68,8 +86,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
 
     findings = lint_paths(args.paths, changed_only=changed)
-    report = render_json(findings) if args.format == "json" \
-        else render_text(findings)
+    renderer = {"json": render_json, "sarif": render_sarif,
+                "text": render_text}[args.format]
+    report = renderer(findings)
     print(report)
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:

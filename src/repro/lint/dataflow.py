@@ -48,7 +48,7 @@ from .rules_determinism import _ENTROPY, _SEEDED_RNG, _WALL_CLOCK
 from .rules_locks import (_awaits_in_body, _is_lock_context,
                           _slow_await_target)
 
-__all__ = ["FunctionSummary", "TaintEngine"]
+__all__ = ["FunctionSummary", "TaintEngine", "attrs_into_return"]
 
 #: wire/effect envelope constructors — positional or keyword payloads
 #: of these become bytes every server must decode identically
@@ -63,6 +63,66 @@ _ROUND_STATE_CLASSES = frozenset({"RoundContext"})
 _SET_CTORS = frozenset({"set", "frozenset"})
 #: wrappers that freeze arbitrary set order into a sequence
 _ORDER_FREEZERS = frozenset({"list", "tuple"})
+
+
+# --------------------------------------------------------------------- #
+# Return flow (S601: which attributes a snapshot actually captures)
+# --------------------------------------------------------------------- #
+
+def attrs_into_return(fn: FunctionInfo) -> set[str]:
+    """``self.<attr>`` names whose values can flow into *fn*'s return.
+
+    Lexical + local forward flow: a ``self.X`` read directly inside a
+    ``return`` expression counts, and so does one routed through locals
+    (``top = max(self.heights.values()); return {..: top}``) — iterated a
+    few passes so short chains converge, exactly like the taint
+    environments.  Over-approximates (any read of a carried local counts),
+    which is the safe direction for a completeness check: an attribute is
+    only reported *missing* when no read can reach the return."""
+    carried: dict[str, set[str]] = {}
+
+    def attrs_in(expr: ast.expr) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == "self":
+                out.add(node.attr)
+            elif isinstance(node, ast.Name) and node.id in carried:
+                out |= carried[node.id]
+        return out
+
+    bindings: list[tuple[tuple[str, ...], ast.expr]] = []
+    returns: list[ast.expr] = []
+    for node in _body_walk(fn.node):
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if node.value is not None:
+                targets, value = [node.target], node.value
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets, value = [node.target], node.iter
+        elif isinstance(node, ast.Return) and node.value is not None:
+            returns.append(node.value)
+        if value is None:
+            continue
+        binds = tuple(n for t in targets for n in _binding_names(t))
+        if binds:
+            bindings.append((binds, value))
+
+    for _ in range(3):              # converge short assignment chains
+        for binds, value in bindings:
+            attrs = attrs_in(value)
+            if attrs:
+                for name in binds:
+                    carried.setdefault(name, set()).update(attrs)
+
+    captured: set[str] = set()
+    for value in returns:
+        captured |= attrs_in(value)
+    return captured
 
 
 # --------------------------------------------------------------------- #

@@ -19,7 +19,7 @@ it is a semantic distinction, not a path one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Optional
 
 __all__ = ["Policy", "DEFAULT_POLICY", "module_of_path"]
 
@@ -41,6 +41,12 @@ class Policy:
     scopes: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     exemptions: Mapping[str, tuple[tuple[str, str], ...]] = \
         field(default_factory=dict)
+    #: S601 volatile state: class name (simple or qualified) ->
+    #: ``((attr, reason), ...)`` — attributes ``apply()`` may mutate that
+    #: are *deliberately* excluded from ``snapshot()`` (caches, metrics),
+    #: recorded here so every exemption is reviewable in one place.
+    volatile: Mapping[str, tuple[tuple[str, str], ...]] = \
+        field(default_factory=dict)
 
     def applies(self, rule_id: str, module: str) -> bool:
         scope = self.scopes.get(rule_id)
@@ -50,6 +56,16 @@ class Policy:
             if _in_scope(module, (prefix,)):
                 return False
         return True
+
+    def volatile_reason(self, class_qname: str, attr: str) -> Optional[str]:
+        """The recorded reason when *attr* of *class_qname* is volatile
+        (keys match on the full qname or the bare class name)."""
+        simple = class_qname.rsplit(".", 1)[-1]
+        for key in (class_qname, simple):
+            for name, reason in self.volatile.get(key, ()):
+                if name == attr:
+                    return reason
+        return None
 
 
 #: Modules whose behaviour must be a pure function of explicit seeds and
@@ -78,6 +94,14 @@ DEFAULT_POLICY = Policy(
         "L401": ("repro.runtime",),
         "X501": ("repro",),
         "X502": ("repro",),
+        # Protocol-state verifiers (PR 10).  S601/L501 gate every repro
+        # package (state machines live in repro.api, locks anywhere);
+        # W601 is anchored to the wire planes; R701 to the two layers a
+        # blocking facade thread and the event loop actually share.
+        "S601": ("repro",),
+        "W601": ("repro.runtime",),
+        "L501": ("repro",),
+        "R701": ("repro.runtime", "repro.api"),
     },
     exemptions={
         "F401": ((

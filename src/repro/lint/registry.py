@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Iterator, Optional
 
 from .callgraph import Program
 from .findings import Finding, Severity
+from .policy import DEFAULT_POLICY, Policy
 
 __all__ = ["Rule", "RuleContext", "ProgramContext", "rule",
            "program_rule", "all_rules", "file_rules", "program_rules",
@@ -60,6 +61,9 @@ class ProgramContext:
     """What a whole-program rule sees: the call graph plus helpers."""
 
     program: Program
+    #: the active policy — rules that consult reviewed exemption tables
+    #: (S601 volatile state) read it here instead of importing the default
+    policy: Policy = field(default_factory=lambda: DEFAULT_POLICY)
 
     def finding(self, rule_id: str, path: str, node: ast.AST,
                 message: str,
@@ -130,6 +134,10 @@ def _load_rules() -> None:
     from . import rules_locks       # noqa: F401
     from . import dataflow          # noqa: F401  (D201/A301/L401)
     from . import exhaustive        # noqa: F401  (X501/X502)
+    from . import rules_state       # noqa: F401  (S601)
+    from . import rules_wire_schema  # noqa: F401  (W601)
+    from . import rules_lock_order  # noqa: F401  (L501)
+    from . import rules_races       # noqa: F401  (R701)
     from . import suppress          # noqa: F401  (registers S901-S903)
 
 

@@ -5,10 +5,11 @@ from __future__ import annotations
 import json
 from typing import Sequence
 
-from .findings import Finding
+from .findings import Finding, Severity
 from .registry import all_rules
 
-__all__ = ["render_text", "render_json", "render_rule_catalog"]
+__all__ = ["render_text", "render_json", "render_sarif",
+           "render_rule_catalog"]
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -36,6 +37,59 @@ def render_json(findings: Sequence[Finding]) -> str:
         "findings": [f.to_json() for f in findings],
         "count": len(findings),
         "clean": not findings,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 — the format GitHub code scanning ingests, so CI
+    findings annotate the exact PR diff lines they fire on."""
+    rules = [{
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "helpUri": "https://github.com/",
+        "defaultConfiguration": {
+            "level": "error" if rule.severity is Severity.ERROR
+            else "warning",
+        },
+    } for rule in all_rules()]
+    rule_index = {meta["id"]: idx for idx, meta in enumerate(rules)}
+    results = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule_id,
+            **({"ruleIndex": rule_index[finding.rule_id]}
+               if finding.rule_id in rule_index else {}),
+            "level": "error" if finding.severity is Severity.ERROR
+            else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "informationUri": "https://github.com/",
+                    "version": str(SCHEMA_VERSION),
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

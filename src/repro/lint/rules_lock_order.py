@@ -1,0 +1,220 @@
+"""L501: lock-order cycle detection over the interprocedural lock graph.
+
+Two coroutines that acquire the same two locks in opposite orders
+deadlock under contention — and the two acquisition paths are almost
+never in one function body (that is why the PR 6 class of bug shipped:
+the inner acquisition hid behind a call).  L501 builds the program's
+lock-acquisition graph:
+
+* a **node** per lock, identified ``Class.attr`` for ``self.<attr>``
+  locks and module-qualified otherwise (the same identity in every
+  function, so ``node_a._lock`` in two methods is one node);
+* an **edge** ``A -> B`` when some function acquires ``B`` (directly via
+  a nested ``with``/``async with``, or transitively via a call chain)
+  while lexically holding ``A``.
+
+A cycle in that graph is a potential deadlock; each is reported once,
+naming both acquisition paths (the held-at edge and a witness chain for
+the return path via :meth:`~repro.lint.callgraph.Program.find_chain`).
+Re-acquiring the same lock is not an edge (that is a re-entrancy bug,
+not an ordering one).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .callgraph import FunctionInfo, Program, _FUNC_TYPES
+from .findings import Finding
+from .names import dotted_name
+from .registry import ProgramContext, program_rule
+from .rules_locks import _is_lock_context
+
+__all__ = ["lock_name", "function_lock_facts", "LockFacts"]
+
+
+def lock_name(item: ast.withitem, fn: FunctionInfo) -> Optional[str]:
+    """Canonical lock identity for a ``with`` item, or None when the
+    context manager is not lock-shaped.  ``self.<attr>`` locks key on
+    the owning class so every method of the class shares the node."""
+    if not _is_lock_context(item):
+        return None
+    expr = item.context_expr
+    name = dotted_name(expr)
+    if name is None and isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+    if name is None:
+        return None
+    if name.startswith("self.") and fn.class_qname is not None:
+        return f"{fn.class_qname.rsplit('.', 1)[-1]}.{name[5:]}"
+    if name.startswith("self."):
+        return name[5:]
+    return f"{fn.module}.{name}"
+
+
+@dataclass
+class LockFacts:
+    """Lock-relevant events of one function body."""
+
+    #: ``(lock, node, locks already held lexically)`` per acquisition
+    acquisitions: list[tuple[str, ast.AST, tuple[str, ...]]]
+    #: ``(held locks, call node)`` for every call expression
+    calls: list[tuple[tuple[str, ...], ast.Call]]
+    #: held locks per interesting node id (populated on demand by R701)
+    held_at: dict[int, tuple[str, ...]]
+
+
+def function_lock_facts(fn: FunctionInfo,
+                        interest: Optional[set[int]] = None) -> LockFacts:
+    """Walk *fn* tracking the lexically-held lock stack.  ``interest``
+    (node ids) asks for the held set at specific nodes — R701 uses it to
+    learn which locks guard each attribute write."""
+    facts = LockFacts(acquisitions=[], calls=[], held_at={})
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, (*_FUNC_TYPES, ast.Lambda, ast.ClassDef)):
+            return
+        if interest is not None and id(node) in interest:
+            facts.held_at[id(node)] = held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                visit(item.context_expr, inner)
+                lock = lock_name(item, fn)
+                if lock is not None:
+                    facts.acquisitions.append((lock, node, inner))
+                    if lock not in inner:
+                        inner = inner + (lock,)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, ast.Call):
+            facts.calls.append((held, node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in fn.node.body:
+        visit(stmt, ())
+    return facts
+
+
+def _acquires_below(program: Program,
+                    direct: dict[str, set[str]]) -> dict[str, set[str]]:
+    """Locks each function may acquire, transitively (fixpoint over the
+    call graph; monotone, so it terminates)."""
+    below = {q: set(locks) for q, locks in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qname in sorted(program.functions):
+            mine = below.setdefault(qname, set())
+            for _site, callee in program.callees(qname):
+                extra = below.get(callee)
+                if extra and not extra <= mine:
+                    mine |= extra
+                    changed = True
+    return below
+
+
+@dataclass
+class _Edge:
+    fn: FunctionInfo
+    node: ast.AST
+    describe: str
+
+
+@program_rule(
+    "L501",
+    summary="lock-order cycle: two call paths acquire the same locks in "
+            "opposite orders (deadlock under contention); both "
+            "acquisition paths are named",
+    example="async with self._a: async with self._b: ...   "
+            "# elsewhere: async with self._b: await self.f()  "
+            "# f() takes self._a")
+def check_lock_order(pctx: ProgramContext) -> Iterable[Finding]:
+    program = pctx.program
+    all_facts = {qname: function_lock_facts(fn)
+                 for qname, fn in program.functions.items()}
+    direct = {qname: {lock for lock, _n, _h in facts.acquisitions}
+              for qname, facts in all_facts.items()}
+    if sum(1 for locks in direct.values() if locks) < 2 \
+            and not any(len(locks) > 1 for locks in direct.values()):
+        return                      # fewer than two locks: no cycles
+    below = _acquires_below(program, direct)
+
+    edges: dict[tuple[str, str], _Edge] = {}
+
+    def add_edge(held: str, acquired: str, fn: FunctionInfo,
+                 node: ast.AST, describe: str) -> None:
+        if held == acquired:
+            return
+        edges.setdefault((held, acquired),
+                         _Edge(fn=fn, node=node, describe=describe))
+
+    for qname in sorted(program.functions):
+        fn = program.functions[qname]
+        facts = all_facts[qname]
+        for lock, node, held in facts.acquisitions:
+            for h in held:
+                add_edge(h, lock, fn, node,
+                         f"{fn.qname} acquires {lock} while holding {h}")
+        for held, call in facts.calls:
+            if not held:
+                continue
+            site = program.site_for(call)
+            if site is None or site.callee is None:
+                continue
+            for target in sorted(below.get(site.callee, ())):
+                for h in held:
+                    if h == target:
+                        continue
+                    chain = program.find_chain(
+                        site.callee,
+                        lambda f, t=target: t in direct.get(f.qname, set()))
+                    via = " -> ".join(
+                        c.rsplit(".", 1)[-1] for c in chain) \
+                        if chain else site.callee.rsplit(".", 1)[-1]
+                    add_edge(h, target, fn, call,
+                             f"{fn.qname} calls into {via} (which "
+                             f"acquires {target}) while holding {h}")
+
+    succ: dict[str, list[str]] = {}
+    for a, b in edges:
+        succ.setdefault(a, []).append(b)
+    for a in succ:
+        succ[a].sort()
+
+    reported: set[frozenset[str]] = set()
+    for (a, b) in sorted(edges):
+        # shortest path b -> ... -> a closes the cycle
+        parent: dict[str, Optional[str]] = {b: None}
+        queue = [b]
+        while queue and a not in parent:
+            cur = queue.pop(0)
+            for nxt in succ.get(cur, ()):
+                if nxt not in parent:
+                    parent[nxt] = cur
+                    queue.append(nxt)
+        if a not in parent:
+            continue
+        path = [a]
+        cur: Optional[str] = a
+        while parent[cur] is not None:          # type: ignore[index]
+            cur = parent[cur]                   # type: ignore[index]
+            path.append(cur)
+        path.reverse()                          # b ... a
+        cycle = frozenset(path) | {b}
+        if cycle in reported:
+            continue
+        reported.add(cycle)
+        forward = edges[(a, b)]
+        back = edges[(path[0], path[1])]
+        yield pctx.finding(
+            "L501", forward.fn.path, forward.node,
+            f"lock-order cycle between {a} and {b}: "
+            f"{forward.describe}; but {back.describe} "
+            f"(full return path {' -> '.join(path)}), so two "
+            f"contenders can deadlock; pick one global acquisition "
+            f"order")

@@ -1,0 +1,157 @@
+"""S601: snapshot completeness for replicated state machines.
+
+The elastic-sharding direction in ROADMAP.md installs a replica's
+``snapshot()`` into a rejoining (or newly split) server and continues
+applying the agreed log from there.  That is only sound when the
+snapshot captures **every** attribute ``apply()`` can mutate — a missed
+attribute (the dedup watermark, a results log, a read-your-writes
+marker) makes the installed replica silently diverge from replicas that
+replayed the full history, which no convergence *sample* reliably
+catches.  S601 proves the inclusion statically:
+
+* a class is in scope when it defines (or inherits) both a **mutator
+  entry** (``apply`` / ``_on_node_deliver``) and a **capture entry**
+  (``snapshot`` / ``snapshots`` / ``transfer_state``);
+* the *written* set is every ``self.<attr>`` mutated on any same-class
+  call path from a mutator entry (:func:`~repro.lint.callgraph.
+  attr_writes` — direct stores, subscript/attribute stores, in-place
+  mutator calls, and local aliases);
+* the *captured* set is every attribute that can flow into a capture
+  entry's return (:func:`~repro.lint.dataflow.attrs_into_return`),
+  unioned over the capture entries' same-class call closure;
+* written − captured − volatile = findings, one per attribute, anchored
+  at the first write site.
+
+Volatile state (caches, metrics — legitimately not part of the
+transferable image) is exempted either through the reviewed policy
+table (``Policy.volatile``) or a ``# lint: volatile <reason>`` marker on
+a line that mentions the attribute inside the class body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .callgraph import ClassInfo, Program, attr_writes
+from .dataflow import attrs_into_return
+from .findings import Finding
+from .registry import ProgramContext, program_rule
+
+__all__ = ["MUTATOR_ENTRIES", "CAPTURE_ENTRIES"]
+
+#: methods that mutate replica state when a round is applied
+MUTATOR_ENTRIES = ("apply", "_on_node_deliver")
+#: methods whose return value is the transferable/comparable state image
+CAPTURE_ENTRIES = ("snapshot", "snapshots", "transfer_state")
+
+
+def _class_family(program: Program, cls: ClassInfo) -> frozenset[str]:
+    """The class plus its transitive in-program bases (helper methods a
+    subclass reaches through ``self.`` live on any of them)."""
+    out = {cls.qname}
+    queue = list(cls.bases)
+    while queue:
+        base = queue.pop()
+        if base in out:
+            continue
+        out.add(base)
+        info = program.classes.get(base)
+        if info is not None:
+            queue.extend(info.bases)
+    return frozenset(out)
+
+
+def _closure(program: Program, entries: Iterable[str],
+             family: frozenset[str]) -> list[str]:
+    """Same-class call closure: methods of *family* reachable from the
+    entry methods over resolved call edges (deterministic order)."""
+    seen: list[str] = []
+    queue = [q for q in entries if q is not None]
+    marked = set(queue)
+    while queue:
+        qname = queue.pop(0)
+        seen.append(qname)
+        for _site, callee in program.callees(qname):
+            if callee in marked:
+                continue
+            fn = program.functions.get(callee)
+            if fn is None or fn.class_qname not in family:
+                continue
+            marked.add(callee)
+            queue.append(callee)
+    return seen
+
+
+def _inline_volatile(program: Program, cls: ClassInfo, attr: str) -> bool:
+    """``# lint: volatile <reason>`` on any class-body line mentioning
+    ``self.<attr>`` exempts the attribute (fixture escape hatch; the repo
+    policy table is the reviewed place for real exemptions)."""
+    info = program.modules.get(cls.module)
+    if info is None:
+        return False
+    lines = info.parsed.source.splitlines()
+    end = getattr(cls.node, "end_lineno", None) or cls.node.lineno
+    needle = f"self.{attr}"
+    for lineno in range(cls.node.lineno, min(end, len(lines)) + 1):
+        line = lines[lineno - 1]
+        if "lint: volatile" in line and needle in line:
+            return True
+    return False
+
+
+@program_rule(
+    "S601",
+    summary="state-machine attribute mutated on the apply() path but "
+            "absent from the snapshot()/transfer_state() return: a "
+            "snapshot-installed replica silently diverges from replicas "
+            "that replayed the full agreed log",
+    example="def apply(self, ...): self._seen.add(key)   "
+            "# snapshot() returns only self.data")
+def check_snapshot_completeness(pctx: ProgramContext) -> Iterable[Finding]:
+    program = pctx.program
+    for cls_qname in sorted(program.classes):
+        cls = program.classes[cls_qname]
+        mutators = [m for name in MUTATOR_ENTRIES
+                    if (m := program.resolve_method(cls_qname, name))]
+        captures = [m for name in CAPTURE_ENTRIES
+                    if (m := program.resolve_method(cls_qname, name))]
+        if not mutators or not captures:
+            continue
+        # (The StateMachine Protocol itself lands here too: its `...`
+        # bodies write nothing, so it yields no findings.)
+        family = _class_family(program, cls)
+
+        first_write: dict[str, tuple[str, ast.AST]] = {}
+        for qname in _closure(program, mutators, family):
+            fn = program.functions[qname]
+            for write in attr_writes(fn):
+                key = write.attr
+                lineno = getattr(write.node, "lineno", 0)
+                prev = first_write.get(key)
+                if prev is None or (prev[0] == fn.path
+                                    and lineno < getattr(prev[1], "lineno",
+                                                         0)):
+                    first_write[key] = (fn.path, write.node)
+
+        captured: set[str] = set()
+        for qname in _closure(program, captures, family):
+            captured |= attrs_into_return(program.functions[qname])
+
+        capture_names = "/".join(
+            name for name in CAPTURE_ENTRIES
+            if program.resolve_method(cls_qname, name) is not None)
+        for attr in sorted(set(first_write) - captured):
+            if pctx.policy.volatile_reason(cls_qname, attr) is not None:
+                continue
+            if _inline_volatile(program, cls, attr):
+                continue
+            path, node = first_write[attr]
+            yield pctx.finding(
+                "S601", path, node,
+                f"{cls.name}.{attr} is written on the apply() path but "
+                f"never flows into {capture_names}(): a "
+                f"snapshot-installed replica would silently lose it and "
+                f"diverge from replicas that replayed the full agreed "
+                f"log; include it in the state image or record it as "
+                f"volatile in the lint policy")

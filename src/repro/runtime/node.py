@@ -287,11 +287,18 @@ class RuntimeNode:
         raise ConnectionError(f"server {self.id} cannot reach {peer}")
 
     def mark_down(self, peer: int) -> None:
-        """Note that *peer* is dead: drop its connection and stop dialling
+        """Note that *peer* is dead: close its connection and stop dialling
         it (fail-stop model — a crashed server never comes back under the
-        same endpoint within an epoch)."""
+        same endpoint within an epoch).
+
+        This is a public sync entry point (the facade thread may call it
+        while the loop runs), so it must not mutate ``_writers`` — the
+        sender/heartbeat loops pop entries loop-side, and popping here too
+        would race them.  Closing is enough: every reader of ``_writers``
+        checks ``_down`` or ``is_closing()`` first, and the loop-side
+        teardown paths drop the stale entry."""
         self._down.add(peer)
-        writer = self._writers.pop(peer, None)
+        writer = self._writers.get(peer)
         if writer is not None:
             writer.close()
 

@@ -215,3 +215,70 @@ class TestDedupCompaction:
         assert table.watermark("b") == -1
         assert ("b", 5) in table and ("b", 0) not in table
         assert table.state_size() == 3          # a's wm, b's wm + {5}
+
+
+# --------------------------------------------------------------------- #
+# State transfer (the elastic-sharding rejoin path)
+# --------------------------------------------------------------------- #
+class TestStateTransfer:
+    """transfer_state/install_state round-trip: the installed replica is
+    indistinguishable from one that replayed the full agreed log.  The
+    completeness of the image is statically gated by lint rule S601."""
+
+    def test_image_round_trips_into_a_wiped_replica(self):
+        from repro.api.client import Client
+
+        with make("sim") as dep:
+            rsm = ReplicatedStateMachine(dep, ReplicatedKVStore)
+            client = Client(dep, rsm=rsm)
+            s = client.session("alice", origin=0)
+            for step in range(5):
+                s.submit(("set", "k", step))
+                dep.run_rounds(1)
+            image = rsm.transfer_state(0)
+
+            rsm.replicas[3] = ReplicatedKVStore()   # wiped rejoiner
+            rsm.heights[3] = 0
+            rsm.install_state(3, image)
+
+            assert rsm.heights[3] == rsm.heights[0]
+            assert (rsm.replicas[3].snapshot()
+                    == rsm.replicas[0].snapshot())
+            assert rsm.applied_marker(3) == rsm.applied_marker(0)
+            # the dedup verdicts survive: a failover retry of any
+            # already-agreed request is skipped, not re-applied
+            for seq in range(5):
+                assert rsm.has_applied("alice", seq, pid=3)
+            assert not rsm.has_applied("alice", 5, pid=3)
+            # the client read-back path survives
+            assert (rsm.client_result("alice", 4, pid=3)
+                    == rsm.client_result("alice", 4, pid=0))
+            assert rsm.duplicates_skipped[3] == rsm.duplicates_skipped[0]
+            assert rsm.converged()
+
+    def test_install_rejects_machines_without_restore(self):
+        with make("sim") as dep:
+            rsm = ReplicatedStateMachine(dep, CountingMachine)
+            dep.submit("x", at=0)
+            dep.run_rounds(1)
+            with pytest.raises(TypeError, match="restore"):
+                rsm.install_state(1, rsm.transfer_state(0))
+
+    def test_image_is_a_value_not_a_view(self):
+        # mutating the source replica after capture must not leak into
+        # the image (state transfer may be serialised and shipped)
+        from repro.api.client import Client
+
+        with make("sim") as dep:
+            rsm = ReplicatedStateMachine(dep, ReplicatedKVStore)
+            client = Client(dep, rsm=rsm)
+            s = client.session("alice", origin=0)
+            s.submit(("set", "k", 1))
+            dep.run_rounds(1)
+            image = rsm.transfer_state(0)
+            results_before = list(image["results"])
+            s.submit(("set", "k", 2))
+            dep.run_rounds(1)
+            assert list(image["results"]) == results_before
+            assert dict(image["client_results"]) \
+                == {("alice", 0): image["client_results"][("alice", 0)]}

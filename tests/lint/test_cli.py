@@ -166,7 +166,7 @@ class TestRuleCatalog:
 
     def test_every_rule_has_id_severity_summary_example(self):
         for rule in all_rules():
-            assert rule.id and rule.id[0] in "DALFSX"
+            assert rule.id and rule.id[0] in "DALFSXWR"
             assert rule.summary
             assert rule.example
             assert str(rule.severity) in ("error", "warning")
@@ -177,11 +177,14 @@ class TestRuleCatalog:
         assert {"D101", "D102", "D103", "D104",
                 "A201", "A202", "L301", "F401",
                 "S901", "S902", "S903",
-                "D201", "A301", "L401", "X501", "X502"} <= ids
+                "D201", "A301", "L401", "X501", "X502",
+                "S601", "W601", "L501", "R701"} <= ids
+        assert len(ids) == 20
 
     def test_whole_program_rules_are_program_kind(self):
         kinds = {rule.id: rule.kind for rule in all_rules()}
-        for rule_id in ("D201", "A301", "L401", "X501", "X502"):
+        for rule_id in ("D201", "A301", "L401", "X501", "X502",
+                        "S601", "W601", "L501", "R701"):
             assert kinds[rule_id] == "program"
         for rule_id in ("D101", "A202", "L301", "F401"):
             assert kinds[rule_id] == "file"

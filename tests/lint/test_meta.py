@@ -147,6 +147,97 @@ class TestWholeProgramRegressions:
         assert {f.rule_id for f in findings} == {"X502"}
         assert all("_K_PING" in f.message for f in findings)
 
+    def test_snapshot_gap_fails_the_gate_via_s601_alone(self, tmp_path):
+        # an apply()-mutated attribute missing from snapshot() has no
+        # lexical signature at all: only the S601 inclusion proof
+        # catches it
+        tree = _runtime_tree_copy(tmp_path)
+        (tree / "scratch.py").write_text(textwrap.dedent("""
+            class ShardStateMachine:
+                def apply(self, command):
+                    self._applied += 1
+                    self._store[command.key] = command.value
+
+                def snapshot(self):
+                    return dict(self._store)
+        """))
+        findings = lint_paths([str(tmp_path)])
+        assert {f.rule_id for f in findings} == {"S601"}
+        (finding,) = findings
+        assert "ShardStateMachine._applied" in finding.message
+        assert finding.path.endswith("scratch.py")
+
+    def test_lock_inversion_fails_the_gate_via_l501_alone(
+            self, tmp_path):
+        # opposite acquisition orders across two coroutines: no await
+        # of a slow primitive is involved, so L301/L401 stay silent and
+        # only the lock-order graph sees the deadlock
+        tree = _runtime_tree_copy(tmp_path)
+        (tree / "scratch.py").write_text(textwrap.dedent("""
+            class Router:
+                async def install(self):
+                    async with self._table_lock:
+                        async with self._flush_lock:
+                            self.epoch += 1
+
+                async def flush(self):
+                    async with self._flush_lock:
+                        async with self._table_lock:
+                            self.dirty = ()
+        """))
+        findings = lint_paths([str(tmp_path)])
+        assert {f.rule_id for f in findings} == {"L501"}
+        (finding,) = findings
+        assert "Router._table_lock" in finding.message
+        assert "Router._flush_lock" in finding.message
+
+    def test_field_add_without_version_bump_fails_the_gate(
+            self, tmp_path):
+        # thread a new `epoch` field through all four codec sites of
+        # the FWD kind — both parities and the cross-plane join stay
+        # green, so only the committed-lockfile drift gate can object
+        tree = _runtime_tree_copy(tmp_path)
+        wire = tree / "wire.py"
+        wire.write_text(wire.read_text().replace(
+            "return _frame((_K_FWD, sender, fwd.round, fwd.origin))",
+            "return _frame((_K_FWD, sender, fwd.round, fwd.origin, "
+            "fwd.epoch))"
+        ).replace(
+            "    if kind == _K_FWD:\n"
+            "        _k, sender, rnd, origin = env\n"
+            "        return sender, Forward(round=rnd, origin=origin)",
+            "    if kind == _K_FWD:\n"
+            "        _k, sender, rnd, origin, epoch = env\n"
+            "        return sender, Forward(round=rnd, origin=origin)"))
+        framing = tree / "framing.py"
+        framing.write_text(framing.read_text().replace(
+            '        return {"type": "fwd", "from": sender, '
+            '"round": message.round,\n'
+            '                "origin": message.origin}',
+            '        return {"type": "fwd", "from": sender, '
+            '"round": message.round,\n'
+            '                "origin": message.origin, "epoch": 0}'
+        ).replace(
+            'return sender, Forward(round=rnd, origin=int(obj["origin"]))',
+            'return sender, Forward(round=rnd, origin=int(obj["origin"]),\n'
+            '                               epoch=obj["epoch"])'))
+        findings = lint_paths([str(tmp_path)])
+        assert {f.rule_id for f in findings} == {"W601"}
+        (finding,) = findings
+        assert "without a WIRE_VERSION bump" in finding.message
+        assert "FWD" in finding.message
+
+    def test_committed_lockfile_matches_extraction(self, tmp_path):
+        # the lockfile in git is exactly what --regen-wire-lock emits
+        # from today's tree: a stale commit cannot hide behind the gate
+        from repro.lint.rules_wire_schema import regenerate_lockfile
+
+        tree = _runtime_tree_copy(tmp_path)
+        committed = (tree / "wire_schema.lock.json").read_text()
+        lock_path = regenerate_lockfile([str(tmp_path)])
+        assert lock_path is not None
+        assert (tree / "wire_schema.lock.json").read_text() == committed
+
 
 class TestWholeProgramPerf:
     def test_full_src_pass_stays_interactive(self):

@@ -1,4 +1,4 @@
-"""mypy --strict gate over repro.core + repro.sim + repro.runtime.
+"""mypy --strict gate over repro.core + repro.sim + repro.runtime + repro.api.
 
 The strict scope is configured in pyproject.toml ([tool.mypy]); this test
 runs the same invocation as the CI `lint` job.  mypy is an optional tool —
@@ -21,8 +21,9 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 def test_strict_scope_is_clean():
     proc = subprocess.run(
         [sys.executable, "-m", "mypy", "-p", "repro.core", "-p", "repro.sim",
-         "-p", "repro.runtime"],
+         "-p", "repro.runtime", "-p", "repro.api"],
         cwd=REPO_ROOT, capture_output=True, text=True, timeout=600)
     assert proc.returncode == 0, (
         f"mypy --strict over repro.core + repro.sim + repro.runtime "
+        f"+ repro.api "
         f"failed:\n{proc.stdout}\n{proc.stderr}")

@@ -1,0 +1,157 @@
+"""L501: lock-order cycle detection over the interprocedural graph."""
+
+from .conftest import rule_ids
+
+
+def l501(findings):
+    return [f for f in findings if f.rule_id == "L501"]
+
+
+class TestDirectInversion:
+    def test_opposite_nesting_in_two_methods_is_a_cycle(self, lint):
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._lock_a:
+                        async with self._lock_b:
+                            self.x = 1
+
+                async def rev(self):
+                    async with self._lock_b:
+                        async with self._lock_a:
+                            self.x = 2
+        """)
+        assert rule_ids(findings) == ["L501"]
+        (finding,) = findings
+        assert "lock-order cycle" in finding.message
+        assert "Node._lock_a" in finding.message
+        assert "Node._lock_b" in finding.message
+        assert "pick one global acquisition order" in finding.message
+
+    def test_cycle_is_reported_once_not_per_direction(self, lint):
+        # the A->B and B->A edges close the same cycle: one finding
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._lock_a:
+                        async with self._lock_b:
+                            self.x = 1
+
+                async def rev(self):
+                    async with self._lock_b:
+                        async with self._lock_a:
+                            self.x = 2
+
+                async def rev2(self):
+                    async with self._lock_b:
+                        async with self._lock_a:
+                            self.x = 3
+        """)
+        assert len(l501(findings)) == 1
+
+    def test_consistent_order_is_clean(self, lint):
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._lock_a:
+                        async with self._lock_b:
+                            self.x = 1
+
+                async def also_fwd(self):
+                    async with self._lock_a:
+                        async with self._lock_b:
+                            self.x = 2
+        """)
+        assert l501(findings) == []
+
+
+class TestCallDeepInversion:
+    def test_inner_acquisition_behind_a_call_is_an_edge(self, lint):
+        # the PR 6 shape: the second acquisition hides one call away,
+        # so a lexical rule can never see the inversion
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._lock_a:
+                        await self._inner()
+
+                async def _inner(self):
+                    async with self._lock_b:
+                        self.x = 1
+
+                async def rev(self):
+                    async with self._lock_b:
+                        async with self._lock_a:
+                            self.x = 2
+        """)
+        assert rule_ids(findings) == ["L501"]
+        (finding,) = findings
+        assert "Node._lock_a" in finding.message
+        assert "Node._lock_b" in finding.message
+
+    def test_call_deep_same_order_is_clean(self, lint):
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._lock_a:
+                        await self._inner()
+
+                async def _inner(self):
+                    async with self._lock_b:
+                        self.x = 1
+
+                async def also_fwd(self):
+                    async with self._lock_a:
+                        async with self._lock_b:
+                            self.x = 2
+        """)
+        assert l501(findings) == []
+
+
+class TestNonCycles:
+    def test_single_lock_program_early_outs(self, lint):
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._lock:
+                        self.x = 1
+
+                async def rev(self):
+                    async with self._lock:
+                        self.x = 2
+        """)
+        assert l501(findings) == []
+
+    def test_reacquiring_the_same_lock_is_not_an_ordering_edge(
+            self, lint):
+        # re-entrancy is a different bug class; held == acquired must
+        # not fabricate a self-edge even with two locks in the program
+        findings = lint("""
+            class Node:
+                async def reenter(self):
+                    async with self._lock_a:
+                        async with self._lock_a:
+                            self.x = 1
+
+                async def other(self):
+                    async with self._lock_b:
+                        async with self._lock_a:
+                            self.x = 2
+        """)
+        assert l501(findings) == []
+
+    def test_non_lock_contexts_are_ignored(self, lint):
+        # with-items without "lock" in the name are not acquisitions
+        findings = lint("""
+            class Node:
+                async def fwd(self):
+                    async with self._session:
+                        async with self._channel:
+                            self.x = 1
+
+                async def rev(self):
+                    async with self._channel:
+                        async with self._session:
+                            self.x = 2
+        """)
+        assert l501(findings) == []

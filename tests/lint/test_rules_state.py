@@ -1,0 +1,172 @@
+"""S601: snapshot completeness for replicated state machines."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.policy import Policy
+
+from .conftest import rule_ids
+
+
+def s601(findings):
+    return [f for f in findings if f.rule_id == "S601"]
+
+
+class TestSnapshotGap:
+    def test_attr_written_in_apply_but_not_snapshotted(self, lint):
+        findings = lint("""
+            class Counter:
+                def __init__(self):
+                    self.total = 0
+                    self._seen = set()
+
+                def apply(self, key, value):
+                    if key in self._seen:
+                        return self.total
+                    self._seen.add(key)
+                    self.total += value
+                    return self.total
+
+                def snapshot(self):
+                    return self.total
+        """)
+        assert rule_ids(findings) == ["S601"]
+        (finding,) = findings
+        assert "Counter._seen" in finding.message
+        assert "snapshot()" in finding.message
+        assert "diverge" in finding.message
+
+    def test_complete_snapshot_is_clean(self, lint):
+        findings = lint("""
+            class Counter:
+                def __init__(self):
+                    self.total = 0
+                    self._seen = set()
+
+                def apply(self, key, value):
+                    self._seen.add(key)
+                    self.total += value
+
+                def snapshot(self):
+                    return {"total": self.total,
+                            "seen": set(self._seen)}
+        """)
+        assert s601(findings) == []
+
+    def test_write_behind_a_helper_call_is_still_seen(self, lint):
+        # the written set is the same-class call closure of apply(),
+        # not just its own body
+        findings = lint("""
+            class Log:
+                def apply(self, entry):
+                    self._record(entry)
+
+                def _record(self, entry):
+                    self._entries.append(entry)
+                    self._watermark = entry.seq
+
+                def snapshot(self):
+                    return list(self._entries)
+        """)
+        assert rule_ids(findings) == ["S601"]
+        assert "Log._watermark" in findings[0].message
+
+    def test_capture_through_a_helper_counts(self, lint):
+        # the captured set unions the capture entries' call closure too
+        findings = lint("""
+            class Log:
+                def apply(self, entry):
+                    self._entries.append(entry)
+                    self._watermark = entry.seq
+
+                def snapshot(self):
+                    return self._image()
+
+                def _image(self):
+                    return (list(self._entries), self._watermark)
+        """)
+        assert s601(findings) == []
+
+
+class TestScope:
+    def test_init_only_writes_are_not_flagged(self, lint):
+        # __init__ is not on the apply() path: constructing the replica
+        # is not mutating it
+        findings = lint("""
+            class Counter:
+                def __init__(self):
+                    self.total = 0
+                    self._label = "fresh"
+
+                def apply(self, value):
+                    self.total += value
+
+                def snapshot(self):
+                    return self.total
+        """)
+        assert s601(findings) == []
+
+    def test_class_without_capture_entry_is_out_of_scope(self, lint):
+        findings = lint("""
+            class Sink:
+                def apply(self, value):
+                    self._seen.add(value)
+        """)
+        assert s601(findings) == []
+
+    def test_class_without_mutator_entry_is_out_of_scope(self, lint):
+        findings = lint("""
+            class View:
+                def snapshot(self):
+                    return self.total
+        """)
+        assert s601(findings) == []
+
+
+class TestExemptions:
+    SOURCE = """
+        class Table:
+            def apply(self, key):
+                self._hits += 1{marker}
+                self.data[key] = True
+
+            def snapshot(self):
+                return dict(self.data)
+    """
+
+    def test_unexempted_metrics_attr_is_flagged(self, lint):
+        findings = lint(self.SOURCE.format(marker=""))
+        assert rule_ids(findings) == ["S601"]
+        assert "Table._hits" in findings[0].message
+
+    def test_inline_volatile_marker_exempts(self, lint):
+        findings = lint(self.SOURCE.format(
+            marker="          # lint: volatile metrics counter"))
+        assert s601(findings) == []
+
+    def test_policy_volatile_table_exempts(self):
+        source = textwrap.dedent(self.SOURCE.format(marker=""))
+        policy = Policy(volatile={
+            "Table": (("_hits", "metrics counter, reviewed"),)})
+        findings = lint_source(source, "src/repro/sim/fixture.py",
+                               module="repro.sim.fixture", policy=policy)
+        assert s601(findings) == []
+
+    def test_policy_volatile_is_per_attribute(self):
+        # exempting one attribute must not blanket the class
+        source = textwrap.dedent("""
+            class Table:
+                def apply(self, key):
+                    self._hits += 1
+                    self._misses += 1
+                    self.data[key] = True
+
+                def snapshot(self):
+                    return dict(self.data)
+        """)
+        policy = Policy(volatile={
+            "Table": (("_hits", "metrics counter, reviewed"),)})
+        findings = lint_source(source, "src/repro/sim/fixture.py",
+                               module="repro.sim.fixture", policy=policy)
+        assert [f.rule_id for f in findings] == ["S601"]
+        assert "Table._misses" in findings[0].message
